@@ -1,0 +1,69 @@
+"""Shared fixtures for the benchmark harness.
+
+Every file under benchmarks/ regenerates one table or figure from the
+paper's evaluation (see DESIGN.md's experiment index).  TreeOptimizers are
+cached per kernel for the whole session so that platform sweeps reuse the
+profiled execution models, exactly as the paper's toolchain does.
+
+Environment knobs:
+  REPRO_FULL=1     run the paper's complete sweeps (slower)
+  REPRO_RESULTS=d  archive tables under directory *d*
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.opt import TreeOptimizer, ideal_makespan_ns
+from repro.sim import MachineModel
+from repro.timing import Platform
+
+KERNEL_NAMES = ("cnn", "lstm", "maxpool", "sumpool", "rnn")
+
+
+class OptimizerBank:
+    """Session-wide cache of kernels, trees and tree optimizers."""
+
+    def __init__(self):
+        self.machine = MachineModel()
+        self._kernels = {}
+        self._trees = {}
+        self._optimizers: Dict[str, TreeOptimizer] = {}
+
+    def kernel(self, name: str, preset: str = "LARGE"):
+        key = (name, preset)
+        if key not in self._kernels:
+            self._kernels[key] = make_kernel(name, preset)
+        return self._kernels[key]
+
+    def tree(self, name: str, preset: str = "LARGE"):
+        key = (name, preset)
+        if key not in self._trees:
+            self._trees[key] = LoopTree.build(self.kernel(name, preset))
+        return self._trees[key]
+
+    def optimizer(self, name: str, preset: str = "LARGE") -> TreeOptimizer:
+        key = f"{name}:{preset}"
+        if key not in self._optimizers:
+            self._optimizers[key] = TreeOptimizer(
+                self.tree(name, preset), machine=self.machine)
+        return self._optimizers[key]
+
+    def ideal_ns(self, name: str, platform: Platform,
+                 preset: str = "LARGE") -> float:
+        return ideal_makespan_ns(
+            self.kernel(name, preset), platform, self.machine)
+
+
+@pytest.fixture(scope="session")
+def bank() -> OptimizerBank:
+    return OptimizerBank()
+
+
+@pytest.fixture(scope="session")
+def default_platform() -> Platform:
+    return Platform()

@@ -1,0 +1,147 @@
+"""Ablation benches for the design choices called out in DESIGN.md §5.
+
+- A1: ``max_iter`` sweep — the paper fixes 3 descent sweeps after finding
+  more does not help; we re-verify.
+- A2: random restarts per thread-group assignment (our robustness
+  extension over the paper's single random start).
+- A3: double buffering's latency hiding — compare the pipelined makespan
+  against the busy-time lower bound and a fully serialised schedule.
+- A4: segment-cap sensitivity — the evaluation cap must not clip the
+  optimum.
+"""
+
+import math
+
+import pytest
+
+from repro.kernels import STUDY_LAYER, googlenet_cnn, make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt import ComponentOptimizer
+from repro.reporting import ExperimentReport
+from repro.sim.profiler import fit_component_model
+from repro.timing import Platform
+
+
+@pytest.fixture(scope="module")
+def cnn_setup(bank):
+    tree = LoopTree.build(googlenet_cnn(STUDY_LAYER))
+    comp = component_at(tree, ["n", "k", "p", "q", "c"])
+    model = fit_component_model(comp, bank.machine)
+    return comp, model
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a1_max_iter(cnn_setup, benchmark):
+    comp, model = cnn_setup
+    platform = Platform().with_bus(1e9 / 32)
+    report = ExperimentReport(
+        "ablation_max_iter", "Makespan vs descent sweeps (max_iter)",
+        ["max_iter", "makespan (ns)", "evaluations"])
+
+    def run():
+        values = {}
+        for max_iter in (1, 3, 5):
+            result = ComponentOptimizer(
+                comp, platform, model, max_iter=max_iter).optimize(8)
+            report.add_row(max_iter, result.makespan_ns,
+                           result.evaluations)
+            values[max_iter] = result.makespan_ns
+        return report, values
+
+    report_out, values = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_out.emit()
+    # The paper's observation: beyond 3 sweeps nothing improves.
+    assert values[5] >= values[3] * 0.99
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a2_restarts(cnn_setup, benchmark):
+    comp, model = cnn_setup
+    platform = Platform().with_bus(1e9 / 32)
+    report = ExperimentReport(
+        "ablation_restarts", "Makespan vs random restarts per assignment",
+        ["restarts", "makespan (ns)", "evaluations"])
+
+    def run():
+        values = {}
+        for restarts in (1, 3):
+            result = ComponentOptimizer(
+                comp, platform, model, restarts=restarts).optimize(8)
+            report.add_row(restarts, result.makespan_ns,
+                           result.evaluations)
+            values[restarts] = result.makespan_ns
+        return report, values
+
+    report_out, values = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_out.emit()
+    # More restarts explore a superset of starts per assignment (though
+    # the RNG stream shifts across assignments), so parity is the floor.
+    assert values[3] <= values[1] * 1.05
+
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a3_latency_hiding(bank, benchmark):
+    """Double buffering must hide most memory time behind execution in the
+    compute-bound regime: makespan well under the serialised schedule and
+    close to the busy-time bound."""
+    optimizer = bank.optimizer("lstm")
+    platform = Platform()
+    report = ExperimentReport(
+        "ablation_latency_hiding",
+        "Pipelined vs serialised schedule (LSTM, 16 GB/s)",
+        ["component", "pipelined (ns)", "serialised (ns)",
+         "busy bound (ns)", "hidden fraction"])
+
+    def run():
+        rows = []
+        result = optimizer.optimize(platform)
+        for choice in result.choices:
+            best = choice.result.best
+            pipeline = best.pipeline
+            serial = sum(
+                core.init_api_ns + core.exec_ns_total
+                + core.mem_ns_total
+                for core in best.plan.cores) / max(
+                    1, len(best.plan.cores))
+            serialised = max(
+                core.init_api_ns + core.exec_ns_total +
+                pipeline.dma_busy_ns
+                for core in best.plan.cores)
+            bound = max(pipeline.exec_busy_ns, pipeline.dma_busy_ns)
+            hidden = 1.0 - (pipeline.makespan_ns - bound) / max(
+                1.0, pipeline.dma_busy_ns)
+            report.add_row(choice.component.label(),
+                           pipeline.makespan_ns, serialised, bound, hidden)
+            rows.append((pipeline, serialised, bound))
+        return report, rows
+
+    report_out, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_out.emit()
+    for pipeline, serialised, bound in rows:
+        assert pipeline.makespan_ns <= serialised + 1e-6
+        assert pipeline.makespan_ns >= bound - 1e-6
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a4_segment_cap(cnn_setup, benchmark):
+    comp, model = cnn_setup
+    platform = Platform().with_bus(1e9 / 32)
+    report = ExperimentReport(
+        "ablation_segment_cap", "Makespan vs evaluation segment cap",
+        ["cap", "makespan (ns)"])
+
+    def run():
+        values = {}
+        for cap in (512, 8192):
+            result = ComponentOptimizer(
+                comp, platform, model, segment_cap=cap).optimize(8)
+            report.add_row(cap, result.makespan_ns)
+            values[cap] = result.makespan_ns
+        return report, values
+
+    report_out, values = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_out.emit()
+    # Optima live at few hundred segments: the cap never clips them.
+    assert values[512] == pytest.approx(values[8192], rel=0.02)

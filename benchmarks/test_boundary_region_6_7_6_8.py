@@ -1,0 +1,79 @@
+"""E-T6.7 / E-F6.8 — the boundary region study of Section 6.3.2.
+
+The CNN 128/28/28/96 layer is swept over bus speeds from 1/64 GB/s
+upward in small steps.  Table 6.7 lists the best selections per speed;
+Figure 6.8 plots makespan, total transferred data and SPM utilisation.
+
+Paper shape: makespan falls as the bus speeds up and the execution
+transits from memory bound to computation bound; within the boundary
+region the optimizer progressively *accepts more transferred bytes* in
+exchange for smaller first/last-segment load costs, so transferred data
+trends upward while SPM utilisation trends downward.
+"""
+
+import math
+
+import pytest
+
+from repro.kernels import STUDY_LAYER, googlenet_cnn
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt import ComponentOptimizer
+from repro.reporting import ExperimentReport, full_grid_enabled
+from repro.sim.profiler import fit_component_model
+from repro.timing import Platform
+
+BASE = 1 / 64
+FULL_STEPS = [BASE + 0.01 * i for i in range(11)]
+QUICK_STEPS = [BASE, BASE + 0.04, BASE + 0.10]
+
+
+@pytest.mark.benchmark(group="table6.7")
+def test_table_6_7_and_fig_6_8(bank, benchmark):
+    steps = FULL_STEPS if full_grid_enabled() else QUICK_STEPS
+    tree = LoopTree.build(googlenet_cnn(STUDY_LAYER))
+    comp = component_at(tree, ["n", "k", "p", "q", "c"])
+    model = fit_component_model(comp, bank.machine)
+
+    report = ExperimentReport(
+        "table6_7_fig6_8",
+        "Best selections / makespan / traffic / SPM vs bus speed (GB/s)",
+        ["bus (GB/s)", "R (k/p/q)", "K (k/p/q/c)", "makespan (ns)",
+         "transferred (bytes)", "SPM used (bytes)"])
+
+    def run():
+        series = []
+        for speed in steps:
+            platform = Platform().with_bus(speed * 1e9)
+            result = ComponentOptimizer(
+                comp, platform, model).optimize(8)
+            best = result.best
+            solution = best.solution
+            report.add_row(
+                f"{speed:.4f}",
+                " / ".join(str(solution.thread_groups[v])
+                           for v in ("k", "p", "q")),
+                " / ".join(str(solution.tile_sizes[v])
+                           for v in ("k", "p", "q", "c")),
+                best.makespan_ns,
+                best.transferred_bytes,
+                best.spm_bytes_needed)
+            series.append(best)
+        return report, series
+
+    report_out, series = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_out.emit()
+
+    makespans = [b.makespan_ns for b in series]
+    assert all(math.isfinite(m) for m in makespans)
+    # Figure 6.8 top panel: makespan decreases with bus speed.
+    for slow, fast in zip(makespans, makespans[1:]):
+        assert fast <= slow * 1.02
+    # Middle panel: the fastest point moves at least as much data as the
+    # slowest one (reuse is traded away once bandwidth is cheap).
+    assert series[-1].transferred_bytes >= series[0].transferred_bytes
+    # The non-linear transition: the relative drop between the first two
+    # points exceeds the one between the last two.
+    first_drop = makespans[0] / makespans[1]
+    last_drop = makespans[-2] / makespans[-1]
+    assert first_drop >= last_drop

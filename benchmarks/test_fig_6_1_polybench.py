@@ -1,0 +1,90 @@
+"""E-F6.1 — Figure 6.1: makespan of PolyBench-NN forward passes vs bus
+bandwidth, normalised by the ideal single-core case.
+
+Series per kernel: our optimizer on 1 core, our optimizer on 8 cores, and
+the greedy baseline on 8 cores.  Paper shape to reproduce: all curves
+plateau once the schedule becomes computation-bound; 1-core approaches the
+ideal (ratio ~1); 8-core approaches 1/8 for the four scalable kernels;
+RNN scales worse; the heuristic beats greedy at low bandwidth (most
+dramatically on CNN) and matches it at high bandwidth.
+"""
+
+import math
+
+import pytest
+
+from repro.compiler import PremCompiler
+from repro.opt import GreedyOptimizer
+from repro.reporting import ExperimentReport, full_grid_enabled, log2_label
+from repro.timing import Platform
+
+from conftest import KERNEL_NAMES
+
+FULL_SPEEDS = [1 / 16, 1 / 8, 1 / 4, 1 / 2, 1, 2, 4, 8, 16]
+QUICK_SPEEDS = [1 / 16, 1 / 2, 16]
+
+
+def greedy_fn(platform, cores):
+    def optimize_fn(component, exec_model):
+        return GreedyOptimizer(component, platform, exec_model).optimize(
+            cores)
+    return optimize_fn
+
+
+@pytest.mark.benchmark(group="fig6.1")
+def test_fig_6_1(bank, benchmark):
+    speeds = FULL_SPEEDS if full_grid_enabled() else QUICK_SPEEDS
+    report = ExperimentReport(
+        "fig6_1", "Makespan normalised by ideal single core vs bus GB/s",
+        ["kernel", "config",
+         *[f"{log2_label(s)} GB/s" for s in speeds]])
+
+    def run():
+        for name in KERNEL_NAMES:
+            optimizer = bank.optimizer(name)
+            rows = {"ours-1core": [], "ours-8core": [], "greedy-8core": []}
+            for speed in speeds:
+                platform = Platform().with_bus(speed * 1e9)
+                ideal = bank.ideal_ns(name, platform)
+                rows["ours-8core"].append(
+                    optimizer.optimize(platform).makespan_ns / ideal)
+                rows["ours-1core"].append(
+                    optimizer.optimize(platform, cores=1).makespan_ns
+                    / ideal)
+                greedy = optimizer.optimize(
+                    platform, optimize_fn=greedy_fn(platform, 8))
+                rows["greedy-8core"].append(greedy.makespan_ns / ideal)
+            for config in ("ours-1core", "ours-8core", "greedy-8core"):
+                report.add_row(name, config, *rows[config])
+        return report
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.emit()
+    _assert_figure_shape(result, speeds)
+
+
+def _assert_figure_shape(report, speeds):
+    by_key = {(r[0], r[1]): r[2:] for r in report.rows}
+    fastest = len(speeds) - 1
+    for name in KERNEL_NAMES:
+        ours8 = by_key[(name, "ours-8core")]
+        ours1 = by_key[(name, "ours-1core")]
+        greedy = by_key[(name, "greedy-8core")]
+        # Curves decrease (or plateau) with bandwidth.
+        assert ours8[0] >= ours8[fastest] * 0.999, name
+        # 1-core plateau near ideal; 8-core plateau below 1-core.
+        assert ours1[fastest] < 1.5, name
+        assert ours8[fastest] < ours1[fastest], name
+        # Heuristic at worst marginally behind greedy anywhere ("except
+        # for lstm, our approach can better utilize memory bandwidth
+        # compared to greedy" — the paper's own lstm caveat).
+        for ours_val, greedy_val in zip(ours8, greedy):
+            if math.isfinite(greedy_val):
+                assert ours_val <= greedy_val * 1.10, name
+    # Scalable kernels approach 1/8 at full bandwidth; RNN does not.
+    for name in ("cnn", "lstm", "maxpool", "sumpool"):
+        assert by_key[(name, "ours-8core")][fastest] < 0.25, name
+    assert by_key[("rnn", "ours-8core")][fastest] > 0.3
+    # CNN at the slowest bus: heuristic far ahead of greedy (Section 6.3.1).
+    assert by_key[("cnn", "greedy-8core")][0] > \
+        by_key[("cnn", "ours-8core")][0] * 2

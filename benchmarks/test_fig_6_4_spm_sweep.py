@@ -1,0 +1,64 @@
+"""E-F6.4 — Figure 6.4: makespan vs SPM size for the PolyBench kernels.
+
+Paper shape: as the per-core SPM grows, the makespan decreases until it
+reaches a plateau; the dotted infinite-SPM line lower-bounds every point,
+and a large-enough finite SPM effectively attains it.
+"""
+
+import math
+
+import pytest
+
+from repro.reporting import ExperimentReport, full_grid_enabled
+from repro.timing import Platform
+
+from conftest import KERNEL_NAMES
+
+FULL_SIZES_KB = [16, 32, 64, 128, 256, 512, 1024, 2048]
+QUICK_SIZES_KB = [32, 128, 1024]
+
+#: The sweep runs at a modest bus speed so memory efficiency matters
+#: (Section 6.2 discusses the SPM effect in the memory-sensitive regime).
+BUS_GB = 1 / 4
+
+
+@pytest.mark.benchmark(group="fig6.4")
+def test_fig_6_4(bank, benchmark):
+    sizes = FULL_SIZES_KB if full_grid_enabled() else QUICK_SIZES_KB
+    report = ExperimentReport(
+        "fig6_4", f"Makespan (ns) vs SPM size at {BUS_GB} GB/s",
+        ["kernel", *[f"{kb} KiB" for kb in sizes], "infinite"])
+
+    def run():
+        for name in KERNEL_NAMES:
+            optimizer = bank.optimizer(name)
+            row = []
+            for kb in sizes:
+                platform = Platform(
+                    spm_bytes=kb * 1024).with_bus(BUS_GB * 1e9)
+                result = optimizer.optimize(platform)
+                row.append(result.makespan_ns)
+            infinite = optimizer.optimize(Platform(
+                spm_bytes=1 << 34).with_bus(BUS_GB * 1e9))
+            report.add_row(name, *row, infinite.makespan_ns)
+        return report
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.emit()
+    _assert_shape(result, sizes)
+
+
+def _assert_shape(report, sizes):
+    for row in report.rows:
+        name, values, infinite = row[0], row[1:-1], row[-1]
+        finite = [v for v in values if math.isfinite(v)]
+        assert finite, f"{name}: no feasible SPM size"
+        # Monotone non-increasing in SPM size (2% tolerance for the
+        # heuristic's randomness).
+        for small, large in zip(values, values[1:]):
+            if math.isfinite(small) and math.isfinite(large):
+                assert large <= small * 1.02, name
+        # The infinite-SPM dotted line bounds everything from below and
+        # the largest finite size comes close to it (the plateau).
+        assert infinite <= min(finite) * 1.001, name
+        assert values[-1] <= infinite * 1.6, name

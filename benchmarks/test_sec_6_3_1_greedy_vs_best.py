@@ -1,0 +1,68 @@
+"""E-S6.3.1 — Section 6.3.1: detailed greedy-vs-heuristic comparison on
+the GoogLeNet 128/28/28/96 CNN layer at 1/32 GB/s.
+
+Paper numbers for reference: selection_greedy takes 1,460,278,989 cycles
+and transfers 45,628,416 bytes in 776 segments; selection_best takes
+142,497,144 cycles (~10x less) and transfers 4,579,328 bytes (~10x less)
+in 104 segments, with a similar SPM occupation per segment (~126 KB).
+The shape to reproduce: the heuristic wins by a large factor **because**
+it transfers roughly an order of magnitude less data at a similar SPM
+footprint and far fewer, larger segments.
+"""
+
+import pytest
+
+from repro.kernels import STUDY_LAYER, googlenet_cnn
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt import ComponentOptimizer, GreedyOptimizer
+from repro.reporting import ExperimentReport
+from repro.sim.profiler import fit_component_model
+from repro.timing import Platform
+
+BUS = 1e9 / 32
+
+
+@pytest.mark.benchmark(group="sec6.3.1")
+def test_sec_6_3_1(bank, benchmark):
+    tree = LoopTree.build(googlenet_cnn(STUDY_LAYER))
+    comp = component_at(tree, ["n", "k", "p", "q", "c"])
+    model = fit_component_model(comp, bank.machine)
+    platform = Platform().with_bus(BUS)
+
+    report = ExperimentReport(
+        "sec6_3_1",
+        "Greedy vs heuristic on CNN 128/28/28/96 at 1/32 GB/s",
+        ["approach", "selection", "makespan (ns)", "bytes transferred",
+         "segments", "SPM bytes"])
+
+    def run():
+        greedy = GreedyOptimizer(comp, platform, model).optimize(8)
+        best = ComponentOptimizer(comp, platform, model).optimize(8)
+        rows = []
+        for label, result in (("greedy", greedy), ("heuristic", best)):
+            outcome = result.best
+            rows.append((label, outcome))
+            report.add_row(
+                label,
+                outcome.solution.describe(),
+                outcome.makespan_ns,
+                outcome.transferred_bytes,
+                outcome.plan.total_segments,
+                outcome.spm_bytes_needed)
+        return report, dict(rows)
+
+    report_out, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_out.emit()
+
+    greedy, best = rows["greedy"], rows["heuristic"]
+    # The paper's ~10x makespan and ~10x traffic gaps (we accept >= 3x).
+    assert greedy.makespan_ns / best.makespan_ns > 3.0
+    assert greedy.transferred_bytes / best.transferred_bytes > 3.0
+    # Far fewer, larger segments for the heuristic.
+    assert best.plan.total_segments < greedy.plan.total_segments
+    # Both fit the 128 KiB budget.  (The paper's selection_best fills the
+    # SPM; our heuristic happens to find an even smaller footprint with
+    # comparable reuse, which only strengthens the comparison.)
+    assert best.spm_bytes_needed <= 128 * 1024
+    assert greedy.spm_bytes_needed <= 128 * 1024

@@ -1,0 +1,98 @@
+"""E-T3.1 / E-T3.2 — the Section 3.5 LSTM schedule trace and swap tables.
+
+Reproduces Table 3.1 (per-segment API calls, parallel DMA transfers, SPM
+state on core 0) and Table 3.2 (per-segment swap-call parameters for the
+gate arrays) for the paper's running example: LSTM LARGE, component
+(s1_0, p), K = (109, 350), R = (3, 1).  The example solution exceeds a
+128 KiB SPM (it is didactic in the paper too), so the trace platform only
+constrains geometry, not capacity.
+"""
+
+import pytest
+
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt import Solution
+from repro.prem.macros import MacroBuilder, render_trace
+from repro.reporting import ExperimentReport
+
+GROUPS = {"U_ifog": ["U_i", "U_f", "U_o", "U_g"],
+          "ifog": ["i", "f", "o", "g"]}
+
+
+@pytest.fixture(scope="module")
+def builder():
+    tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+    comp = component_at(tree, ["s1_0", "p"])
+    return MacroBuilder(comp, Solution(
+        comp, {"s1_0": 109, "p": 350}, {"s1_0": 3, "p": 1}))
+
+
+@pytest.mark.benchmark(group="table3.1")
+def test_table_3_1_trace(builder, benchmark):
+    report = ExperimentReport(
+        "table3_1", "LSTM core-0 schedule trace (K=(109,350), R=(3,1))",
+        ["segment", "tile", "api calls", "parallel DMA"])
+
+    def run():
+        rows = builder.trace(0, outer={"t": 0}, groups=GROUPS)
+        for row in rows:
+            report.add_row(
+                "init" if row.segment == 0 else str(row.segment),
+                "-" if row.tile is None else str(row.tile),
+                "; ".join(row.calls),
+                "; ".join(row.parallel_dma) or "-")
+        report.add_note(render_trace(rows).splitlines()[0])
+        return report, rows
+
+    report_out, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_out.emit()
+
+    # Table 3.1's structure: 1 init + 4 execution segments; swaps for the
+    # U group appear in init (x=1,2) and segments 1, 2 (x=3,4); gate
+    # deallocs in segment 2, U deallocs in segment 3, final in segment 4.
+    assert len(rows) == 5
+    init_calls = " ".join(rows[0].calls)
+    assert init_calls.count("swap2d_buffer(U_ifog_buf1") == 4
+    assert init_calls.count("swap2d_buffer(U_ifog_buf2") == 4
+    seg2 = " ".join(rows[2].calls)
+    assert "deallocate(ifog_buf1)" in seg2
+    seg3 = " ".join(rows[3].calls)
+    assert "deallocate(U_ifog_buf1)" in seg3
+    seg4 = " ".join(rows[4].calls)
+    assert "deallocate(U_ifog_buf2)" in seg4
+    # Final SPM state keeps only the second buffers loaded.
+    final_state = rows[4].spm_state
+    assert final_state["U_ifog"][1] != "empty"
+
+
+@pytest.mark.benchmark(group="table3.2")
+def test_table_3_2_swap_params(builder, benchmark):
+    report = ExperimentReport(
+        "table3_2", "Gate-array swap parameters per core (Table 3.2)",
+        ["core", "swap #", "start offset (elems)", "size (bytes)"])
+
+    def run():
+        collected = {}
+        for core in range(3):
+            schedule = builder.core_schedules(core)["i"]
+            for event in schedule.events:
+                call = event.call
+                report.add_row(core, event.index, call.src_offset(),
+                               call.size[0])
+                collected[(core, event.index)] = (
+                    call.src_offset(), call.size[0])
+        return report, collected
+
+    report_out, params = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_out.emit()
+
+    # Table 3.2: offsets 0,109,218,327,436,545 with sizes 109*4 except
+    # the last range (105*4: 650 = 5*109 + 105).
+    assert params[(0, 1)] == (0, 109 * 4)
+    assert params[(0, 2)] == (109 * 4 // 4, 109 * 4)
+    assert params[(1, 1)] == (218, 109 * 4)
+    assert params[(1, 2)] == (327, 109 * 4)
+    assert params[(2, 1)] == (436, 109 * 4)
+    assert params[(2, 2)] == (545, 105 * 4)

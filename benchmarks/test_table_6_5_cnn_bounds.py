@@ -1,0 +1,42 @@
+"""E-T6.5 — Table 6.5: what each CNN loop bound represents, and that the
+kernel transcription exposes exactly those loops with those bounds."""
+
+import pytest
+
+from repro.kernels import make_kernel
+from repro.reporting import ExperimentReport
+
+MEANINGS = {
+    "NN": "Number of Input Images in batch",
+    "NK": "Number of Output feature maps",
+    "NP": "Size of output feature map (rows)",
+    "NQ": "Size of output feature map (cols)",
+    "NC": "Number of Input feature maps",
+    "NR": "Size of filter kernel (rows)",
+    "NS": "Size of filter kernel (cols)",
+}
+
+LOOP_TO_BOUND = {
+    "n": "NN", "k": "NK", "p": "NP", "q": "NQ",
+    "c": "NC", "r": "NR", "s": "NS",
+}
+
+
+@pytest.mark.benchmark(group="table6.5")
+def test_table_6_5(benchmark):
+    kernel = make_kernel("cnn", "LARGE")
+    report = ExperimentReport(
+        "table6_5", "Loop bounds in CNN (Listing 6.1)",
+        ["loop", "bound", "LARGE value", "meaning"])
+
+    def run():
+        for loop, bound in LOOP_TO_BOUND.items():
+            report.add_row(loop, bound, kernel.constants[bound],
+                           MEANINGS[bound])
+        return report
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.emit()
+    loops = {loop.var: loop.n for loop, _ in kernel.walk_loops()}
+    for loop, bound in LOOP_TO_BOUND.items():
+        assert loops[loop] == kernel.constants[bound]

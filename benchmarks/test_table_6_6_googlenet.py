@@ -1,0 +1,68 @@
+"""E-T6.6 — Table 6.6: best tiling/parallelization selections for the CNN
+kernel at GoogLeNet layer shapes, under a very slow (1/512 GB/s) bus.
+
+Paper shape: the best selection differs across layer shapes (the point of
+the table — "generally difficult to find manually"); the filter loops r/s
+are never tiled (too small); selections respect the 8-core budget; and at
+this bus speed the optimizer maximises reuse, so the chosen c tile keeps
+out_F/W/inp_F traffic low.
+"""
+
+import math
+
+import pytest
+
+from repro.kernels import GOOGLENET_3X3_LAYERS, bounds_label, googlenet_cnn
+from repro.loopir import LoopTree
+from repro.opt import TreeOptimizer
+from repro.reporting import ExperimentReport, full_grid_enabled
+from repro.timing import Platform
+
+BUS = 1e9 / 512
+#: the quick grid keeps one layer per feature-map size class.
+QUICK_LAYERS = [GOOGLENET_3X3_LAYERS[i] for i in (0, 2, 4, 5)]
+
+
+@pytest.mark.benchmark(group="table6.6")
+def test_table_6_6(bank, benchmark):
+    report = ExperimentReport(
+        "table6_6",
+        "Best selections for CNN under GoogLeNet bounds at 1/512 GB/s",
+        ["NK/NP/NQ/NC", "R (k/p/q)", "K (k/p/q/c)", "makespan (ns)"])
+
+    layers = GOOGLENET_3X3_LAYERS if full_grid_enabled() else QUICK_LAYERS
+
+    def run():
+        selections = []
+        for bounds in layers:
+            tree = LoopTree.build(googlenet_cnn(bounds))
+            optimizer = TreeOptimizer(tree, machine=bank.machine)
+            result = optimizer.optimize(Platform().with_bus(BUS))
+            best = result.choices[0].result.best
+            solution = best.solution
+            groups = tuple(solution.thread_groups[v]
+                           for v in ("k", "p", "q"))
+            sizes = tuple(solution.tile_sizes[v]
+                          for v in ("k", "p", "q", "c"))
+            selections.append((bounds, groups, sizes, best.makespan_ns))
+            report.add_row(
+                bounds_label(bounds),
+                " / ".join(map(str, groups)),
+                " / ".join(map(str, sizes)),
+                best.makespan_ns)
+        return report, selections
+
+    report_out, selections = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_out.emit()
+
+    assert len({(g, s) for _, g, s, _ in selections}) > 1, \
+        "selections should differ across layer shapes"
+    for bounds, groups, sizes, makespan in selections:
+        nk, np_, nq, nc = bounds
+        assert math.isfinite(makespan)
+        product = groups[0] * groups[1] * groups[2]
+        assert product <= 8
+        assert 1 <= sizes[0] <= nk and 1 <= sizes[3] <= nc
+        # Small feature maps (7x7) stay untiled in p/q, as in the paper.
+        if np_ == 7:
+            assert sizes[1] == 7 and sizes[2] == 7

@@ -1,0 +1,99 @@
+"""E-T6.2 / E-T6.3 — Tables 6.2 and 6.3: optimizer running times.
+
+The paper reports min/max/average wall-clock time to generate Figure 6.1's
+points with the optimization heuristic (minutes) and the greedy approach
+(well under a second).  Absolute numbers depend on the host; the shape to
+reproduce is heuristic >> greedy, with LSTM the cheapest kernel for the
+heuristic (its components are shallow) and per-point greedy times in the
+same order of magnitude across kernels.
+"""
+
+import time
+
+import pytest
+
+from repro.opt import GreedyOptimizer
+from repro.reporting import ExperimentReport, full_grid_enabled
+from repro.timing import Platform
+
+from conftest import KERNEL_NAMES
+
+SPEEDS = [1 / 16, 16]
+
+
+def measure(optimizer, platform, optimize_fn=None):
+    started = time.perf_counter()
+    optimizer.optimize(platform, optimize_fn=optimize_fn)
+    return time.perf_counter() - started
+
+
+@pytest.mark.benchmark(group="table6.2")
+def test_table_6_2_heuristic_runtime(bank, benchmark):
+    report = ExperimentReport(
+        "table6_2", "Heuristic optimizer runtime per Figure 6.1 point (s)",
+        ["kernel", "min (s)", "max (s)", "average (s)"])
+
+    def run():
+        for name in KERNEL_NAMES:
+            optimizer = bank.optimizer(name)
+            times = [
+                measure(optimizer, Platform().with_bus(speed * 1e9))
+                for speed in SPEEDS
+            ]
+            report.add_row(name, min(times), max(times),
+                           sum(times) / len(times))
+        return report
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.emit()
+    times = {row[0]: row[3] for row in result.rows}
+    # Paper shape: lstm is by far the cheapest kernel to optimize.
+    assert times["lstm"] < times["cnn"]
+    assert all(t > 0 for t in times.values())
+
+
+@pytest.mark.benchmark(group="table6.3")
+def test_table_6_3_greedy_runtime(bank, benchmark):
+    report = ExperimentReport(
+        "table6_3", "Greedy approach runtime per Figure 6.1 point (s)",
+        ["kernel", "min (s)", "max (s)", "average (s)"])
+
+    def run():
+        for name in KERNEL_NAMES:
+            optimizer = bank.optimizer(name)
+            times = []
+            for speed in SPEEDS:
+                platform = Platform().with_bus(speed * 1e9)
+
+                def greedy_fn(component, exec_model,
+                              _platform=platform):
+                    return GreedyOptimizer(
+                        component, _platform, exec_model).optimize(8)
+
+                times.append(measure(optimizer, platform, greedy_fn))
+            report.add_row(name, min(times), max(times),
+                           sum(times) / len(times))
+        return report
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.emit()
+
+
+@pytest.mark.benchmark(group="table6.2")
+def test_heuristic_much_slower_than_greedy(bank, benchmark):
+    """The headline relationship between Tables 6.2 and 6.3."""
+    optimizer = bank.optimizer("cnn")
+    platform = Platform()
+
+    def run():
+        heuristic = measure(optimizer, platform)
+
+        def greedy_fn(component, exec_model):
+            return GreedyOptimizer(
+                component, platform, exec_model).optimize(8)
+
+        greedy = measure(optimizer, platform, greedy_fn)
+        return heuristic, greedy
+
+    heuristic, greedy = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert heuristic > greedy * 5

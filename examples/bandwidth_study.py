@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Bandwidth study: regenerate a miniature Figure 6.1 from the library.
+
+Sweeps the main-memory bus speed and prints, per kernel, the makespan of
+our optimizer on 1 and 8 cores and of the greedy baseline on 8 cores,
+normalised by the ideal single-core execution — the exact quantities on
+Figure 6.1's y axis.  Also prints where each kernel's schedule flips from
+memory bound to computation bound.
+
+Run:  python examples/bandwidth_study.py [kernels...]   (default: lstm rnn)
+"""
+
+import sys
+
+from repro import Platform, make_kernel
+from repro.loopir import LoopTree
+from repro.opt import GreedyOptimizer, TreeOptimizer, ideal_makespan_ns
+
+SPEEDS_GB = [1 / 16, 1 / 4, 1, 4, 16]
+
+
+def greedy_fn(platform, cores):
+    def optimize_fn(component, exec_model):
+        return GreedyOptimizer(
+            component, platform, exec_model).optimize(cores)
+    return optimize_fn
+
+
+def study(name: str) -> None:
+    kernel = make_kernel(name, "LARGE")
+    tree = LoopTree.build(kernel)
+    optimizer = TreeOptimizer(tree)
+    print(f"\n=== {name} (LARGE) ===")
+    header = f"{'bus GB/s':>9} {'ours-1c':>9} {'ours-8c':>9} {'greedy-8c':>10}"
+    print(header)
+    previous = None
+    for speed in SPEEDS_GB:
+        platform = Platform().with_bus(speed * 1e9)
+        ideal = ideal_makespan_ns(kernel, platform)
+        ours8 = optimizer.optimize(platform).makespan_ns / ideal
+        ours1 = optimizer.optimize(platform, cores=1).makespan_ns / ideal
+        greedy = optimizer.optimize(
+            platform, optimize_fn=greedy_fn(platform, 8)
+        ).makespan_ns / ideal
+        marker = ""
+        if previous is not None and previous / ours8 < 1.1:
+            marker = "  <- computation bound (plateau)"
+        print(f"{speed:>9.4f} {ours1:>9.3f} {ours8:>9.3f} "
+              f"{greedy:>10.3f}{marker}")
+        previous = ours8
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["lstm", "rnn"]
+    for name in names:
+        study(name)
+
+
+if __name__ == "__main__":
+    main()

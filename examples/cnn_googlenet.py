@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Optimize the CNN kernel for GoogLeNet layer shapes (Section 6.3).
+
+For each 3x3-filter layer shape in GoogLeNet, finds the best tiling and
+thread-group selection under a slow bus (memory-bound regime, where the
+selection matters most) and prints a Table-6.6-style summary, then shows
+how the selection changes as the bus speeds up across the boundary region
+(Table 6.7's story) for the 128/28/28/96 layer.
+
+Run:  python examples/cnn_googlenet.py [--quick]
+"""
+
+import sys
+
+from repro import Platform
+from repro.kernels import GOOGLENET_3X3_LAYERS, STUDY_LAYER, \
+    bounds_label, googlenet_cnn
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt import ComponentOptimizer, TreeOptimizer
+from repro.sim.profiler import fit_component_model
+
+
+def selection_string(solution) -> str:
+    groups = "/".join(str(solution.thread_groups[v]) for v in "kpq")
+    sizes = "/".join(str(solution.tile_sizes[v]) for v in "kpqc")
+    return f"R(k/p/q)={groups}  K(k/p/q/c)={sizes}"
+
+
+def per_layer_selections(layers, bus_gb: float) -> None:
+    print(f"=== best selections at {bus_gb:g} GB/s (Table 6.6 style) ===")
+    for bounds in layers:
+        tree = LoopTree.build(googlenet_cnn(bounds))
+        optimizer = TreeOptimizer(tree)
+        result = optimizer.optimize(Platform().with_bus(bus_gb * 1e9))
+        best = result.choices[0].result.best
+        print(f"  {bounds_label(bounds):>22}: "
+              f"{selection_string(best.solution)}  "
+              f"makespan {best.makespan_ns:,.0f} ns")
+
+
+def boundary_region(steps) -> None:
+    print("\n=== boundary region for 128/28/28/96 (Table 6.7 style) ===")
+    tree = LoopTree.build(googlenet_cnn(STUDY_LAYER))
+    comp = component_at(tree, ["n", "k", "p", "q", "c"])
+    model = fit_component_model(comp)
+    for speed in steps:
+        platform = Platform().with_bus(speed * 1e9)
+        result = ComponentOptimizer(comp, platform, model).optimize(8)
+        best = result.best
+        spm_pct = 100.0 * best.spm_bytes_needed / platform.spm_bytes
+        print(f"  {speed:7.4f} GB/s: {selection_string(best.solution)}  "
+              f"makespan {best.makespan_ns:>13,.0f} ns  "
+              f"traffic {best.transferred_bytes:>11,} B  "
+              f"SPM {spm_pct:4.1f}%")
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    layers = GOOGLENET_3X3_LAYERS[:2] if quick else GOOGLENET_3X3_LAYERS
+    per_layer_selections(layers, bus_gb=1 / 512)
+    steps = [1 / 64, 1 / 64 + 0.05, 1 / 64 + 0.10] if quick else \
+        [1 / 64 + 0.02 * i for i in range(6)]
+    boundary_region(steps)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Bring your own kernel: declare a loop nest, compile it, validate it.
+
+Shows the full user journey for a kernel that is not part of
+PolyBench-NN — a batched matrix-vector product with a guarded
+initialisation (the same idiom as the LSTM gates):
+
+    for (b = 0; b < NB; b++)
+      for (i = 0; i < NI; i++)
+        for (j = 0; j < NJ; j++) {
+          if (j == 0) y[b][i] = bias[i];
+          y[b][i] += A[i][j] * x[b][j];
+        }
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro import Platform, PremCompiler
+from repro.loopir import LoopTree, for_, kernel_, stmt_
+from repro.poly import Array, Constraint
+
+
+def build_kernel(nb=4, ni=96, nj=120):
+    mat = Array("A", (ni, nj), "float")
+    vec = Array("x", (nb, nj), "float")
+    out = Array("y", (nb, ni), "float")
+    bias = Array("bias", (ni,), "float")
+    arrays = {a.name: a for a in (mat, vec, out, bias)}
+
+    def init_compute(a, pt):
+        a["y"][pt["b"], pt["i"]] = a["bias"][(pt["i"],)]
+
+    def mac_compute(a, pt):
+        b, i, j = pt["b"], pt["i"], pt["j"]
+        a["y"][b, i] += a["A"][i, j] * a["x"][b, j]
+
+    init = stmt_("init", arrays,
+                 writes={"y": ("b", "i")}, reads={"bias": ("i",)},
+                 guards=[Constraint.eq("j", 0)],
+                 compute=init_compute, flops=0)
+    mac = stmt_("mac", arrays,
+                writes={"y": ("b", "i")},
+                reads={"y": ("b", "i"), "A": ("i", "j"), "x": ("b", "j")},
+                compute=mac_compute, flops=2)
+    nest = for_("b", nb, for_("i", ni, for_("j", nj, init, mac)))
+    return kernel_("batched_matvec", list(arrays.values()), [nest],
+                   {"NB": nb, "NI": ni, "NJ": nj})
+
+
+def main() -> None:
+    kernel = build_kernel()
+
+    print("=== analysis ===")
+    tree = LoopTree.build(kernel)
+    print(tree.render())
+    print(f"dependences found: {len(tree.dependences)}")
+
+    print("\n=== compile for a small-SPM platform ===")
+    platform = Platform(spm_bytes=16 * 1024, cores=4)
+    result = PremCompiler(platform).compile(kernel, tree=tree)
+    print(result.opt_result.describe())
+    print(f"normalised makespan: {result.normalized_makespan:.3f}")
+
+    print("\n=== validate the transformed program ===")
+    expected = result.run_reference(seed=2)
+    actual = result.run_functional(seed=2)
+    np.testing.assert_allclose(actual["y"], expected["y"],
+                               rtol=1e-5, atol=1e-6)
+    print("y matches the sequential reference.")
+
+    print("\n=== PREM-C skeleton ===")
+    for label, source in result.generate_c().items():
+        print(f"--- {label}: {len(source.splitlines())} lines generated")
+
+
+if __name__ == "__main__":
+    main()

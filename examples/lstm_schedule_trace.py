@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Reproduce the Section 3.5 walkthrough: Table 3.1's schedule trace and
+Table 3.2's swap-parameter table for the LSTM running example.
+
+Uses the paper's illustrative (deliberately non-optimal) solution for
+component (s1_0, p): K = (109, 350), R = (3, 1) — twelve tiles over three
+cores, four segments each — and prints, per segment on core 0, the PREM
+API calls issued, the DMA transfers running in parallel, and the SPM
+buffer contents afterwards.
+
+Run:  python examples/lstm_schedule_trace.py
+"""
+
+from repro import Solution, make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.prem.macros import MacroBuilder, render_trace
+
+GROUPS = {
+    "U_ifog": ["U_i", "U_f", "U_o", "U_g"],
+    "ifog": ["i", "f", "o", "g"],
+}
+
+
+def main() -> None:
+    kernel = make_kernel("lstm", "LARGE")
+    tree = LoopTree.build(kernel)
+    comp = component_at(tree, ["s1_0", "p"])
+    solution = Solution(comp, {"s1_0": 109, "p": 350},
+                        {"s1_0": 3, "p": 1})
+    builder = MacroBuilder(comp, solution)
+
+    print("=== SegmentToSwap sets on core 0 (Section 3.5) ===")
+    for name, schedule in builder.core_schedules(0).items():
+        stride = schedule.change_stride
+        print(f"  {name:>6} [{schedule.mode}]: swap at segments "
+              f"{schedule.segments_to_swap}  "
+              f"change stride {'-' if stride is None else stride}")
+
+    print(f"\nEquation 3.1 (same swap indices on all cores): "
+          f"{builder.segments_to_swap_uniform()}")
+
+    print("\n=== Table 3.1: schedule trace for core 0 (t = 0) ===")
+    rows = builder.trace(0, outer={"t": 0}, groups=GROUPS)
+    print(render_trace(rows))
+
+    print("\n=== Table 3.2: gate-array swap parameters per core ===")
+    print(f"{'core':>4}  {'swap#':>5}  {'offset (elems)':>15}  "
+          f"{'size (bytes)':>12}")
+    for core in range(3):
+        schedule = builder.core_schedules(core)["i"]
+        for event in schedule.events:
+            print(f"{core:>4}  {event.index:>5}  "
+                  f"{event.call.src_offset():>15}  "
+                  f"{event.call.size[0]:>12}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: compile one kernel end to end and inspect every artefact.
+
+Compiles the LSTM forward pass for the paper's default platform
+(8 cores @ 1 GHz, 128 KiB SPM/core, shared DMA, 16 GB/s bus), prints the
+loop tree, the chosen tiling/parallelization per component, the predicted
+makespan against the ideal single-core bound, and a slice of the generated
+PREM-C.  Finishes by running the functional PREM VM on a miniature
+instance and checking it against the sequential reference.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import LoopTree, Platform, PremCompiler, make_kernel
+
+
+def main() -> None:
+    platform = Platform()                       # Section 6.1 defaults
+    kernel = make_kernel("lstm", "LARGE")       # NS=650, NP=700
+
+    print("=== loop tree (application model, Section 3.3) ===")
+    tree = LoopTree.build(kernel)
+    print(tree.render())
+
+    print("\n=== compiling (Algorithms 1 + 2) ===")
+    compiler = PremCompiler(platform)
+    result = compiler.compile(kernel, tree=tree)
+    print(result.opt_result.describe())
+    print(f"ideal single-core bound : {result.ideal_ns:>16,.0f} ns")
+    print(f"predicted makespan      : {result.makespan_ns:>16,.0f} ns")
+    print(f"normalised (Fig 6.1 y)  : {result.normalized_makespan:.4f}")
+
+    print("\n=== generated PREM-C (first 30 lines of one component) ===")
+    sources = result.generate_c()
+    label, source = next(iter(sources.items()))
+    print(f"--- component {label} ---")
+    print("\n".join(source.splitlines()[:30]))
+
+    print("\n=== functional validation on a miniature instance ===")
+    mini = make_kernel("lstm", "MINI")
+    mini_result = PremCompiler(Platform(spm_bytes=8192)).compile(mini)
+    expected = mini_result.run_reference(seed=1)
+    actual = mini_result.run_functional(seed=1)
+    for name in expected:
+        np.testing.assert_allclose(
+            actual[name], expected[name], rtol=1e-5, atol=1e-6)
+    print("PREM VM output matches the sequential reference for every "
+          "array — the generated schedule is semantics preserving.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+#!/bin/bash
+cd /root/repo
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee /root/repo/bench_output_new.txt > /dev/null
+if grep -qE '17 passed' /root/repo/bench_output_new.txt; then
+  mv /root/repo/bench_output_new.txt /root/repo/bench_output.txt
+fi
+echo DONE > /root/repo/.bench_clean_done

@@ -1,0 +1,5 @@
+#!/bin/bash
+cd /root/repo
+python -m pytest tests/ 2>&1 | tee /root/repo/test_output.txt > /dev/null
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee /root/repo/bench_output.txt > /dev/null
+echo FINAL_DONE > /root/repo/.final_done

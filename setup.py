@@ -1,0 +1,10 @@
+"""Setuptools entry point (legacy path for environments without `wheel`)."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,50 @@
+"""repro — parallel PREM compilation over nested loop structures.
+
+A from-scratch Python reproduction of Gu & Pellizzoni, "Optimizing
+parallel PREM compilation over nested loop structures" (DAC 2022) and the
+accompanying thesis.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured record.
+
+Quick start::
+
+    from repro import PremCompiler, Platform, make_kernel
+
+    kernel = make_kernel("lstm", "LARGE")
+    result = PremCompiler(Platform()).compile(kernel)
+    print(result.normalized_makespan)
+    print(result.opt_result.describe())
+"""
+
+from .compiler import CompilationResult, CompiledComponent, PremCompiler
+from .kernels import make_kernel
+from .loopir import Kernel, Loop, LoopTree, Stmt, for_, kernel_, stmt_
+from .loopir.component import TilableComponent, component_at
+from .opt import (
+    ComponentOptimizer,
+    GreedyOptimizer,
+    Solution,
+    TreeOptimizer,
+    ideal_makespan_ns,
+)
+from .poly import Access, AffineExpr, Array, Constraint, read, write
+from .prem import CodeGenerator, MacroBuilder, PremRuntime
+from .schedule import MakespanEvaluator
+from .sim import MachineModel, fit_component_model
+from .timing import ExecModel, Platform, bus_speed_gb
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CompilationResult", "CompiledComponent", "PremCompiler",
+    "make_kernel",
+    "Kernel", "Loop", "LoopTree", "Stmt", "for_", "kernel_", "stmt_",
+    "TilableComponent", "component_at",
+    "ComponentOptimizer", "GreedyOptimizer", "Solution", "TreeOptimizer",
+    "ideal_makespan_ns",
+    "Access", "AffineExpr", "Array", "Constraint", "read", "write",
+    "CodeGenerator", "MacroBuilder", "PremRuntime",
+    "MakespanEvaluator",
+    "MachineModel", "fit_component_model",
+    "ExecModel", "Platform", "bus_speed_gb",
+    "__version__",
+]

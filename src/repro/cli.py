@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tree``      print the loop tree of a kernel
+``compile``   run the full pipeline and report the chosen schedule
+``trace``     print the PREM API schedule trace of one component
+``codegen``   emit the PREM-C of every compiled component
+``gantt``     render the schedule timeline of the first component
+``sweep``     makespan across bus speeds (mini Figure 6.1 for one kernel)
+
+Examples
+--------
+    python -m repro compile lstm --preset LARGE --bus 1
+    python -m repro tree cnn
+    python -m repro sweep rnn --cores 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .compiler import PremCompiler
+from .kernels import KERNELS, PRESETS, make_kernel
+from .loopir import LoopTree
+from .opt import ideal_makespan_ns
+from .schedule.gantt import render_gantt
+from .timing.platform import Platform
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel PREM compilation over nested loop structures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("kernel", choices=sorted(KERNELS))
+        p.add_argument("--preset", default="LARGE",
+                       help="problem size preset (MINI/SMALL/LARGE)")
+        p.add_argument("--cores", type=int, default=None)
+        p.add_argument("--bus", type=float, default=16.0,
+                       help="bus bandwidth in GB/s")
+        p.add_argument("--spm", type=int, default=128,
+                       help="per-core SPM size in KiB")
+        p.add_argument("--greedy", action="store_true",
+                       help="use the greedy baseline optimizer")
+
+    add_common(sub.add_parser("compile", help="optimize and report"))
+    add_common(sub.add_parser("codegen", help="emit PREM-C"))
+    add_common(sub.add_parser("trace", help="PREM API schedule trace"))
+    add_common(sub.add_parser("gantt", help="schedule timeline"))
+
+    tree_cmd = sub.add_parser("tree", help="print the loop tree")
+    tree_cmd.add_argument("kernel", choices=sorted(KERNELS))
+    tree_cmd.add_argument("--preset", default="LARGE")
+
+    sweep = sub.add_parser("sweep", help="makespan vs bus bandwidth")
+    add_common(sweep)
+    sweep.add_argument(
+        "--speeds", default="0.0625,0.25,1,4,16",
+        help="comma-separated bus speeds in GB/s")
+    return parser
+
+
+def _platform(args) -> Platform:
+    return Platform(spm_bytes=args.spm * 1024).with_bus(args.bus * 1e9)
+
+
+def _compile(args):
+    kernel = make_kernel(args.kernel, args.preset)
+    compiler = PremCompiler(_platform(args))
+    strategy = "greedy" if args.greedy else "heuristic"
+    return compiler.compile(kernel, cores=args.cores, strategy=strategy)
+
+
+def cmd_tree(args) -> int:
+    kernel = make_kernel(args.kernel, args.preset)
+    tree = LoopTree.build(kernel)
+    print(tree.render())
+    print(f"\ndependences: {len(tree.dependences)}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    result = _compile(args)
+    print(result.opt_result.describe())
+    print(f"\nideal single-core : {result.ideal_ns:>16,.0f} ns")
+    print(f"makespan          : {result.makespan_ns:>16,.0f} ns")
+    if result.feasible:
+        print(f"normalised        : {result.normalized_makespan:.4f}")
+    return 0 if result.feasible else 1
+
+
+def cmd_codegen(args) -> int:
+    result = _compile(args)
+    for label, source in result.generate_c().items():
+        print(f"/* ===== component {label} ===== */")
+        print(source)
+        print()
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .prem.macros import MacroBuilder, render_trace
+
+    result = _compile(args)
+    if not result.components:
+        print("no feasible components", file=sys.stderr)
+        return 1
+    compiled = result.components[0]
+    builder = MacroBuilder(compiled.component, compiled.solution)
+    outer = {var: 0 for var in compiled.component.outer_vars()}
+    print(f"component {compiled.component.label()} "
+          f"({compiled.solution.describe()})")
+    print(render_trace(builder.trace(0, outer=outer)))
+    return 0
+
+
+def cmd_gantt(args) -> int:
+    result = _compile(args)
+    if not result.components:
+        print("no feasible components", file=sys.stderr)
+        return 1
+    compiled = result.components[0]
+    best = None
+    for choice in result.opt_result.choices:
+        if choice.component is compiled.component:
+            best = choice.result.best
+    if best is None or best.plan is None:
+        print("no plan available", file=sys.stderr)
+        return 1
+    print(f"component {compiled.component.label()} "
+          f"({compiled.solution.describe()})")
+    print(render_gantt(best.plan.cores))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    kernel = make_kernel(args.kernel, args.preset)
+    tree = LoopTree.build(kernel)
+    from .opt import GreedyOptimizer, TreeOptimizer
+
+    optimizer = TreeOptimizer(tree)
+    print(f"{'bus GB/s':>10}  {'makespan ns':>16}  {'normalised':>10}")
+    for token in args.speeds.split(","):
+        speed = float(token)
+        platform = Platform(
+            spm_bytes=args.spm * 1024).with_bus(speed * 1e9)
+        if args.greedy:
+            def optimize_fn(component, exec_model, _p=platform):
+                return GreedyOptimizer(
+                    component, _p, exec_model).optimize(
+                        args.cores or _p.cores)
+            result = optimizer.optimize(
+                platform, cores=args.cores, optimize_fn=optimize_fn)
+        else:
+            result = optimizer.optimize(platform, cores=args.cores)
+        ideal = ideal_makespan_ns(kernel, platform)
+        print(f"{speed:>10.4f}  {result.makespan_ns:>16,.0f}  "
+              f"{result.makespan_ns / ideal:>10.4f}")
+    return 0
+
+
+COMMANDS = {
+    "tree": cmd_tree,
+    "compile": cmd_compile,
+    "codegen": cmd_codegen,
+    "trace": cmd_trace,
+    "gantt": cmd_gantt,
+    "sweep": cmd_sweep,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

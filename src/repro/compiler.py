@@ -1,0 +1,163 @@
+"""End-to-end PREM compiler pipeline (Figure 5.1).
+
+``PremCompiler`` chains the whole toolflow the paper's block diagram
+describes: loop/data analysis (dependences, loop tree), component
+extraction and optimization (Algorithms 1 and 2), and code generation
+with PREM API insertion.  The result object exposes the chosen solutions,
+the generated PREM-C per component, the predicted makespan, and hooks to
+execute the transformed program on the functional PREM VM.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .loopir.ast import Kernel
+from .loopir.component import TilableComponent
+from .loopir.looptree import LoopTree
+from .opt.greedy import GreedyOptimizer
+from .opt.ideal import ideal_makespan_ns
+from .opt.solution import Solution
+from .opt.tree import TreeOptimizer, TreeOptResult
+from .prem.codegen import CodeGenerator
+from .prem.runtime import SequentialInterpreter, init_arrays, run_kernel_prem
+from .schedule.makespan import DEFAULT_SEGMENT_CAP
+from .sim.machine import MachineModel
+from .timing.platform import DEFAULT_PLATFORM, Platform
+
+
+@dataclass
+class CompiledComponent:
+    """One scheduled component of the compiled program."""
+
+    component: TilableComponent
+    solution: Solution
+    makespan_ns: float
+    executions: int
+
+    @property
+    def total_makespan_ns(self) -> float:
+        return self.makespan_ns * self.executions
+
+
+@dataclass
+class CompilationResult:
+    """Everything the compiler produces for one kernel/platform pair."""
+
+    kernel: Kernel
+    tree: LoopTree
+    platform: Platform
+    components: List[CompiledComponent]
+    makespan_ns: float
+    ideal_ns: float
+    opt_result: TreeOptResult
+
+    @property
+    def feasible(self) -> bool:
+        return math.isfinite(self.makespan_ns)
+
+    @property
+    def normalized_makespan(self) -> float:
+        """Makespan over the ideal single-core bound (Figure 6.1's y axis)."""
+        return self.makespan_ns / self.ideal_ns
+
+    def generate_c(self) -> Dict[str, str]:
+        """PREM-C source per component (keyed by component label)."""
+        out = {}
+        for compiled in self.components:
+            generator = CodeGenerator(compiled.component, compiled.solution)
+            out[compiled.component.label()] = generator.generate()
+        return out
+
+    def component_map(self) -> Dict[str, Tuple[TilableComponent, Solution]]:
+        """Head iterator -> (component, solution), for the PREM VM."""
+        return {
+            compiled.component.nodes[0].var:
+                (compiled.component, compiled.solution)
+            for compiled in self.components
+        }
+
+    def run_functional(self, arrays: Optional[Dict[str, np.ndarray]] = None,
+                       seed: int = 7) -> Dict[str, np.ndarray]:
+        """Execute the transformed program on the PREM VM; returns memory."""
+        if arrays is None:
+            arrays = init_arrays(self.kernel, seed)
+        run_kernel_prem(self.kernel, self.component_map(), arrays)
+        return arrays
+
+    def run_reference(self, arrays: Optional[Dict[str, np.ndarray]] = None,
+                      seed: int = 7) -> Dict[str, np.ndarray]:
+        """Execute the original program sequentially; returns memory."""
+        if arrays is None:
+            arrays = init_arrays(self.kernel, seed)
+        SequentialInterpreter().run(self.kernel, arrays)
+        return arrays
+
+
+class PremCompiler:
+    """The full toolchain: analysis, optimization, code generation."""
+
+    def __init__(self, platform: Platform = DEFAULT_PLATFORM,
+                 machine: MachineModel | None = None, max_iter: int = 3,
+                 seed: int = 0, segment_cap: int = DEFAULT_SEGMENT_CAP):
+        self.platform = platform
+        self.machine = machine or MachineModel()
+        self.max_iter = max_iter
+        self.seed = seed
+        self.segment_cap = segment_cap
+
+    def compile(self, kernel: Kernel, cores: Optional[int] = None,
+                strategy: str = "heuristic",
+                tree: Optional[LoopTree] = None,
+                optimizer: Optional[TreeOptimizer] = None
+                ) -> CompilationResult:
+        """Analyze, optimize (``heuristic`` or ``greedy``) and package."""
+        tree = tree or LoopTree.build(kernel)
+        optimizer = optimizer or TreeOptimizer(
+            tree, machine=self.machine, max_iter=self.max_iter,
+            seed=self.seed, segment_cap=self.segment_cap)
+
+        if strategy == "heuristic":
+            result = optimizer.optimize(self.platform, cores=cores)
+        elif strategy == "greedy":
+            result = optimizer.optimize(
+                self.platform, cores=cores,
+                optimize_fn=self._greedy_fn(cores))
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+
+        components = []
+        for choice in result.choices:
+            best = choice.result.best
+            if best is None:
+                continue
+            components.append(CompiledComponent(
+                component=choice.component,
+                solution=best.solution,
+                makespan_ns=best.makespan_ns,
+                executions=choice.component.executions,
+            ))
+        return CompilationResult(
+            kernel=kernel,
+            tree=tree,
+            platform=self.platform,
+            components=components,
+            makespan_ns=result.makespan_ns,
+            ideal_ns=ideal_makespan_ns(kernel, self.platform, self.machine),
+            opt_result=result,
+        )
+
+    def _greedy_fn(self, cores: Optional[int]):
+        platform = self.platform
+        segment_cap = self.segment_cap
+
+        def optimize_fn(component, exec_model):
+            greedy = GreedyOptimizer(
+                component, platform, exec_model, segment_cap=segment_cap)
+            return greedy.optimize(cores)
+
+        return optimize_fn

@@ -1,0 +1,13 @@
+"""Extensions reproducing the thesis's future-work directions (Ch. 7)."""
+
+from .multilevel import (
+    TwoLevelPlatform,
+    TwoLevelResult,
+    best_block_size,
+    evaluate_two_level,
+)
+
+__all__ = [
+    "TwoLevelPlatform", "TwoLevelResult", "best_block_size",
+    "evaluate_two_level",
+]

@@ -1,0 +1,27 @@
+"""Benchmark kernels: PolyBench-NN transcriptions and GoogLeNet configs."""
+
+from .googlenet import (
+    GOOGLENET_3X3_LAYERS,
+    STUDY_LAYER,
+    bounds_label,
+    googlenet_cnn,
+    layer_sizes,
+)
+from .polybench import (
+    KERNELS,
+    PRESETS,
+    cnn,
+    lstm,
+    make_kernel,
+    maxpool,
+    preset_sizes,
+    rnn,
+    sumpool,
+)
+
+__all__ = [
+    "GOOGLENET_3X3_LAYERS", "STUDY_LAYER", "bounds_label", "googlenet_cnn",
+    "layer_sizes",
+    "KERNELS", "PRESETS", "cnn", "lstm", "make_kernel", "maxpool",
+    "preset_sizes", "rnn", "sumpool",
+]

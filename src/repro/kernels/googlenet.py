@@ -1,0 +1,43 @@
+"""GoogLeNet 3x3 convolution layer configurations (Section 6.3).
+
+Table 6.6 studies the CNN kernel of Listing 6.1 under the 3x3-filter layer
+shapes that occur in GoogLeNet, with batch size ``NN = 1`` and filter
+stride 1.  :data:`GOOGLENET_3X3_LAYERS` lists the (NK, NP, NQ, NC) bounds
+in the table's order; :func:`googlenet_cnn` instantiates the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..loopir.ast import Kernel
+from .polybench import cnn
+
+#: (NK, NP, NQ, NC) for each studied layer, in Table 6.6 order.
+GOOGLENET_3X3_LAYERS: List[Tuple[int, int, int, int]] = [
+    (128, 28, 28, 96),
+    (192, 28, 28, 128),
+    (208, 14, 14, 96),
+    (320, 14, 14, 160),
+    (320, 7, 7, 160),
+    (384, 7, 7, 192),
+]
+
+#: The layer used for the in-depth study of Sections 6.3.1/6.3.2.
+STUDY_LAYER: Tuple[int, int, int, int] = (128, 28, 28, 96)
+
+
+def layer_sizes(bounds: Tuple[int, int, int, int]) -> Dict[str, int]:
+    """Size mapping for a (NK, NP, NQ, NC) layer with 3x3 filters."""
+    nk, np_, nq, nc = bounds
+    return dict(NN=1, NK=nk, NP=np_, NQ=nq, NC=nc, NR=3, NS=3)
+
+
+def googlenet_cnn(bounds: Tuple[int, int, int, int]) -> Kernel:
+    """Instantiate the CNN kernel at one GoogLeNet layer shape."""
+    return cnn(layer_sizes(bounds))
+
+
+def bounds_label(bounds: Tuple[int, int, int, int]) -> str:
+    """Human-readable label matching Table 6.6's first column."""
+    return " / ".join(str(b) for b in bounds)

@@ -1,0 +1,340 @@
+"""PolyBench-NN forward-pass kernels transcribed into the loop IR.
+
+The paper evaluates the five forward passes of PolyBench-NN [Vaidya et al.,
+HiPC 2017]: CNN (Listing 6.1), LSTM (Listing 3.1), MaxPool, SumPool and
+RNN, at the LARGE problem size (~25 MB working set).  Each factory below
+takes a size mapping so the same kernel can be instantiated at paper scale
+for the analytic pipeline and at miniature scale for the functional
+simulators and tests.
+
+Transcription notes
+-------------------
+- CNN is the exact Listing 6.1 code (filter stride 1, flipped kernel).
+- LSTM is the exact Listing 3.1 code.
+- MaxPool/SumPool use a 2x2 window with stride 2 (the PolyBench-NN
+  pooling configuration); ``max`` is modelled as a read-modify-write of
+  the output cell, like the paper's polyhedral front end sees it.
+- RNN is an Elman-style recurrence whose hidden-state update is performed
+  in place, making the state loop of its second component sequential —
+  this reproduces the paper's observation that "one major component inside
+  this kernel is not parallelizable".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping
+
+import numpy as np
+
+from ..loopir.ast import Kernel
+from ..loopir.builder import for_, stmt_
+from ..poly.access import Array
+from ..poly.constraint import Constraint
+
+SizeMap = Mapping[str, int]
+
+#: Default problem sizes.  LARGE matches the paper's ~25 MB working sets;
+#: MINI is small enough for exhaustive functional simulation in tests.
+PRESETS: Dict[str, Dict[str, Dict[str, int]]] = {
+    "cnn": {
+        "MINI": dict(NN=1, NK=4, NP=4, NQ=4, NC=3, NR=2, NS=2),
+        "SMALL": dict(NN=1, NK=16, NP=8, NQ=8, NC=8, NR=3, NS=3),
+        "LARGE": dict(NN=1, NK=128, NP=28, NQ=28, NC=96, NR=3, NS=3),
+    },
+    "lstm": {
+        "MINI": dict(NT=3, NS=4, NP=5),
+        "SMALL": dict(NT=4, NS=32, NP=40),
+        "LARGE": dict(NT=10, NS=650, NP=700),
+    },
+    "maxpool": {
+        "MINI": dict(NN=1, NK=3, NP=4, NQ=4, NR=2, NS=2),
+        "SMALL": dict(NN=1, NK=16, NP=16, NQ=16, NR=2, NS=2),
+        "LARGE": dict(NN=1, NK=256, NP=112, NQ=112, NR=2, NS=2),
+    },
+    "sumpool": {
+        "MINI": dict(NN=1, NK=3, NP=4, NQ=4, NR=2, NS=2),
+        "SMALL": dict(NN=1, NK=16, NP=16, NQ=16, NR=2, NS=2),
+        "LARGE": dict(NN=1, NK=256, NP=112, NQ=112, NR=2, NS=2),
+    },
+    "rnn": {
+        "MINI": dict(NT=3, NS=4, NP=5),
+        "SMALL": dict(NT=4, NS=32, NP=40),
+        "LARGE": dict(NT=10, NS=800, NP=900),
+    },
+}
+
+
+def preset_sizes(kernel: str, preset: str = "LARGE") -> Dict[str, int]:
+    """The size mapping for a named kernel/preset pair."""
+    try:
+        return dict(PRESETS[kernel][preset])
+    except KeyError as exc:
+        raise KeyError(f"no preset {preset!r} for kernel {kernel!r}") from exc
+
+
+# ---------------------------------------------------------------------------
+# CNN — Listing 6.1
+
+
+def cnn(sizes: SizeMap | None = None, etype: str = "float") -> Kernel:
+    """The convolution kernel of Listing 6.1 (7 nested loops)."""
+    sz = dict(sizes or preset_sizes("cnn"))
+    NN, NK, NP, NQ = sz["NN"], sz["NK"], sz["NP"], sz["NQ"]
+    NC, NR, NS = sz["NC"], sz["NR"], sz["NS"]
+
+    out_f = Array("out_F", (NN, NK, NP, NQ), etype)
+    weights = Array("W", (NK, NC, NR, NS), etype)
+    inp_f = Array("inp_F", (NN, NC, NP + NR - 1, NQ + NS - 1), etype)
+    arrays = {a.name: a for a in (out_f, weights, inp_f)}
+
+    def compute(a, pt):
+        n, k, p, q = pt["n"], pt["k"], pt["p"], pt["q"]
+        c, r, s = pt["c"], pt["r"], pt["s"]
+        a["out_F"][n, k, p, q] += (
+            a["W"][k, c, r, s]
+            * a["inp_F"][n, c, p + NR - r - 1, q + NS - s - 1])
+
+    mac = stmt_(
+        "cnn_mac", arrays,
+        writes={"out_F": ("n", "k", "p", "q")},
+        reads={
+            "out_F": ("n", "k", "p", "q"),
+            "W": ("k", "c", "r", "s"),
+            "inp_F": ("n", "c", f"p + {NR - 1} - r", f"q + {NS - 1} - s"),
+        },
+        compute=compute, flops=2,
+    )
+    loops = for_("n", NN, for_("k", NK, for_("p", NP, for_("q", NQ, for_(
+        "c", NC, for_("r", NR, for_("s", NS, mac)))))))
+    return Kernel("cnn", list(arrays.values()), [loops], sz)
+
+
+# ---------------------------------------------------------------------------
+# LSTM — Listing 3.1
+
+
+def lstm(sizes: SizeMap | None = None, etype: str = "float") -> Kernel:
+    """The LSTM forward pass of Listing 3.1."""
+    sz = dict(sizes or preset_sizes("lstm"))
+    NT, NS, NP = sz["NT"], sz["NS"], sz["NP"]
+
+    gates = [Array(g, (NS,), etype) for g in ("i", "f", "o", "g")]
+    u_mats = [Array(f"U_{g}", (NS, NP), etype) for g in ("i", "f", "o", "g")]
+    w_mats = [Array(f"W_{g}", (NS, NS), etype) for g in ("i", "f", "o", "g")]
+    inp_f = Array("inp_F", (NT, NP), etype)
+    s_f = Array("s_F", (NT, NS), etype)
+    c_f = Array("c_F", (NT, NS), etype)
+    all_arrays = [*gates, *u_mats, *w_mats, inp_f, s_f, c_f]
+    arrays = {a.name: a for a in all_arrays}
+
+    def init_compute(a, pt):
+        s1 = pt["s1_0"]
+        for gate in ("i", "f", "o", "g"):
+            a[gate][(s1,)] = 0.0
+
+    def mac_u_compute(a, pt):
+        t, s1, p = pt["t"], pt["s1_0"], pt["p"]
+        for gate in ("i", "f", "o", "g"):
+            a[gate][(s1,)] += a[f"U_{gate}"][s1, p] * a["inp_F"][t, p]
+
+    def mac_w_compute(a, pt):
+        t, s1, s2 = pt["t"], pt["s1_1"], pt["s2"]
+        for gate in ("i", "f", "o", "g"):
+            a[gate][(s1,)] += a[f"W_{gate}"][s1, s2] * a["s_F"][t - 1, s2]
+
+    def cell_compute(a, pt):
+        t, b = pt["t"], pt["b_0"]
+        a["c_F"][t, b] = (a["c_F"][t - 1, b] * a["f"][(b,)]
+                          + a["g"][(b,)] * a["i"][(b,)])
+
+    def state_compute(a, pt):
+        t, b = pt["t"], pt["b_1"]
+        a["s_F"][t, b] = a["c_F"][t, b] * a["o"][(b,)]
+
+    gate_w = {g: ("s1_0",) for g in ("i", "f", "o", "g")}
+    init = stmt_("lstm_init", arrays, writes=gate_w,
+                 guards=[Constraint.eq("p", 0)],
+                 compute=init_compute, flops=4)
+    mac_u = stmt_(
+        "lstm_mac_u", arrays,
+        writes=gate_w,
+        reads={**{g: ("s1_0",) for g in ("i", "f", "o", "g")},
+               **{f"U_{g}": ("s1_0", "p") for g in ("i", "f", "o", "g")},
+               "inp_F": ("t", "p")},
+        compute=mac_u_compute, flops=8,
+    )
+    mac_w = stmt_(
+        "lstm_mac_w", arrays,
+        writes={g: ("s1_1",) for g in ("i", "f", "o", "g")},
+        reads={**{g: ("s1_1",) for g in ("i", "f", "o", "g")},
+               **{f"W_{g}": ("s1_1", "s2") for g in ("i", "f", "o", "g")},
+               "s_F": ("t - 1", "s2")},
+        compute=mac_w_compute, flops=8,
+    )
+    cell = stmt_(
+        "lstm_cell", arrays,
+        writes={"c_F": ("t", "b_0")},
+        reads={"c_F": ("t - 1", "b_0"), "f": ("b_0",), "g": ("b_0",),
+               "i": ("b_0",)},
+        compute=cell_compute, flops=3,
+    )
+    state = stmt_(
+        "lstm_state", arrays,
+        writes={"s_F": ("t", "b_1")},
+        reads={"c_F": ("t", "b_1"), "o": ("b_1",)},
+        compute=state_compute, flops=1,
+    )
+
+    after_first = [Constraint.ge("t", 1)]
+    t_loop = for_(
+        "t", NT,
+        for_("s1_0", NS, for_("p", NP, init, mac_u)),
+        for_("s1_1", NS, for_("s2", NS, mac_w), guards=after_first),
+        for_("b_0", NS, cell, guards=after_first),
+        for_("b_1", NS, state),
+    )
+    return Kernel("lstm", all_arrays, [t_loop], sz)
+
+
+# ---------------------------------------------------------------------------
+# MaxPool / SumPool — 2x2 window, stride 2
+
+
+def _pool(name: str, sizes: SizeMap | None, etype: str,
+          reducer: str) -> Kernel:
+    sz = dict(sizes or preset_sizes(name))
+    NN, NK, NP, NQ = sz["NN"], sz["NK"], sz["NP"], sz["NQ"]
+    NR, NS = sz["NR"], sz["NS"]
+    stride_p, stride_q = NR, NS   # non-overlapping pooling windows
+
+    out = Array("out_F", (NN, NK, NP, NQ), etype)
+    inp = Array("inp_F", (NN, NK, NP * stride_p, NQ * stride_q), etype)
+    arrays = {a.name: a for a in (out, inp)}
+
+    def compute(a, pt):
+        n, k, p, q = pt["n"], pt["k"], pt["p"], pt["q"]
+        r, s = pt["r"], pt["s"]
+        value = a["inp_F"][n, k, stride_p * p + r, stride_q * q + s]
+        if reducer == "max":
+            if r == 0 and s == 0:
+                a["out_F"][n, k, p, q] = value
+            else:
+                a["out_F"][n, k, p, q] = max(a["out_F"][n, k, p, q], value)
+        else:
+            if r == 0 and s == 0:
+                a["out_F"][n, k, p, q] = value
+            else:
+                a["out_F"][n, k, p, q] += value
+
+    reduce_stmt = stmt_(
+        f"{name}_reduce", arrays,
+        writes={"out_F": ("n", "k", "p", "q")},
+        reads={"out_F": ("n", "k", "p", "q"),
+               "inp_F": ("n", "k", f"{stride_p}*p + r", f"{stride_q}*q + s")},
+        compute=compute, flops=1,
+    )
+    loops = for_("n", NN, for_("k", NK, for_("p", NP, for_(
+        "q", NQ, for_("r", NR, for_("s", NS, reduce_stmt))))))
+    return Kernel(name, list(arrays.values()), [loops], sz)
+
+
+def maxpool(sizes: SizeMap | None = None, etype: str = "float") -> Kernel:
+    """Max pooling forward pass."""
+    return _pool("maxpool", sizes, etype, "max")
+
+
+def sumpool(sizes: SizeMap | None = None, etype: str = "float") -> Kernel:
+    """Sum (average) pooling forward pass."""
+    return _pool("sumpool", sizes, etype, "sum")
+
+
+# ---------------------------------------------------------------------------
+# RNN — Elman forward pass with in-place state update
+
+
+def rnn(sizes: SizeMap | None = None, etype: str = "float") -> Kernel:
+    """RNN forward pass.
+
+    The input projection component ``(s1, p)`` is parallelizable over
+    ``s1``; the recurrent update reads and writes the *same* state vector
+    in place, so its state loop carries a dependence and cannot be
+    parallelized — the paper's "one major component ... is not
+    parallelizable".
+    """
+    sz = dict(sizes or preset_sizes("rnn"))
+    NT, NS, NP = sz["NT"], sz["NS"], sz["NP"]
+
+    h = Array("h", (NS,), etype)
+    u_mat = Array("U", (NS, NP), etype)
+    w_mat = Array("W", (NS, NS), etype)
+    inp = Array("inp_F", (NT, NP), etype)
+    out = Array("out_F", (NT, NS), etype)
+    acc = Array("acc", (NS,), etype)
+    all_arrays = [h, u_mat, w_mat, inp, out, acc]
+    arrays = {a.name: a for a in all_arrays}
+
+    def proj_init(a, pt):
+        a["acc"][(pt["s1"],)] = 0.0
+
+    def proj_mac(a, pt):
+        t, s1, p = pt["t"], pt["s1"], pt["p"]
+        a["acc"][(s1,)] += a["U"][s1, p] * a["inp_F"][t, p]
+
+    def recur(a, pt):
+        s2, s3 = pt["s2"], pt["s3"]
+        if s3 == 0:
+            a["h"][(s2,)] = a["acc"][(s2,)] + a["W"][s2, 0] * a["h"][(0,)]
+        else:
+            a["h"][(s2,)] += a["W"][s2, s3] * a["h"][(s3,)]
+
+    def emit(a, pt):
+        t, s4 = pt["t"], pt["s4"]
+        a["out_F"][t, s4] = a["h"][(s4,)]
+
+    init = stmt_("rnn_init", arrays, writes={"acc": ("s1",)},
+                 guards=[Constraint.eq("p", 0)], compute=proj_init, flops=1)
+    mac = stmt_(
+        "rnn_mac", arrays,
+        writes={"acc": ("s1",)},
+        reads={"acc": ("s1",), "U": ("s1", "p"), "inp_F": ("t", "p")},
+        compute=proj_mac, flops=2,
+    )
+    recur_stmt = stmt_(
+        "rnn_recur", arrays,
+        writes={"h": ("s2",)},
+        reads={"h": [("s2",), ("s3",)], "acc": ("s2",), "W": ("s2", "s3")},
+        compute=recur, flops=2,
+    )
+    emit_stmt = stmt_(
+        "rnn_emit", arrays,
+        writes={"out_F": ("t", "s4")},
+        reads={"h": ("s4",)},
+        compute=emit, flops=0,
+    )
+
+    t_loop = for_(
+        "t", NT,
+        for_("s1", NS, for_("p", NP, init, mac)),
+        for_("s2", NS, for_("s3", NS, recur_stmt)),
+        for_("s4", NS, emit_stmt),
+    )
+    return Kernel("rnn", all_arrays, [t_loop], sz)
+
+
+#: Factory registry used by the benchmark harness.
+KERNELS: Dict[str, Callable[..., Kernel]] = {
+    "cnn": cnn,
+    "lstm": lstm,
+    "maxpool": maxpool,
+    "sumpool": sumpool,
+    "rnn": rnn,
+}
+
+
+def make_kernel(name: str, preset: str = "LARGE",
+                overrides: SizeMap | None = None) -> Kernel:
+    """Instantiate a PolyBench-NN kernel at a preset size."""
+    sizes = preset_sizes(name, preset)
+    if overrides:
+        sizes.update(overrides)
+    return KERNELS[name](sizes)

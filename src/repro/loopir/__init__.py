@@ -1,0 +1,20 @@
+"""Loop-nest IR, application model (loop tree) and legality analysis."""
+
+from .ast import Kernel, Loop, Stmt
+from .builder import accesses_for, for_, kernel_, stmt_
+from .looptree import LoopTree, LoopTreeNode
+from .validity import (
+    chain_heads,
+    count_guarded_executions,
+    is_chain_extendable,
+    level_parallel,
+    level_tilable,
+)
+
+__all__ = [
+    "Kernel", "Loop", "Stmt",
+    "accesses_for", "for_", "kernel_", "stmt_",
+    "LoopTree", "LoopTreeNode",
+    "chain_heads", "count_guarded_executions", "is_chain_extendable",
+    "level_parallel", "level_tilable",
+]

@@ -1,0 +1,234 @@
+"""Loop-nest intermediate representation (the front end's output).
+
+The paper extracts a polyhedral schedule tree from C source with *pet*.
+Because the target program class is restricted (Section 3.2: constant
+bounds, uniform strides, affine subscripts, single SCoP), this reproduction
+declares kernels directly in a small IR: a tree of :class:`Loop` nodes with
+:class:`Stmt` leaves.  Every PolyBench-NN kernel is transcribed from its C
+source into this IR in :mod:`repro.kernels.polybench`.
+
+Each :class:`Stmt` carries:
+
+- its affine accesses (:class:`repro.poly.access.Access`),
+- optional affine guards (``if (p == 0)`` in Listing 3.1 becomes an
+  equality guard),
+- an optional ``compute`` callable used by the functional simulators to
+  actually execute the statement instance on numpy-backed arrays, and
+- a cost descriptor (flop count) used by the gem5-substitute timing
+  simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..poly.access import Access, Array
+from ..poly.constraint import Constraint, ConstraintSystem
+from ..poly.domain import Domain, LoopRange
+from ..poly.schedule import Schedule, ScheduleDim
+
+ComputeFn = Callable[[Mapping[str, object], Mapping[str, int]], None]
+
+
+@dataclass
+class Stmt:
+    """A statement leaf.
+
+    Parameters
+    ----------
+    name:
+        Unique statement name within the kernel.
+    accesses:
+        The statement's affine array accesses.
+    guards:
+        Affine constraints over surrounding iterators restricting the
+        statement's domain (e.g. ``p == 0``).
+    compute:
+        Callable ``compute(arrays, point)`` executing one instance; *arrays*
+        maps array names to indexable views, *point* maps iterator names to
+        values.  Optional — only required by the functional simulators.
+    flops:
+        Arithmetic operations per instance, for the timing simulator.
+    """
+
+    name: str
+    accesses: List[Access] = field(default_factory=list)
+    guards: List[Constraint] = field(default_factory=list)
+    compute: Optional[ComputeFn] = None
+    flops: int = 1
+
+    def reads(self) -> List[Access]:
+        return [a for a in self.accesses if a.is_read]
+
+    def writes(self) -> List[Access]:
+        return [a for a in self.accesses if a.is_write]
+
+    def arrays(self) -> List[Array]:
+        seen = {}
+        for access in self.accesses:
+            seen.setdefault(access.array.name, access.array)
+        return list(seen.values())
+
+    def __repr__(self) -> str:
+        return f"Stmt({self.name})"
+
+
+@dataclass
+class Loop:
+    """A loop node: ``for (var = begin; var < begin + n*stride; var += stride)``.
+
+    ``guards`` are affine constraints over *ancestor* iterators under which
+    the loop body executes at all (e.g. the ``if (t > 0)`` wrapping the
+    second LSTM component); they reduce ``l.I`` in the loop-tree model.
+    """
+
+    var: str
+    n: int
+    body: List[Union["Loop", Stmt]] = field(default_factory=list)
+    begin: int = 0
+    stride: int = 1
+    guards: List[Constraint] = field(default_factory=list)
+
+    @property
+    def loop_range(self) -> LoopRange:
+        return LoopRange(self.var, self.begin, self.n, self.stride)
+
+    def child_loops(self) -> List["Loop"]:
+        return [c for c in self.body if isinstance(c, Loop)]
+
+    def child_stmts(self) -> List[Stmt]:
+        return [c for c in self.body if isinstance(c, Stmt)]
+
+    def __repr__(self) -> str:
+        return f"Loop({self.var}, n={self.n})"
+
+
+class Kernel:
+    """A single-SCoP computational kernel: arrays + a forest of loops."""
+
+    def __init__(self, name: str, arrays: Sequence[Array],
+                 roots: Sequence[Loop], constants: Mapping[str, int] | None = None):
+        self.name = name
+        self.arrays: Dict[str, Array] = {a.name: a for a in arrays}
+        if len(self.arrays) != len(arrays):
+            raise ValueError(f"kernel {name}: duplicate array names")
+        self.roots: Tuple[Loop, ...] = tuple(roots)
+        self.constants: Dict[str, int] = dict(constants or {})
+        self._check_unique_names()
+
+    # -- structural queries -------------------------------------------------
+
+    def _check_unique_names(self) -> None:
+        loop_vars = [loop.var for loop, _ in self.walk_loops()]
+        if len(set(loop_vars)) != len(loop_vars):
+            raise ValueError(
+                f"kernel {self.name}: loop iterator names must be unique, "
+                f"got {loop_vars}")
+        stmt_names = [s.name for s, _ in self.walk_stmts()]
+        if len(set(stmt_names)) != len(stmt_names):
+            raise ValueError(
+                f"kernel {self.name}: statement names must be unique")
+
+    def walk_loops(self) -> Iterator[Tuple[Loop, Tuple[Loop, ...]]]:
+        """Yield ``(loop, ancestors)`` in pre-order; ancestors outermost first."""
+        def recurse(loop: Loop, ancestors: Tuple[Loop, ...]):
+            yield loop, ancestors
+            for child in loop.child_loops():
+                yield from recurse(child, (*ancestors, loop))
+
+        for root in self.roots:
+            yield from recurse(root, ())
+
+    def walk_stmts(self) -> Iterator[Tuple[Stmt, Tuple[Loop, ...]]]:
+        """Yield ``(stmt, surrounding loops)`` in textual order."""
+        def recurse(loop: Loop, ancestors: Tuple[Loop, ...]):
+            surrounding = (*ancestors, loop)
+            for child in loop.body:
+                if isinstance(child, Stmt):
+                    yield child, surrounding
+                else:
+                    yield from recurse(child, surrounding)
+
+        for root in self.roots:
+            yield from recurse(root, ())
+
+    def loop_by_var(self, var: str) -> Loop:
+        for loop, _ in self.walk_loops():
+            if loop.var == var:
+                return loop
+        raise KeyError(f"kernel {self.name}: no loop {var}")
+
+    def stmt_by_name(self, name: str) -> Stmt:
+        for stmt, _ in self.walk_stmts():
+            if stmt.name == name:
+                return stmt
+        raise KeyError(f"kernel {self.name}: no statement {name}")
+
+    def surrounding_loops(self, stmt_name: str) -> Tuple[Loop, ...]:
+        for stmt, loops in self.walk_stmts():
+            if stmt.name == stmt_name:
+                return loops
+        raise KeyError(stmt_name)
+
+    # -- polyhedral views ---------------------------------------------------
+
+    def stmt_domain(self, stmt_name: str) -> Domain:
+        """The statement's iteration domain (loop ranges + all guards)."""
+        stmt = self.stmt_by_name(stmt_name)
+        loops = self.surrounding_loops(stmt_name)
+        guards = ConstraintSystem()
+        for loop in loops:
+            guards.extend(loop.guards)
+        guards.extend(stmt.guards)
+        return Domain([loop.loop_range for loop in loops], guards)
+
+    def stmt_schedule(self, stmt_name: str) -> Schedule:
+        """The 2d+1 Kelly schedule of a statement (Section 2.2.1)."""
+        target = self.stmt_by_name(stmt_name)
+        dims: List[ScheduleDim] = []
+
+        def locate(body: Sequence[Union[Loop, Stmt]]) -> bool:
+            for position, child in enumerate(body):
+                saved = len(dims)
+                if child is target:
+                    dims.append(ScheduleDim.static(position))
+                    return True
+                if isinstance(child, Loop):
+                    dims.append(ScheduleDim.static(position))
+                    dims.append(ScheduleDim.loop(child.var))
+                    if locate(child.body):
+                        return True
+                del dims[saved:]
+            return False
+
+        if not locate(list(self.roots_as_body())):
+            raise KeyError(stmt_name)
+        return Schedule(dims)
+
+    def roots_as_body(self) -> List[Union[Loop, Stmt]]:
+        return list(self.roots)
+
+    def stmts_under(self, loop: Loop) -> List[Stmt]:
+        """All statements (transitively) inside *loop*."""
+        out: List[Stmt] = []
+
+        def recurse(node: Loop):
+            for child in node.body:
+                if isinstance(child, Stmt):
+                    out.append(child)
+                else:
+                    recurse(child)
+
+        recurse(loop)
+        return out
+
+    def arrays_under(self, loop: Loop) -> List[Array]:
+        seen: Dict[str, Array] = {}
+        for stmt in self.stmts_under(loop):
+            for array in stmt.arrays():
+                seen.setdefault(array.name, array)
+        return list(seen.values())
+
+    def __repr__(self) -> str:
+        return f"Kernel({self.name}, roots={[r.var for r in self.roots]})"

@@ -1,0 +1,94 @@
+"""Convenience helpers for declaring kernels in the loop IR.
+
+The kernels in :mod:`repro.kernels` are transcriptions of C sources; these
+helpers keep those transcriptions close to the original loop text::
+
+    NN = {"NS": 650, "NP": 700}
+    i_arr = Array("i", (650,))
+    stmt = stmt_(
+        "S2",
+        reads={"U_i": ("s1", "p"), "inp_F": ("t", "p"), "i": ("s1",)},
+        writes={"i": ("s1",)},
+        compute=...,
+    )
+    loop = for_("t", NT, for_("s1", NS, for_("p", NP, stmt)))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple, Union
+
+from ..poly.access import Access, Array, READ, WRITE
+from ..poly.affine import AffineExpr, parse_affine
+from ..poly.constraint import Constraint
+from .ast import ComputeFn, Kernel, Loop, Stmt
+
+IndexSpec = Union[str, int, AffineExpr]
+
+
+def for_(var: str, n: int, *body, begin: int = 0, stride: int = 1,
+         guards: Sequence[Constraint] = ()) -> Loop:
+    """Declare a loop; *body* mixes Loop and Stmt nodes in textual order."""
+    return Loop(var=var, n=n, body=list(body), begin=begin, stride=stride,
+                guards=list(guards))
+
+
+def _coerce_index(spec: IndexSpec, constants: Mapping[str, int]) -> AffineExpr:
+    if isinstance(spec, AffineExpr):
+        return spec
+    if isinstance(spec, int):
+        return AffineExpr.const(spec)
+    return parse_affine(spec, constants)
+
+
+def accesses_for(arrays: Mapping[str, Array],
+                 reads: Mapping[str, Sequence[IndexSpec]] | None = None,
+                 writes: Mapping[str, Sequence[IndexSpec]] | None = None,
+                 constants: Mapping[str, int] | None = None):
+    """Build Access lists from ``{array_name: (index_exprs...)}`` mappings.
+
+    Index expressions may be iterator names, ints, affine strings like
+    ``"p + NR - r - 1"`` (resolved against *constants*), or AffineExpr.
+    """
+    constants = constants or {}
+    out = []
+    for mapping, kind in ((writes, WRITE), (reads, READ)):
+        if not mapping:
+            continue
+        for name, indices in mapping.items():
+            if name not in arrays:
+                raise KeyError(f"unknown array {name!r}")
+            # A list of tuples declares several accesses to the same array
+            # (e.g. stencil reads); a single tuple declares one access.
+            if isinstance(indices, list) and indices and \
+                    isinstance(indices[0], (list, tuple)):
+                groups = indices
+            else:
+                groups = [indices]
+            for group in groups:
+                exprs = [_coerce_index(spec, constants) for spec in group]
+                out.append(Access(arrays[name], exprs, kind))
+    return out
+
+
+def stmt_(name: str, arrays: Mapping[str, Array],
+          reads: Mapping[str, Sequence[IndexSpec]] | None = None,
+          writes: Mapping[str, Sequence[IndexSpec]] | None = None,
+          guards: Sequence[Constraint] = (),
+          compute: ComputeFn | None = None,
+          flops: int = 1,
+          constants: Mapping[str, int] | None = None) -> Stmt:
+    """Declare a statement with reads/writes given as index-tuple mappings."""
+    return Stmt(
+        name=name,
+        accesses=accesses_for(arrays, reads, writes, constants),
+        guards=list(guards),
+        compute=compute,
+        flops=flops,
+    )
+
+
+def kernel_(name: str, arrays: Sequence[Array], roots: Sequence[Loop],
+            constants: Mapping[str, int] | None = None) -> Kernel:
+    """Declare a kernel (thin alias for the Kernel constructor)."""
+    return Kernel(name, arrays, roots, constants)

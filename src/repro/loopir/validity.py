@@ -1,0 +1,232 @@
+"""Legality checks and execution counting for loop-tree construction.
+
+See :mod:`repro.loopir.looptree` for how these are combined.  The criteria
+are derived from Section 5.2.1's Eq. 5.1 applied to the tiled schedule of
+Section 5.2.2:
+
+- Tiling a band reorders two dependent instances only when some dependence
+  direction vector has a ``>`` component at a band level while being
+  carried (first ``<``) at another band level: the floor parts can then tie
+  or invert.  Vectors carried *above* the band execute in different
+  iterations of an enclosing sequential loop and are always respected.
+  Hence level ``l`` is tilable iff no vector has ``>`` at ``l`` carried at
+  or below the head of the perfect chain containing ``l``.
+- Level ``l`` is parallelizable iff every vector not carried above the
+  chain head has component ``=`` (distance 0) at ``l`` — the paper's
+  "check its corresponding index in related dependence distances, if all
+  of them are 0" rule.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, Mapping, Sequence, Tuple
+
+from ..poly.constraint import Constraint, EQ
+from ..poly.dependence import Dependence
+from .ast import Kernel, Loop
+
+
+# ---------------------------------------------------------------------------
+# chain structure
+
+
+def is_chain_extendable(loop: Loop) -> bool:
+    """True when *loop*'s body is exactly one loop (perfect nesting step)."""
+    return len(loop.body) == 1 and isinstance(loop.body[0], Loop)
+
+
+def chain_heads(kernel: Kernel) -> Dict[str, str]:
+    """Map every loop iterator to the head iterator of its perfect chain.
+
+    A chain head is a root loop or any loop whose parent is not perfectly
+    nested around it; tilable components (Section 3.4) are always contiguous
+    sub-chains starting at a head, so legality exemptions for dependences
+    "carried outside the component" key off these heads.
+    """
+    heads: Dict[str, str] = {}
+
+    def descend(loop: Loop, head: str):
+        heads[loop.var] = head
+        extend = is_chain_extendable(loop)
+        for child in loop.child_loops():
+            descend(child, head if extend else child.var)
+
+    for root in kernel.roots:
+        descend(root, root.var)
+    return heads
+
+
+# ---------------------------------------------------------------------------
+# per-level legality
+
+
+def _carried_level(direction: Tuple[str, ...]):
+    """Index of the first non-'=' component, or None if loop independent."""
+    for index, sign in enumerate(direction):
+        if sign != "=":
+            return index
+    return None
+
+
+def level_tilable(var: str, dependences: Sequence[Dependence],
+                  heads: Mapping[str, str]) -> bool:
+    """Whether loop *var* may participate in a tiled band with its chain."""
+    head = heads[var]
+    for dep in dependences:
+        if var not in dep.shared_loops:
+            continue
+        level = dep.shared_loops.index(var)
+        if head not in dep.shared_loops:
+            # The chain head is always an ancestor of var, hence shared.
+            raise AssertionError(
+                f"chain head {head} of {var} missing from shared loops "
+                f"{dep.shared_loops} of {dep}")
+        head_level = dep.shared_loops.index(head)
+        for direction in dep.directions:
+            if direction[level] != ">":
+                continue
+            carried = _carried_level(direction)
+            if carried is not None and carried >= head_level:
+                return False
+    return True
+
+
+def level_parallel(var: str, dependences: Sequence[Dependence],
+                   heads: Mapping[str, str]) -> bool:
+    """Whether tiles over different ranges of *var* may run on different
+    threads (Section 3.3's ``l.parallel``)."""
+    head = heads[var]
+    for dep in dependences:
+        if var not in dep.shared_loops:
+            continue
+        level = dep.shared_loops.index(var)
+        head_level = dep.shared_loops.index(head)
+        for direction in dep.directions:
+            carried = _carried_level(direction)
+            if carried is not None and carried < head_level:
+                continue   # ordered by an enclosing sequential loop
+            if direction[level] != "=":
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# execution counting (l.I)
+
+
+def count_guarded_executions(loop: Loop, ancestors: Tuple[Loop, ...]) -> int:
+    """Number of times *loop* executes: guarded ancestor combinations.
+
+    ``l.I = 1`` for root loops.  Guards constraining a single ancestor
+    iterator (the only form in the corpus — e.g. ``t > 0``) are handled by
+    exact interval narrowing; small multi-iterator guard systems fall back
+    to enumeration; oversized ones are counted conservatively (the guard is
+    ignored, overestimating ``I``), which is safe for makespan bounds.
+    """
+    if not ancestors:
+        return 1
+
+    constraints = []
+    for ancestor in ancestors:
+        constraints.extend(ancestor.guards)
+    constraints.extend(loop.guards)
+
+    bounds: Dict[str, Tuple[int, int]] = {
+        a.var: (a.begin, a.loop_range.last) for a in ancestors
+    }
+    strides: Dict[str, int] = {a.var: a.stride for a in ancestors}
+    begins: Dict[str, int] = {a.var: a.begin for a in ancestors}
+
+    multi = []
+    for constraint in constraints:
+        variables = sorted(constraint.variables())
+        if len(variables) == 0:
+            if not constraint.satisfied({}):
+                return 0
+            continue
+        if len(variables) == 1:
+            var = variables[0]
+            if var not in bounds:
+                raise ValueError(
+                    f"guard on {loop.var} references non-ancestor {var!r}")
+            new = _narrow(bounds[var], constraint, var)
+            if new is None:
+                return 0
+            bounds[var] = new
+        else:
+            multi.append(constraint)
+
+    counts = {}
+    for var, (lo, hi) in bounds.items():
+        counts[var] = _lattice_count(lo, hi, begins[var], strides[var])
+        if counts[var] == 0:
+            return 0
+
+    total = 1
+    for value in counts.values():
+        total *= value
+
+    if not multi:
+        return total
+    if total <= 200_000:
+        return _enumerate_count(bounds, begins, strides, multi)
+    return total   # conservative overestimate; documented above
+
+
+def _narrow(interval: Tuple[int, int], constraint: Constraint, var: str):
+    """Intersect an interval with a single-variable affine constraint."""
+    lo, hi = interval
+    coeff = constraint.expr.coeff(var)
+    const = constraint.expr.constant
+    if constraint.kind == EQ:
+        # coeff*var + const == 0
+        if const % coeff != 0:
+            return None
+        value = -const // coeff
+        if value < lo or value > hi:
+            return None
+        return (value, value)
+    # coeff*var + const >= 0
+    if coeff > 0:
+        lo = max(lo, math.ceil(Fraction(-const, coeff)))
+    else:
+        hi = min(hi, math.floor(Fraction(-const, coeff)))
+    if lo > hi:
+        return None
+    return (lo, hi)
+
+
+def _lattice_count(lo: int, hi: int, begin: int, stride: int) -> int:
+    """Points of the arithmetic progression begin, begin+stride, ... in [lo, hi]."""
+    if lo > hi:
+        return 0
+    first = lo + (begin - lo) % stride
+    if first < lo:
+        first += stride
+    if first > hi:
+        return 0
+    return (hi - first) // stride + 1
+
+
+def _enumerate_count(bounds, begins, strides, constraints) -> int:
+    """Exact count by enumeration (small guard systems only)."""
+    names = sorted(bounds)
+    total = 0
+
+    def recurse(index: int, point: Dict[str, int]):
+        nonlocal total
+        if index == len(names):
+            if all(c.satisfied(point) for c in constraints):
+                total += 1
+            return
+        var = names[index]
+        lo, hi = bounds[var]
+        first = lo + (begins[var] - lo) % strides[var]
+        for value in range(first, hi + 1, strides[var]):
+            point[var] = value
+            recurse(index + 1, point)
+
+    recurse(0, {})
+    return total

@@ -1,0 +1,25 @@
+"""Schedule optimization: Algorithm 1, Algorithm 2, greedy and ideal."""
+
+from .component import ComponentOptResult, ComponentOptimizer
+from .greedy import GreedyOptimizer
+from .ideal import ideal_makespan_ns
+from .solution import LevelParams, Solution
+from .threadgroups import (
+    dominates,
+    generate_nondominated_thread_groups,
+    nondominated,
+    valid_assignments,
+)
+from .tilesizes import select_tile_sizes
+from .tree import ComponentChoice, TreeOptResult, TreeOptimizer
+
+__all__ = [
+    "ComponentOptResult", "ComponentOptimizer",
+    "GreedyOptimizer",
+    "ideal_makespan_ns",
+    "LevelParams", "Solution",
+    "dominates", "generate_nondominated_thread_groups", "nondominated",
+    "valid_assignments",
+    "select_tile_sizes",
+    "ComponentChoice", "TreeOptResult", "TreeOptimizer",
+]

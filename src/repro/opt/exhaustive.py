@@ -1,0 +1,103 @@
+"""Exhaustive search over the Algorithm-1 candidate space.
+
+Section 4.3 motivates the heuristic by noting that searching the whole
+space "would take unacceptable time, usually more than 20 hours" for the
+deep CNN component.  This module implements that exhaustive search over
+exactly the same candidate space (non-dominated thread groups ×
+``select_tile_sizes`` lists) so that, on *small* components, the
+heuristic's optimality gap can be measured — see the optimality-gap
+ablation bench.
+
+The search size is guarded: by default it refuses spaces above
+``max_points`` evaluations instead of silently running for hours.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from itertools import product
+from typing import List, Optional, Sequence, Tuple
+
+from ..loopir.component import TilableComponent
+from ..schedule.makespan import (
+    DEFAULT_SEGMENT_CAP,
+    MakespanEvaluator,
+    MakespanResult,
+)
+from ..timing.execmodel import ExecModel
+from ..timing.platform import Platform
+from .component import ComponentOptResult
+from .threadgroups import generate_nondominated_thread_groups
+from .tilesizes import select_tile_sizes
+
+
+class SearchSpaceTooLarge(RuntimeError):
+    """The exhaustive space exceeds the configured evaluation budget."""
+
+
+def search_space_size(component: TilableComponent, cores: int) -> int:
+    """Number of (R, K) points Algorithm 1's candidate space contains."""
+    total = 0
+    for assignment in generate_nondominated_thread_groups(
+            cores, component):
+        points = 1
+        for node, groups in zip(component.nodes, assignment):
+            points *= len(select_tile_sizes(node.N, groups))
+        total += points
+    return total
+
+
+class ExhaustiveOptimizer:
+    """Evaluate every candidate point and return the true optimum."""
+
+    def __init__(self, component: TilableComponent, platform: Platform,
+                 exec_model: ExecModel,
+                 segment_cap: int = DEFAULT_SEGMENT_CAP,
+                 max_points: int = 20_000):
+        self.component = component
+        self.platform = platform
+        self.exec_model = exec_model
+        self.max_points = max_points
+        self.evaluator = MakespanEvaluator(
+            component, platform, exec_model, segment_cap)
+
+    def optimize(self, cores: Optional[int] = None) -> ComponentOptResult:
+        cores = cores if cores is not None else self.platform.cores
+        size = search_space_size(self.component, cores)
+        if size > self.max_points:
+            raise SearchSpaceTooLarge(
+                f"{size} candidate points exceed the budget of "
+                f"{self.max_points}; use the heuristic (Algorithm 1)")
+
+        started = time.perf_counter()
+        assignments = generate_nondominated_thread_groups(
+            cores, self.component)
+        best: Optional[MakespanResult] = None
+        for assignment in assignments:
+            groups = {
+                node.var: r
+                for node, r in zip(self.component.nodes, assignment)
+            }
+            candidate_lists = [
+                select_tile_sizes(node.N, r)
+                for node, r in zip(self.component.nodes, assignment)
+            ]
+            for sizes in product(*candidate_lists):
+                params = {
+                    node.var: k
+                    for node, k in zip(self.component.nodes, sizes)
+                }
+                result = self.evaluator.evaluate_params(params, groups)
+                if result.feasible and (
+                        best is None
+                        or result.makespan_ns < best.makespan_ns):
+                    best = result
+        return ComponentOptResult(
+            component=self.component,
+            best=best,
+            evaluations=self.evaluator.evaluations,
+            elapsed_s=time.perf_counter() - started,
+            assignments_tried=len(assignments),
+        )

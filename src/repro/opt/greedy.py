@@ -1,0 +1,112 @@
+"""Greedy PREM compilation baseline (Section 6.2, approach of [29]).
+
+The greedy rule: find the *outermost* loop level of the component that can
+be tiled such that the resulting segments fit in the SPM, and tile only at
+that level with the largest allowed tile size.  Levels above the tiled one
+iterate one iteration per segment (K = 1) and, where the parallelization
+attribute allows it, their iterations are spread across the cores,
+assigning parallelism outermost-first.  Levels below the tiled one stay
+untiled (K = N).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional
+
+from ..loopir.component import TilableComponent
+from ..schedule.makespan import (
+    DEFAULT_SEGMENT_CAP,
+    MakespanEvaluator,
+    MakespanResult,
+)
+from ..timing.execmodel import ExecModel
+from ..timing.platform import Platform
+from .component import ComponentOptResult
+
+
+class GreedyOptimizer:
+    """Greedy single-level tiling with maximal fitting tile size."""
+
+    def __init__(self, component: TilableComponent, platform: Platform,
+                 exec_model: ExecModel,
+                 segment_cap: int = DEFAULT_SEGMENT_CAP):
+        self.component = component
+        self.platform = platform
+        self.exec_model = exec_model
+        self.evaluator = MakespanEvaluator(
+            component, platform, exec_model, segment_cap)
+
+    def optimize(self, cores: Optional[int] = None) -> ComponentOptResult:
+        cores = cores if cores is not None else self.platform.cores
+        started = time.perf_counter()
+        best: Optional[MakespanResult] = None
+        nodes = self.component.nodes
+
+        for tiled_level in range(len(nodes)):
+            groups = self._assign_parallelism(tiled_level, cores)
+            max_k = self._largest_fitting_k(tiled_level, groups)
+            if max_k is None:
+                continue
+            sizes = self._tile_sizes(tiled_level, max_k)
+            result = self.evaluator.evaluate_params(sizes, groups)
+            if result.feasible:
+                best = result
+                break
+
+        return ComponentOptResult(
+            component=self.component,
+            best=best,
+            evaluations=self.evaluator.evaluations,
+            elapsed_s=time.perf_counter() - started,
+            assignments_tried=1,
+        )
+
+    # -- helpers ---------------------------------------------------------
+
+    def _tile_sizes(self, tiled_level: int, k: int) -> Dict[str, int]:
+        sizes = {}
+        for index, node in enumerate(self.component.nodes):
+            if index < tiled_level:
+                sizes[node.var] = 1
+            elif index == tiled_level:
+                sizes[node.var] = k
+            else:
+                sizes[node.var] = node.N
+        return sizes
+
+    def _assign_parallelism(self, tiled_level: int,
+                            cores: int) -> Dict[str, int]:
+        """Outermost-first parallelization of levels at/above the tiled one."""
+        groups: Dict[str, int] = {}
+        remaining = cores
+        for index, node in enumerate(self.component.nodes):
+            if index > tiled_level or not node.parallel or remaining <= 1:
+                groups[node.var] = 1
+                continue
+            r = min(remaining, node.N)
+            groups[node.var] = r
+            remaining //= r
+        return groups
+
+    def _largest_fitting_k(self, tiled_level: int,
+                           groups: Dict[str, int]) -> Optional[int]:
+        """Binary search the largest K whose plan fits the SPM."""
+        node = self.component.nodes[tiled_level]
+
+        def fits(k: int) -> bool:
+            sizes = self._tile_sizes(tiled_level, k)
+            return self.evaluator.evaluate_params(sizes, groups).feasible
+
+        lo = 1
+        if not fits(lo):
+            return None
+        hi = node.N
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if fits(mid):
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo

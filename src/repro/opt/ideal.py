@@ -1,0 +1,21 @@
+"""Ideal single-core baseline (Figure 6.1's normalisation case).
+
+The paper normalises every makespan by an ideal single-core execution:
+unlimited SPM, zero-time data transfers, no tiling.  Under those
+assumptions the makespan is exactly the untransformed kernel's execution
+time, which the gem5-substitute machine model computes in closed form.
+"""
+
+from __future__ import annotations
+
+from ..loopir.ast import Kernel
+from ..sim.machine import MachineModel
+from ..timing.platform import Platform
+
+
+def ideal_makespan_ns(kernel: Kernel, platform: Platform,
+                      machine: MachineModel | None = None) -> float:
+    """Execution time of the untransformed kernel on one core, in ns."""
+    machine = machine or MachineModel()
+    cycles = machine.kernel_cost(kernel)
+    return cycles * platform.ns_per_cycle

@@ -1,0 +1,171 @@
+"""Optimization solutions: tile sizes and thread-group assignments.
+
+A :class:`Solution` binds a tilable component to per-level tile sizes
+``l_j.K`` and thread-group counts ``l_j.R`` (Section 3.4) and derives all
+the bookkeeping the scheduler needs: iteration-range counts ``l_j.M``,
+ranges per group ``l_j.Z``, the core -> thread-group mapping, and each
+core's tile sequence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from ..loopir.component import TilableComponent
+
+
+@dataclass(frozen=True)
+class LevelParams:
+    """Derived per-level quantities of Section 3.4."""
+
+    var: str
+    N: int
+    K: int     # tile size
+    R: int     # thread groups
+    M: int     # iteration ranges: ceil(N / K)
+    Z: int     # ranges per thread group: ceil(M / R)
+
+    @property
+    def remainder_width(self) -> int:
+        """Width of the final (possibly partial) iteration range."""
+        return self.N - (self.M - 1) * self.K
+
+    def tile_width(self, index: int) -> int:
+        if not 0 <= index < self.M:
+            raise IndexError(
+                f"level {self.var}: tile {index} out of range 0..{self.M - 1}")
+        return self.K if index < self.M - 1 else self.remainder_width
+
+    def group_tiles(self, group: int) -> range:
+        """Contiguous block of iteration-range indices owned by *group*."""
+        first = group * self.Z
+        last = min((group + 1) * self.Z, self.M)
+        return range(first, max(first, last))
+
+
+class Solution:
+    """One point of the optimization space for a tilable component."""
+
+    def __init__(self, component: TilableComponent,
+                 tile_sizes: Mapping[str, int],
+                 thread_groups: Mapping[str, int] | None = None):
+        self.component = component
+        thread_groups = thread_groups or {}
+        levels: List[LevelParams] = []
+        for node in component.nodes:
+            k = int(tile_sizes[node.var])
+            r = int(thread_groups.get(node.var, 1))
+            if k <= 0 or k > node.N:
+                raise ValueError(
+                    f"tile size for {node.var} must be in 1..{node.N}, got {k}")
+            if r <= 0:
+                raise ValueError(f"thread groups for {node.var} must be >= 1")
+            if r > 1 and not node.parallel:
+                raise ValueError(
+                    f"{node.var} is not parallelizable (R must be 1)")
+            m = math.ceil(node.N / k)
+            if r > m:
+                raise ValueError(
+                    f"{node.var}: {r} thread groups but only {m} ranges")
+            levels.append(LevelParams(
+                var=node.var, N=node.N, K=k, R=r, M=m, Z=math.ceil(m / r)))
+        self.levels: Tuple[LevelParams, ...] = tuple(levels)
+
+    # -- basic quantities ---------------------------------------------------
+
+    @property
+    def tile_sizes(self) -> Dict[str, int]:
+        return {lv.var: lv.K for lv in self.levels}
+
+    @property
+    def thread_groups(self) -> Dict[str, int]:
+        return {lv.var: lv.R for lv in self.levels}
+
+    @property
+    def threads(self) -> int:
+        """Total cores required: prod(l_j.R)."""
+        total = 1
+        for level in self.levels:
+            total *= level.R
+        return total
+
+    @property
+    def total_tiles(self) -> int:
+        total = 1
+        for level in self.levels:
+            total *= level.M
+        return total
+
+    def level(self, var: str) -> LevelParams:
+        for level in self.levels:
+            if level.var == var:
+                return level
+        raise KeyError(var)
+
+    # -- core -> thread-group mapping (Section 3.4) -------------------------
+
+    def group_ids(self, core: int) -> Tuple[int, ...]:
+        """Per-level thread-group id of *core* (outermost level first).
+
+        Matches the paper's formula
+        ``threadID() % prod_{k=j..L} R_k / prod_{k=j+1..L} R_k``.
+        """
+        ids = []
+        suffix = self.threads
+        for level in self.levels:
+            suffix //= level.R
+            ids.append((core % (suffix * level.R)) // suffix)
+        return tuple(ids)
+
+    def core_tile_counts(self, core: int) -> Tuple[int, ...]:
+        """Number of iteration ranges owned by *core* at each level."""
+        return tuple(
+            len(level.group_tiles(group))
+            for level, group in zip(self.levels, self.group_ids(core)))
+
+    def segments_on_core(self, core: int) -> int:
+        total = 1
+        for count in self.core_tile_counts(core):
+            total *= count
+        return total
+
+    def max_segments_per_core(self) -> int:
+        return max(self.segments_on_core(c) for c in range(self.threads))
+
+    def core_tiles(self, core: int) -> Iterator[Dict[str, int]]:
+        """This core's tile-index vectors in execution (odometer) order."""
+        blocks = [
+            level.group_tiles(group)
+            for level, group in zip(self.levels, self.group_ids(core))
+        ]
+
+        def recurse(level: int, chosen: Dict[str, int]):
+            if level == len(self.levels):
+                yield dict(chosen)
+                return
+            var = self.levels[level].var
+            for index in blocks[level]:
+                chosen[var] = index
+                yield from recurse(level + 1, chosen)
+
+        yield from recurse(0, {})
+
+    def tile_widths(self, tile_indices: Mapping[str, int]) -> Tuple[int, ...]:
+        """Per-level iteration counts of one tile."""
+        return tuple(
+            level.tile_width(tile_indices[level.var]) for level in self.levels)
+
+    def key(self) -> Tuple[Tuple[str, int, int], ...]:
+        """Hashable identity used for memoization in the optimizer."""
+        return tuple((lv.var, lv.K, lv.R) for lv in self.levels)
+
+    def describe(self) -> str:
+        """Compact human-readable form matching the paper's notation."""
+        groups = ", ".join(f"'{lv.var}': {lv.R}" for lv in self.levels)
+        sizes = ", ".join(f"'{lv.var}': {lv.K}" for lv in self.levels)
+        return "R: {" + groups + "} K: {" + sizes + "}"
+
+    def __repr__(self) -> str:
+        return f"Solution({self.describe()})"

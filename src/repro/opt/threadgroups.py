@@ -1,0 +1,59 @@
+"""Non-dominated thread-group assignments (Section 4.3).
+
+An assignment ``(l_1.R, ..., l_L.R)`` is valid when every ``R_j`` is 1 for
+non-parallelizable levels, ``R_j <= l_j.N`` and ``prod R_j <= P``.  An
+assignment dominates another when it is >= componentwise; dominated
+assignments never need to be explored because a strictly more parallel one
+exists.  The paper's example on P=10 and two parallel levels yields
+(10,1), (5,2), (3,3), (2,5), (1,10).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..loopir.component import TilableComponent
+
+
+def valid_assignments(cores: int, max_groups: Sequence[int]
+                      ) -> List[Tuple[int, ...]]:
+    """All componentwise-valid assignments with product <= cores."""
+    out: List[Tuple[int, ...]] = []
+
+    def recurse(level: int, chosen: List[int], budget: int):
+        if level == len(max_groups):
+            out.append(tuple(chosen))
+            return
+        limit = min(budget, max_groups[level])
+        for groups in range(1, limit + 1):
+            chosen.append(groups)
+            recurse(level + 1, chosen, budget // groups)
+            chosen.pop()
+
+    recurse(0, [], cores)
+    return out
+
+
+def dominates(a: Sequence[int], b: Sequence[int]) -> bool:
+    """a dominates b: a >= b componentwise and a != b."""
+    return all(x >= y for x, y in zip(a, b)) and tuple(a) != tuple(b)
+
+
+def nondominated(assignments: Sequence[Tuple[int, ...]]
+                 ) -> List[Tuple[int, ...]]:
+    """Filter out every assignment dominated by another one."""
+    out = []
+    for candidate in assignments:
+        if not any(dominates(other, candidate) for other in assignments):
+            out.append(candidate)
+    return sorted(set(out), reverse=True)
+
+
+def generate_nondominated_thread_groups(
+        cores: int, component: TilableComponent) -> List[Tuple[int, ...]]:
+    """``generate_nondominated_thread_groups(P, L)`` of Algorithm 1."""
+    max_groups = [
+        node.N if node.parallel else 1 for node in component.nodes
+    ]
+    max_groups = [min(m, cores) for m in max_groups]
+    return nondominated(valid_assignments(cores, max_groups))

@@ -1,0 +1,30 @@
+"""``select_tile_sizes`` (Algorithm 1, lines 19-28).
+
+For a level with trip count ``N`` partitioned across ``R`` thread groups,
+iterate K from 1 to N and keep exactly the smallest tile size for each
+achievable number ``Z = ceil(ceil(N/K) / R)`` of iteration ranges per
+group: those are the most load-balanced choices.  The paper's example
+(N=24, R=4) yields {1, 2, 3, 6}.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+def select_tile_sizes(n: int, groups: int) -> List[int]:
+    """Candidate tile sizes for one level (ascending)."""
+    if n <= 0:
+        raise ValueError("trip count must be positive")
+    if groups <= 0:
+        raise ValueError("thread-group count must be positive")
+    candidates: List[int] = []
+    prev_z = math.inf
+    for k in range(1, n + 1):
+        m = math.ceil(n / k)
+        z = math.ceil(m / groups)
+        if z < prev_z:
+            candidates.append(k)
+            prev_z = z
+    return candidates

@@ -1,0 +1,31 @@
+"""Polyhedral-lite substrate: affine forms, domains, accesses, dependences.
+
+This subpackage replaces the paper's use of isl/pet/PPCG for the restricted
+program class the paper targets (rectangular domains, uniform strides,
+affine subscripts).  See DESIGN.md section 2 for the substitution argument.
+"""
+
+from .access import Access, Array, READ, WRITE, read, write
+from .affine import AffineExpr, aff, lex_compare, parse_affine
+from .constraint import Constraint, ConstraintSystem, box_constraints
+from .dependence import (
+    Dependence,
+    DependenceAnalyzer,
+    StatementInfo,
+    concrete_pairs,
+    shared_prefix,
+)
+from .domain import Domain, LoopRange
+from .fm import check_feasibility, is_feasible
+from .schedule import Schedule, ScheduleDim, TiledSchedule, check_pairs_legal
+
+__all__ = [
+    "Access", "Array", "READ", "WRITE", "read", "write",
+    "AffineExpr", "aff", "lex_compare", "parse_affine",
+    "Constraint", "ConstraintSystem", "box_constraints",
+    "Dependence", "DependenceAnalyzer", "StatementInfo",
+    "concrete_pairs", "shared_prefix",
+    "Domain", "LoopRange",
+    "check_feasibility", "is_feasible",
+    "Schedule", "ScheduleDim", "TiledSchedule", "check_pairs_legal",
+]

@@ -1,0 +1,153 @@
+"""Array declarations and affine access relations.
+
+An :class:`Array` is a rectangular row-major C array with an element type.
+An :class:`Access` maps a statement's iteration vector to an array element
+through a tuple of affine subscript expressions — the access relation
+``A_a^Stmt = {Stmt(i,...) -> a(f1(i,...), ..., fn(i,...))}`` of Section 2.2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+from .affine import AffineExpr, ExprLike, aff
+
+READ = "read"
+WRITE = "write"
+
+#: Element type name -> size in bytes (the corpus uses 4-byte elements).
+ELEMENT_SIZES = {
+    "int32_t": 4,
+    "uint32_t": 4,
+    "float": 4,
+    "int64_t": 8,
+    "uint64_t": 8,
+    "double": 8,
+}
+
+
+@dataclass(frozen=True)
+class Array:
+    """A row-major C array ``etype name[shape[0]]...[shape[n-1]]``."""
+
+    name: str
+    shape: Tuple[int, ...]
+    etype: str = "float"
+
+    def __post_init__(self):
+        if not self.shape:
+            raise ValueError(f"array {self.name}: scalar arrays not supported")
+        if any(s <= 0 for s in self.shape):
+            raise ValueError(f"array {self.name}: non-positive extent {self.shape}")
+        if self.etype not in ELEMENT_SIZES:
+            raise ValueError(f"array {self.name}: unknown element type {self.etype}")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def element_size(self) -> int:
+        return ELEMENT_SIZES[self.etype]
+
+    @property
+    def total_elements(self) -> int:
+        total = 1
+        for extent in self.shape:
+            total *= extent
+        return total
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_elements * self.element_size
+
+    def linear_index(self, indices: Sequence[int]) -> int:
+        """Row-major flat element offset for a full index tuple."""
+        if len(indices) != self.ndim:
+            raise ValueError(
+                f"array {self.name}: expected {self.ndim} indices, "
+                f"got {len(indices)}")
+        offset = 0
+        for index, extent in zip(indices, self.shape):
+            if not 0 <= index < extent:
+                raise IndexError(
+                    f"array {self.name}: index {indices} out of bounds "
+                    f"for shape {self.shape}")
+            offset = offset * extent + index
+        return offset
+
+    def __repr__(self) -> str:
+        dims = "".join(f"[{s}]" for s in self.shape)
+        return f"{self.etype} {self.name}{dims}"
+
+
+class Access:
+    """An affine read or write access performed by a statement.
+
+    Parameters
+    ----------
+    array:
+        The accessed :class:`Array`.
+    indices:
+        One affine expression per array dimension, over the statement's
+        iterators (strings and ints are coerced).
+    kind:
+        :data:`READ` or :data:`WRITE`.
+    """
+
+    __slots__ = ("array", "indices", "kind")
+
+    def __init__(self, array: Array, indices: Sequence[ExprLike], kind: str):
+        if kind not in (READ, WRITE):
+            raise ValueError(f"access kind must be read/write, got {kind!r}")
+        exprs = tuple(aff(e) for e in indices)
+        if len(exprs) != array.ndim:
+            raise ValueError(
+                f"array {array.name} has {array.ndim} dims, "
+                f"access supplies {len(exprs)} subscripts")
+        self.array = array
+        self.indices = exprs
+        self.kind = kind
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind == READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == WRITE
+
+    def variables(self) -> frozenset:
+        names = frozenset()
+        for expr in self.indices:
+            names |= expr.variables()
+        return names
+
+    def element(self, point: Mapping[str, int]) -> Tuple[int, ...]:
+        """The concrete element touched at an iteration point."""
+        return tuple(int(expr.evaluate(point)) for expr in self.indices)
+
+    def index_bounds(self, box: Mapping[str, Tuple[int, int]]):
+        """Per-dimension inclusive [min, max] element indices over a box.
+
+        This is the rectangular-hull computation behind the canonical data
+        element ranges of Section 5.3.1 — exact for affine subscripts over
+        rectangular tiles.
+        """
+        return tuple(expr.bounds(box) for expr in self.indices)
+
+    def __repr__(self) -> str:
+        subs = "".join(f"[{e!r}]" for e in self.indices)
+        tag = "R" if self.is_read else "W"
+        return f"{tag}:{self.array.name}{subs}"
+
+
+def read(array: Array, *indices: ExprLike) -> Access:
+    """Convenience constructor for a read access."""
+    return Access(array, indices, READ)
+
+
+def write(array: Array, *indices: ExprLike) -> Access:
+    """Convenience constructor for a write access."""
+    return Access(array, indices, WRITE)

@@ -1,0 +1,291 @@
+"""Value-flow dependence analysis via hierarchical direction vectors.
+
+This module answers the two legality questions of Section 5.2.1 for the
+restricted program class of Section 3.2 (rectangular domains, affine
+accesses):
+
+- which shared loop levels carry a dependence and with what sign
+  (*direction vectors*), and
+- whether a dependence can be *loop independent* (all shared levels equal,
+  textual order decides).
+
+The tester follows the classical Lamport/Banerjee scheme the paper refers
+to: for each pair of accesses to the same array with at least one write,
+build the affine system
+
+    src in D_src  and  dst in D_dst  and  subscripts equal
+    and the chosen direction prefix over the shared loops,
+
+and decide feasibility with the rational Fourier–Motzkin test (plus a GCD
+pre-test).  Directions are enumerated hierarchically outermost-first with
+pruning, under the constraint that the first non-'=' level must be '<'
+(source lexicographically before sink — pairs in ``Dep`` are ordered by the
+original schedule).  The analysis is conservative: a rationally feasible
+system is reported as a real dependence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product as iter_product
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from .access import Access, Array
+from .affine import AffineExpr
+from .constraint import Constraint, ConstraintSystem
+from .domain import Domain
+from .fm import is_feasible
+from .schedule import Schedule
+
+#: Direction encodings for distance component t - s at a shared loop level.
+LT = "<"   # t > s : positive distance, dependence flows forward
+EQ_DIR = "="   # t == s
+GT = ">"   # t < s : negative distance (legal only below a '<' level)
+
+_SRC = "s$"
+_DST = "t$"
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One dependence edge of the ``Dep`` set (Eq. 2.1), summarised.
+
+    Attributes
+    ----------
+    src_stmt, dst_stmt:
+        Names of the source and sink statements.
+    array:
+        Name of the array through which the dependence flows.
+    kind:
+        ``"RAW"``, ``"WAR"`` or ``"WAW"``.
+    shared_loops:
+        The loops shared by both statements, outermost first.
+    directions:
+        Every feasible direction vector over the shared loops.  The empty
+        tuple set means the dependence exists only between instances with
+        identical shared iterators (loop independent).
+    loop_independent:
+        Whether an all-'=' dependence (textual order) is feasible.
+    """
+
+    src_stmt: str
+    dst_stmt: str
+    array: str
+    kind: str
+    shared_loops: Tuple[str, ...]
+    directions: FrozenSet[Tuple[str, ...]]
+    loop_independent: bool
+
+    def carried_by(self, loop: str) -> bool:
+        """True when some direction vector is first-nonzero at *loop*."""
+        if loop not in self.shared_loops:
+            return False
+        level = self.shared_loops.index(loop)
+        for direction in self.directions:
+            if direction[level] == LT and all(
+                    d == EQ_DIR for d in direction[:level]):
+                return True
+        return False
+
+    def component_signs(self, loop: str) -> FrozenSet[str]:
+        """All direction symbols occurring at *loop* over feasible vectors."""
+        if loop not in self.shared_loops:
+            return frozenset()
+        level = self.shared_loops.index(loop)
+        return frozenset(d[level] for d in self.directions)
+
+    def has_nonzero_at(self, loop: str) -> bool:
+        """Paper's parallelization criterion: any non-'=' component at loop."""
+        signs = self.component_signs(loop)
+        return bool(signs - {EQ_DIR})
+
+    def __repr__(self) -> str:
+        dirs = ",".join("".join(d) for d in sorted(self.directions)) or "-"
+        li = "+LI" if self.loop_independent else ""
+        return (f"Dep[{self.kind}] {self.src_stmt} -> {self.dst_stmt} "
+                f"via {self.array} ({dirs}{li})")
+
+
+@dataclass
+class StatementInfo:
+    """What the tester needs to know about one statement."""
+
+    name: str
+    domain: Domain
+    schedule: Schedule
+    accesses: Sequence[Access]
+
+
+def shared_prefix(a: Sequence[str], b: Sequence[str]) -> Tuple[str, ...]:
+    """Longest common prefix of two iterator name sequences."""
+    out = []
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        out.append(x)
+    return tuple(out)
+
+
+class DependenceAnalyzer:
+    """Computes the ``Dep`` set for a list of statements."""
+
+    def __init__(self, statements: Sequence[StatementInfo]):
+        self._stmts = list(statements)
+
+    def analyze(self) -> List[Dependence]:
+        """All dependences between every ordered statement pair."""
+        deps: List[Dependence] = []
+        for src in self._stmts:
+            for dst in self._stmts:
+                deps.extend(self._pair_dependences(src, dst))
+        return deps
+
+    # -- one statement pair ----------------------------------------------
+
+    def _pair_dependences(self, src: StatementInfo,
+                          dst: StatementInfo) -> List[Dependence]:
+        shared = shared_prefix(src.domain.iterators, dst.domain.iterators)
+        deps = []
+        for src_access in src.accesses:
+            for dst_access in dst.accesses:
+                if src_access.array.name != dst_access.array.name:
+                    continue
+                if src_access.is_read and dst_access.is_read:
+                    continue
+                kind = _dependence_kind(src_access, dst_access)
+                dep = self._test_access_pair(
+                    src, dst, src_access, dst_access, shared, kind)
+                if dep is not None:
+                    deps.append(dep)
+        return deps
+
+    def _test_access_pair(self, src, dst, src_access, dst_access,
+                          shared, kind):
+        base = self._base_system(src, dst, src_access, dst_access)
+        if not is_feasible(base):
+            return None
+
+        loop_independent = self._loop_independent_feasible(
+            src, dst, base, shared)
+
+        directions = set()
+        if shared:
+            self._enumerate(base, shared, [], directions)
+
+        if not directions and not loop_independent:
+            return None
+        return Dependence(
+            src_stmt=src.name,
+            dst_stmt=dst.name,
+            array=src_access.array.name,
+            kind=kind,
+            shared_loops=shared,
+            directions=frozenset(directions),
+            loop_independent=loop_independent,
+        )
+
+    # -- system construction ------------------------------------------------
+
+    def _base_system(self, src, dst, src_access, dst_access) -> ConstraintSystem:
+        """Domains of both instances plus subscript equality."""
+        system = ConstraintSystem()
+        system.extend(src.domain.constraints(prefix=_SRC))
+        system.extend(dst.domain.constraints(prefix=_DST))
+        src_map = {v: _SRC + v for v in src.domain.iterators}
+        dst_map = {v: _DST + v for v in dst.domain.iterators}
+        for src_idx, dst_idx in zip(src_access.indices, dst_access.indices):
+            lhs = src_idx.rename(src_map)
+            rhs = dst_idx.rename(dst_map)
+            system.add(Constraint.eq(lhs, rhs))
+        return system
+
+    def _loop_independent_feasible(self, src, dst, base, shared) -> bool:
+        """All shared levels '=' and src textually precedes dst."""
+        depth = len(shared)
+        src_statics = src.schedule.statics_below(depth)
+        dst_statics = dst.schedule.statics_below(depth)
+        if src.name == dst.name:
+            # Same instance: not a dependence between distinct instances.
+            return False
+        width = min(len(src_statics), len(dst_statics))
+        from .affine import lex_compare
+        if lex_compare(src_statics[:width], dst_statics[:width]) >= 0:
+            return False
+        system = base.copy()
+        for var in shared:
+            system.add(Constraint.eq(_SRC + var, AffineExpr.var(_DST + var)))
+        return is_feasible(system)
+
+    def _enumerate(self, base, shared, prefix, out):
+        """Hierarchical direction enumeration with feasibility pruning."""
+        level = len(prefix)
+        if level == len(shared):
+            if any(d == LT for d in prefix):
+                out.add(tuple(prefix))
+            return
+
+        # Before the first '<', only '<' and '=' are admissible (the source
+        # must precede the sink lexicographically).
+        first_lt_seen = LT in prefix
+        candidates = (LT, EQ_DIR, GT) if first_lt_seen else (LT, EQ_DIR)
+
+        for direction in candidates:
+            system = base.copy()
+            ok = True
+            for var, chosen in zip(shared, [*prefix, direction]):
+                src_var = AffineExpr.var(_SRC + var)
+                dst_var = AffineExpr.var(_DST + var)
+                if chosen == LT:
+                    system.add(Constraint.gt(dst_var, src_var))
+                elif chosen == EQ_DIR:
+                    system.add(Constraint.eq(dst_var, src_var))
+                else:
+                    system.add(Constraint.lt(dst_var, src_var))
+            if is_feasible(system):
+                self._enumerate(base, shared, [*prefix, direction], out)
+
+
+def _dependence_kind(src_access: Access, dst_access: Access) -> str:
+    if src_access.is_write and dst_access.is_write:
+        return "WAW"
+    if src_access.is_write:
+        return "RAW"
+    return "WAR"
+
+
+def concrete_pairs(src: StatementInfo, dst: StatementInfo,
+                   dependence: Dependence, limit: int = 2000):
+    """Enumerate concrete (source point, sink point) dependent pairs.
+
+    Brute-force over both domains; intended for small test kernels as an
+    oracle against the analytic direction vectors and for the Eq. 5.1
+    schedule-legality re-check.
+    """
+    src_access = _find_access(src, dependence, want_write=dependence.kind != "WAR")
+    dst_access = _find_access(dst, dependence,
+                              want_write=dependence.kind in ("WAW", "WAR"))
+    pairs = []
+    for src_point in src.domain.points():
+        src_elem = src_access.element(src_point)
+        for dst_point in dst.domain.points():
+            if dst_access.element(dst_point) != src_elem:
+                continue
+            src_ts = src.schedule.evaluate(src_point)
+            dst_ts = dst.schedule.evaluate(dst_point)
+            width = min(len(src_ts), len(dst_ts))
+            from .affine import lex_compare
+            if lex_compare(src_ts[:width], dst_ts[:width]) < 0:
+                pairs.append((src_point, dst_point))
+                if len(pairs) >= limit:
+                    return pairs
+    return pairs
+
+
+def _find_access(info: StatementInfo, dependence: Dependence,
+                 want_write: bool) -> Access:
+    for access in info.accesses:
+        if access.array.name == dependence.array and \
+                access.is_write == want_write:
+            return access
+    raise LookupError(
+        f"statement {info.name} has no matching access to {dependence.array}")

@@ -1,0 +1,184 @@
+"""Iteration domains: rectangular boxes of named iterators plus guards.
+
+The paper restricts input programs to loops with constant iteration ranges
+and uniform strides (Section 3.2).  A statement's domain is therefore the
+Cartesian product of per-loop ranges, optionally restricted by affine guard
+constraints (e.g. the ``if (p == 0)`` guard on the LSTM initialisation
+statement in Listing 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Sequence, Tuple
+
+from .affine import AffineExpr
+from .constraint import Constraint, ConstraintSystem, box_constraints
+
+
+@dataclass(frozen=True)
+class LoopRange:
+    """One loop dimension: ``for (v = begin; v < begin + n*stride; v += stride)``."""
+
+    var: str
+    begin: int
+    n: int
+    stride: int = 1
+
+    def __post_init__(self):
+        if self.n < 0:
+            raise ValueError(f"loop {self.var}: negative trip count {self.n}")
+        if self.stride <= 0:
+            raise ValueError(f"loop {self.var}: stride must be positive")
+
+    @property
+    def last(self) -> int:
+        """The last iterator value (inclusive)."""
+        return self.begin + self.stride * (self.n - 1)
+
+    @property
+    def bounds(self) -> Tuple[int, int]:
+        """Inclusive [min, max] of the iterator."""
+        return self.begin, self.last
+
+    def values(self) -> range:
+        return range(self.begin, self.last + 1, self.stride)
+
+    def __contains__(self, value: int) -> bool:
+        if value < self.begin or value > self.last:
+            return False
+        return (value - self.begin) % self.stride == 0
+
+
+class Domain:
+    """A rectangular iteration domain with optional affine guards.
+
+    Iterator order is significant: it is the nesting order of the loops
+    that surround the statement, outermost first.
+    """
+
+    def __init__(self, ranges: Sequence[LoopRange],
+                 guards: ConstraintSystem | None = None):
+        names = [r.var for r in ranges]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate iterator names in domain: {names}")
+        self._ranges = tuple(ranges)
+        self._guards = guards or ConstraintSystem()
+        unknown = self._guards.variables() - set(names)
+        if unknown:
+            raise ValueError(f"guard references unknown iterators: {unknown}")
+
+    # -- observers ---------------------------------------------------------
+
+    @property
+    def ranges(self) -> Tuple[LoopRange, ...]:
+        return self._ranges
+
+    @property
+    def guards(self) -> ConstraintSystem:
+        return self._guards
+
+    @property
+    def iterators(self) -> Tuple[str, ...]:
+        return tuple(r.var for r in self._ranges)
+
+    @property
+    def dim(self) -> int:
+        return len(self._ranges)
+
+    def range_of(self, var: str) -> LoopRange:
+        for loop_range in self._ranges:
+            if loop_range.var == var:
+                return loop_range
+        raise KeyError(var)
+
+    def box(self) -> Dict[str, Tuple[int, int]]:
+        """Per-iterator inclusive bounds, ignoring guards."""
+        return {r.var: r.bounds for r in self._ranges}
+
+    def size(self) -> int:
+        """Number of lattice points ignoring guards (paper: uniform tiles)."""
+        total = 1
+        for loop_range in self._ranges:
+            total *= loop_range.n
+        return total
+
+    def contains(self, point: Mapping[str, int]) -> bool:
+        for loop_range in self._ranges:
+            if point[loop_range.var] not in loop_range:
+                return False
+        return self._guards.satisfied(point)
+
+    # -- constraint view ------------------------------------------------------
+
+    def constraints(self, prefix: str = "") -> ConstraintSystem:
+        """The full conjunction describing the domain.
+
+        With a *prefix*, iterators are renamed ``prefix + name`` — used to
+        build dependence systems over two copies of the same domain.
+        """
+        system = ConstraintSystem()
+        for loop_range in self._ranges:
+            var = prefix + loop_range.var
+            system.add(Constraint.ge(var, loop_range.begin))
+            system.add(Constraint.le(var, loop_range.last))
+        if prefix:
+            mapping = {r.var: prefix + r.var for r in self._ranges}
+            system.extend(self._guards.rename(mapping))
+        else:
+            system.extend(self._guards)
+        return system
+
+    # -- restriction / iteration ----------------------------------------------
+
+    def restrict(self, sub_bounds: Mapping[str, Tuple[int, int]]) -> "Domain":
+        """Clamp iterator ranges to sub-intervals (used to form tiles).
+
+        The result keeps stride/alignment: the restricted begin is rounded
+        up to the next on-stride value.
+        """
+        ranges = []
+        for loop_range in self._ranges:
+            if loop_range.var not in sub_bounds:
+                ranges.append(loop_range)
+                continue
+            lo, hi = sub_bounds[loop_range.var]
+            lo = max(lo, loop_range.begin)
+            hi = min(hi, loop_range.last)
+            if lo > hi:
+                ranges.append(LoopRange(loop_range.var, lo, 0, loop_range.stride))
+                continue
+            offset = (lo - loop_range.begin) % loop_range.stride
+            if offset:
+                lo += loop_range.stride - offset
+            count = 0 if lo > hi else (hi - lo) // loop_range.stride + 1
+            ranges.append(LoopRange(loop_range.var, lo, count, loop_range.stride))
+        return Domain(ranges, self._guards)
+
+    def points(self) -> Iterator[Dict[str, int]]:
+        """Enumerate lattice points honouring guards (tests & the VM only)."""
+        def recurse(index: int, point: Dict[str, int]):
+            if index == len(self._ranges):
+                if self._guards.satisfied(point):
+                    yield dict(point)
+                return
+            loop_range = self._ranges[index]
+            for value in loop_range.values():
+                point[loop_range.var] = value
+                yield from recurse(index + 1, point)
+            point.pop(loop_range.var, None)
+
+        yield from recurse(0, {})
+
+    def is_empty(self) -> bool:
+        return any(r.n == 0 for r in self._ranges)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{r.begin}<={r.var}<={r.last}" +
+            (f" step {r.stride}" if r.stride != 1 else "")
+            for r in self._ranges
+        )
+        if len(self._guards):
+            parts += f" | {self._guards!r}"
+        return f"Domain({parts})"

@@ -1,0 +1,170 @@
+"""Fourier–Motzkin elimination for rational feasibility of affine systems.
+
+The dependence tester (:mod:`repro.poly.dependence`) reduces "does a
+dependence with this direction vector exist?" to the feasibility of a small
+conjunction of affine constraints over the source and sink iteration
+vectors.  We decide feasibility over the rationals with exact ``Fraction``
+arithmetic; the test is *conservative* for the integer question in exactly
+the way the paper requires ("the dependency analysis is conservative"):
+
+- rationally infeasible  => no integer point          => independent
+- rationally feasible    => assume a dependence exists
+
+A GCD pre-test on equalities removes the most common spurious rational
+solutions (strided accesses).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from .affine import AffineExpr
+from .constraint import EQ, GE, ConstraintSystem
+
+# A linear inequality sum(coeffs[i] * x_i) + const >= 0 in dense form.
+_Row = Tuple[Tuple[Fraction, ...], Fraction]
+
+
+class FMResult:
+    """Feasibility verdict with a human-readable reason (for diagnostics)."""
+
+    def __init__(self, feasible: bool, reason: str):
+        self.feasible = feasible
+        self.reason = reason
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+    def __repr__(self) -> str:
+        verdict = "feasible" if self.feasible else "infeasible"
+        return f"FMResult({verdict}: {self.reason})"
+
+
+def is_feasible(system: ConstraintSystem) -> bool:
+    """True when the system has a rational solution (conservative integer)."""
+    return bool(check_feasibility(system))
+
+
+def check_feasibility(system: ConstraintSystem) -> FMResult:
+    """Run the GCD pre-test then rational Fourier–Motzkin elimination."""
+    variables = sorted(system.variables())
+    if not _gcd_test(system, variables):
+        return FMResult(False, "gcd test refuted an equality")
+
+    rows = _to_rows(system, variables)
+    if rows is None:
+        return FMResult(False, "constant constraint violated")
+    return _eliminate(rows, len(variables))
+
+
+def _gcd_test(system: ConstraintSystem, variables: List[str]) -> bool:
+    """Classic GCD test: an equality sum(c_i x_i) = -c0 with integer x
+    requires gcd(c_i) | c0.  Returns False when some equality is refuted.
+    """
+    for constraint in system:
+        if constraint.kind != EQ:
+            continue
+        coeffs = [constraint.expr.coeff(v) for v in variables]
+        coeffs = [c for c in coeffs if c != 0]
+        const = constraint.expr.constant
+        if not all(isinstance(c, int) for c in coeffs) or not isinstance(const, int):
+            continue
+        if not coeffs:
+            if const != 0:
+                return False
+            continue
+        divisor = 0
+        for coeff in coeffs:
+            divisor = math.gcd(divisor, abs(coeff))
+        if divisor and const % divisor != 0:
+            return False
+    return True
+
+
+def _to_rows(system: ConstraintSystem, variables: List[str]):
+    """Densify to inequality rows; equalities become two inequalities.
+
+    Returns None if a variable-free constraint is already violated.
+    """
+    index: Dict[str, int] = {v: i for i, v in enumerate(variables)}
+    rows: List[_Row] = []
+    for constraint in system:
+        coeffs = [Fraction(0)] * len(variables)
+        for var, coeff in constraint.expr.coeffs.items():
+            coeffs[index[var]] = Fraction(coeff)
+        const = Fraction(constraint.expr.constant)
+        if all(c == 0 for c in coeffs):
+            if constraint.kind == EQ and const != 0:
+                return None
+            if constraint.kind == GE and const < 0:
+                return None
+            continue
+        rows.append((tuple(coeffs), const))
+        if constraint.kind == EQ:
+            rows.append((tuple(-c for c in coeffs), -const))
+    return rows
+
+
+def _eliminate(rows: List[_Row], nvars: int) -> FMResult:
+    """Eliminate variables one by one, combining opposite-sign rows."""
+    for var in range(nvars):
+        positive: List[_Row] = []
+        negative: List[_Row] = []
+        neutral: List[_Row] = []
+        for coeffs, const in rows:
+            coeff = coeffs[var]
+            if coeff > 0:
+                positive.append((coeffs, const))
+            elif coeff < 0:
+                negative.append((coeffs, const))
+            else:
+                neutral.append((coeffs, const))
+
+        new_rows = neutral
+        for pos_coeffs, pos_const in positive:
+            for neg_coeffs, neg_const in negative:
+                # pos gives lower bound on x_var, neg gives upper bound;
+                # combine so the variable cancels.
+                scale_pos = -neg_coeffs[var]
+                scale_neg = pos_coeffs[var]
+                coeffs = tuple(
+                    scale_pos * pc + scale_neg * nc
+                    for pc, nc in zip(pos_coeffs, neg_coeffs)
+                )
+                const = scale_pos * pos_const + scale_neg * neg_const
+                if all(c == 0 for c in coeffs):
+                    if const < 0:
+                        return FMResult(
+                            False, f"contradiction eliminating var {var}")
+                    continue
+                new_rows.append((coeffs, const))
+        rows = _dedupe(new_rows)
+        if not rows:
+            return FMResult(True, "all constraints eliminated")
+
+    for coeffs, const in rows:
+        if const < 0:
+            return FMResult(False, "residual constant constraint violated")
+    return FMResult(True, "system reduced to satisfiable constants")
+
+
+def _dedupe(rows: List[_Row]) -> List[_Row]:
+    """Normalize rows and drop duplicates / obviously dominated copies."""
+    seen = {}
+    for coeffs, const in rows:
+        scale = None
+        for coeff in coeffs:
+            if coeff != 0:
+                scale = abs(coeff)
+                break
+        if scale is None:
+            scale = Fraction(1)
+        key = tuple(c / scale for c in coeffs)
+        value = const / scale
+        # For identical left-hand sides keep the tightest (smallest) constant:
+        # coeffs.x + const >= 0, smaller const is the stronger constraint.
+        if key not in seen or value < seen[key]:
+            seen[key] = value
+    return [(coeffs, const) for coeffs, const in seen.items()]

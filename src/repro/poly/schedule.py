@@ -1,0 +1,155 @@
+"""Schedule tuples in the 2d+1 (Kelly) representation and tiling thereof.
+
+A statement nested in ``d`` loops has the schedule
+``Phi(S[i1..id]) = (b0, i1, b1, i2, ..., id, bd)`` where the ``b`` entries
+are static positions within the enclosing body (Section 2.2.1 uses exactly
+this interleaved form, e.g. ``Phi(Stmt3[i,j]) = (1, i, 1, j)`` plus the
+trailing order constant).
+
+Tiling a band of loops rewrites the schedule as in Section 5.2.2:
+``(..., i1, ..., iL, rest...)`` becomes
+``(..., floor(i1/K1), ..., floor(iL/KL), i1 mod K1, ..., iL mod KL, rest...)``.
+Floor/mod make the tiled schedule non-affine, so it is evaluated pointwise;
+the analytic legality question is answered by the permutable-band criterion
+in :mod:`repro.loopir.validity`, and :func:`check_pairs_legal` re-verifies
+Eq. 5.1 on concrete dependent pairs (used by the test-suite as an oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+from .affine import lex_compare
+
+CONST = "const"
+ITER = "iter"
+
+
+@dataclass(frozen=True)
+class ScheduleDim:
+    """One schedule dimension: a static constant or a loop iterator."""
+
+    kind: str
+    value: object  # int for CONST, iterator name for ITER
+
+    @staticmethod
+    def static(value: int) -> "ScheduleDim":
+        return ScheduleDim(CONST, value)
+
+    @staticmethod
+    def loop(name: str) -> "ScheduleDim":
+        return ScheduleDim(ITER, name)
+
+    @property
+    def is_iter(self) -> bool:
+        return self.kind == ITER
+
+
+class Schedule:
+    """An ordered tuple of schedule dimensions for one statement."""
+
+    def __init__(self, dims: Sequence[ScheduleDim]):
+        self._dims = tuple(dims)
+
+    @property
+    def dims(self) -> Tuple[ScheduleDim, ...]:
+        return self._dims
+
+    def iterators(self) -> Tuple[str, ...]:
+        return tuple(d.value for d in self._dims if d.is_iter)
+
+    def evaluate(self, point: Mapping[str, int]) -> Tuple[int, ...]:
+        """The concrete lexicographic timestamp of one statement instance."""
+        values = []
+        for dim in self._dims:
+            if dim.is_iter:
+                values.append(int(point[dim.value]))
+            else:
+                values.append(int(dim.value))
+        return tuple(values)
+
+    def statics_below(self, depth: int) -> Tuple[int, ...]:
+        """Static (constant) dims after the first *depth* iterator dims.
+
+        Used to decide textual order between two statements whose shared
+        iterators are all equal (loop-independent dependences).
+        """
+        seen = 0
+        statics = []
+        for dim in self._dims:
+            if dim.is_iter:
+                seen += 1
+                if seen > depth:
+                    break
+            elif seen >= depth:
+                statics.append(int(dim.value))
+        return tuple(statics)
+
+    def __repr__(self) -> str:
+        parts = [str(d.value) for d in self._dims]
+        return "(" + ", ".join(parts) + ")"
+
+
+class TiledSchedule:
+    """A schedule with a band of iterators tiled (floor/mod expansion)."""
+
+    def __init__(self, base: Schedule, band: Sequence[str],
+                 tile_sizes: Mapping[str, int]):
+        missing = [v for v in band if v not in tile_sizes]
+        if missing:
+            raise ValueError(f"missing tile sizes for band loops {missing}")
+        self._base = base
+        self._band = tuple(band)
+        self._sizes = {v: int(tile_sizes[v]) for v in band}
+        for var, size in self._sizes.items():
+            if size <= 0:
+                raise ValueError(f"tile size for {var} must be positive")
+
+    def evaluate(self, point: Mapping[str, int]) -> Tuple[int, ...]:
+        """Timestamp under the tiled schedule of Section 5.2.2.
+
+        The band iterators are replaced in place by their tile indices and a
+        block of intra-tile remainders is inserted right after the last band
+        iterator; everything else keeps its relative position.
+        """
+        values = []
+        remainders = []
+        band_remaining = set(self._band)
+        for dim in self._base.dims:
+            if dim.is_iter and dim.value in self._sizes:
+                size = self._sizes[dim.value]
+                coord = int(point[dim.value])
+                values.append(coord // size)
+                remainders.append(coord % size)
+                band_remaining.discard(dim.value)
+                if not band_remaining:
+                    values.extend(remainders)
+            else:
+                if dim.is_iter:
+                    values.append(int(point[dim.value]))
+                else:
+                    values.append(int(dim.value))
+        return tuple(values)
+
+
+def check_pairs_legal(pairs, src_schedule, dst_schedule) -> bool:
+    """Eq. 5.1 oracle: every (source, sink) pair keeps source strictly first.
+
+    *pairs* is an iterable of ``(src_point, dst_point)`` dictionaries;
+    the schedules may be :class:`Schedule` or :class:`TiledSchedule`.
+    Timestamps of differing lengths are compared on their common prefix
+    first (standard Kelly-tuple semantics: shorter tuples order before
+    longer ones when the prefix ties).
+    """
+    for src_point, dst_point in pairs:
+        src_ts = src_schedule.evaluate(src_point)
+        dst_ts = dst_schedule.evaluate(dst_point)
+        width = min(len(src_ts), len(dst_ts))
+        cmp = lex_compare(src_ts[:width], dst_ts[:width])
+        if cmp > 0:
+            return False
+        if cmp == 0 and len(src_ts) >= len(dst_ts) and src_ts == dst_ts:
+            # identical timestamps: the pair no longer has a defined order
+            return False
+    return True

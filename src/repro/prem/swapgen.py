@@ -1,0 +1,120 @@
+"""Swap-call parameter generation — Algorithm 3 (Section 5.3.2).
+
+Given an array's shape, the canonical data element range of a segment, and
+the array's SPM bounding box, produce the concrete parameters of the
+``swap_buffer`` / ``swap2d_buffer`` / ``swapnd_buffer`` call that transfers
+the range:
+
+- ``src``: start address in main memory, expressed as an element offset
+  from the array base (symbolic over outer iterators until pinned);
+- ``size``: transferred extent per dimension — counts for the outer
+  dimensions, *bytes* for the innermost one (the paper's convention);
+- ``spitch``: the source array's dimension sizes 2..n (innermost in bytes);
+- ``dpitch``: the SPM buffer's (bounding box) dimension sizes, same form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Tuple
+
+from ..poly.access import Array
+from ..poly.affine import AffineExpr
+from .ranges import CanonicalRange
+
+
+@dataclass(frozen=True)
+class SwapCall:
+    """One generated swap API call (parameters per Algorithm 3)."""
+
+    api: str                     # swap_buffer / swap2d_buffer / swapnd_buffer
+    array: Array
+    offset_elements: AffineExpr  # element offset of src from the array base
+    size: Tuple[int, ...]        # innermost entry in bytes
+    spitch: Tuple[int, ...]      # bytes-innermost, dims 2..n of the array
+    dpitch: Tuple[int, ...]      # bytes-innermost, dims 2..n of the buffer
+
+    @property
+    def ndim(self) -> int:
+        return self.array.ndim
+
+    def src_offset(self, outer: Mapping[str, int] | None = None) -> int:
+        """Concrete element offset under outer iterator values."""
+        return int(self.offset_elements.evaluate(outer or {}))
+
+    def render(self, buffer_id: str,
+               outer: Mapping[str, int] | None = None) -> str:
+        """C-like rendering of the call (used by codegen and the traces)."""
+        etype = self.array.etype
+        if outer is None and not self.offset_elements.is_constant():
+            src = f"(uint64_t*)(({etype}*){self.array.name} + " \
+                  f"{self.offset_elements!r})"
+        else:
+            src = f"(uint64_t*)(({etype}*){self.array.name} + " \
+                  f"{self.src_offset(outer)})"
+        if self.api == "swap_buffer":
+            return f"swap_buffer({buffer_id}, {src}, {self.size[0]})"
+        if self.api == "swap2d_buffer":
+            return (f"swap2d_buffer({buffer_id}, {src}, {self.size[1]}, "
+                    f"{self.size[0]}, {self.spitch[0]}, {self.dpitch[0]})")
+        size = ", ".join(str(v) for v in self.size)
+        spitch = ", ".join(str(v) for v in self.spitch)
+        dpitch = ", ".join(str(v) for v in self.dpitch)
+        return (f"swapnd_buffer({buffer_id}, {src}, {self.ndim}, "
+                f"(int[]){{{size}}}, (int[]){{{spitch}}}, "
+                f"(int[]){{{dpitch}}})")
+
+
+def generate_swap_call(crange: CanonicalRange,
+                       bounding_shape: Sequence[int]) -> SwapCall:
+    """Algorithm 3: build the swap call for one canonical range."""
+    array = crange.array
+    shape = crange.shape
+    esize = array.element_size
+    n = array.ndim
+    if len(bounding_shape) != n:
+        raise ValueError(
+            f"bounding box rank {len(bounding_shape)} != array rank {n}")
+    for extent, cap in zip(shape, bounding_shape):
+        if extent > cap:
+            raise ValueError(
+                f"range shape {shape} exceeds bounding box "
+                f"{tuple(bounding_shape)} for {array.name}")
+
+    offset = _address_offset(crange)
+    if n == 1:
+        return SwapCall(
+            api="swap_buffer",
+            array=array,
+            offset_elements=offset,
+            size=(shape[0] * esize,),
+            spitch=(),
+            dpitch=(),
+        )
+    if n == 2:
+        return SwapCall(
+            api="swap2d_buffer",
+            array=array,
+            offset_elements=offset,
+            size=(shape[0], shape[1] * esize),
+            spitch=(array.shape[1] * esize,),
+            dpitch=(bounding_shape[1] * esize,),
+        )
+    return SwapCall(
+        api="swapnd_buffer",
+        array=array,
+        offset_elements=offset,
+        size=(*shape[:-1], shape[-1] * esize),
+        spitch=(*array.shape[1:-1], array.shape[-1] * esize),
+        dpitch=(*tuple(bounding_shape[1:-1]),
+                bounding_shape[-1] * esize),
+    )
+
+
+def _address_offset(crange: CanonicalRange) -> AffineExpr:
+    """Row-major element offset of the range's first element (symbolic)."""
+    array = crange.array
+    offset = AffineExpr.const(0)
+    for lo, extent in zip(crange.lo, array.shape):
+        offset = offset * extent + lo
+    return offset

@@ -1,0 +1,133 @@
+"""Report formatting for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures; these
+helpers render the rows/series as aligned text tables (printed to stdout
+and archived under ``benchmarks/results/``) plus a JSON sidecar so
+EXPERIMENTS.md can quote exact numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_value(value: Cell) -> str:
+    """Human formatting: thousands separators, short floats, inf/None."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return f"{value:,}"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Cell]],
+                 title: str = "") -> str:
+    """Render an aligned text table."""
+    text_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(
+        h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(
+            cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def results_dir() -> Path:
+    """Where benchmark outputs are archived (override via REPRO_RESULTS)."""
+    root = os.environ.get("REPRO_RESULTS")
+    if root:
+        path = Path(root)
+    else:
+        path = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+class ExperimentReport:
+    """Collects the rows of one experiment and archives them."""
+
+    def __init__(self, experiment_id: str, title: str,
+                 headers: Sequence[str]):
+        self.experiment_id = experiment_id
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[Cell]] = []
+        self.notes: List[str] = []
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"{self.experiment_id}: row has {len(cells)} cells, "
+                f"expected {len(self.headers)}")
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        text = format_table(
+            self.headers, self.rows,
+            title=f"[{self.experiment_id}] {self.title}")
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return text
+
+    def save(self) -> Path:
+        """Write <id>.txt and <id>.json into the results directory."""
+        directory = results_dir()
+        text_path = directory / f"{self.experiment_id}.txt"
+        text_path.write_text(self.render() + "\n")
+        payload = {
+            "experiment": self.experiment_id,
+            "title": self.title,
+            "headers": self.headers,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+        (directory / f"{self.experiment_id}.json").write_text(
+            json.dumps(payload, indent=2, default=str) + "\n")
+        return text_path
+
+    def emit(self) -> str:
+        """Print, archive, and return the rendered table."""
+        text = self.render()
+        print("\n" + text)
+        self.save()
+        return text
+
+
+def full_grid_enabled() -> bool:
+    """REPRO_FULL=1 switches benches to the paper's complete sweeps."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")
+
+
+def log2_label(value: float) -> str:
+    """Bus speeds as the paper labels them: powers of two in GB/s."""
+    if value >= 1:
+        return f"{value:g}"
+    return f"1/{round(1 / value):d}"

@@ -1,0 +1,19 @@
+"""PREM schedule evaluation: phase DAG, pipeline recurrence, makespan."""
+
+from .dag import build_phase_dag, dag_makespan
+from .gantt import PhaseSpan, render_gantt, schedule_spans
+from .makespan import (
+    DEFAULT_SEGMENT_CAP,
+    MakespanEvaluator,
+    MakespanResult,
+)
+from .pipeline import PipelineResult, evaluate_pipeline
+from .validate import ExactExecModel, ValidationResult, validate_timing_model
+
+__all__ = [
+    "build_phase_dag", "dag_makespan",
+    "PhaseSpan", "render_gantt", "schedule_spans",
+    "DEFAULT_SEGMENT_CAP", "MakespanEvaluator", "MakespanResult",
+    "PipelineResult", "evaluate_pipeline",
+    "ExactExecModel", "ValidationResult", "validate_timing_model",
+]

@@ -1,0 +1,113 @@
+"""Component makespan evaluation: plan -> pipeline -> result.
+
+This is the ``makespan((l.R...), (l.K...))`` function of Algorithm 1: it
+plans the PREM segment schedule for one optimization solution and returns
+its length, or infinity when the solution is infeasible (SPM overflow,
+overlap-illegal written ranges, or past the segment-count evaluation cap —
+tiny tiles are dominated by per-segment overhead long before that cap, so
+the search simply moves away from them).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..loopir.component import TilableComponent
+from ..opt.solution import Solution
+from ..prem.segments import ComponentPlan, PlanError, SegmentPlanner
+from ..timing.execmodel import ExecModel
+from ..timing.platform import Platform
+from .pipeline import PipelineResult, evaluate_pipeline
+
+#: Solutions needing more segments per core than this evaluate to +inf.
+DEFAULT_SEGMENT_CAP = 8192
+
+
+@dataclass
+class MakespanResult:
+    """Outcome of evaluating one solution for one component execution."""
+
+    component: TilableComponent
+    solution: Solution
+    makespan_ns: float
+    feasible: bool
+    reason: str = ""
+    plan: Optional[ComponentPlan] = None
+    pipeline: Optional[PipelineResult] = None
+
+    @property
+    def total_makespan_ns(self) -> float:
+        """Makespan over all ``first(L).I`` executions of the component."""
+        return self.makespan_ns * self.component.executions
+
+    @property
+    def transferred_bytes(self) -> int:
+        return self.plan.total_transferred_bytes if self.plan else 0
+
+    @property
+    def spm_bytes_needed(self) -> int:
+        return self.plan.spm_bytes_needed if self.plan else 0
+
+
+class MakespanEvaluator:
+    """Caches planning state so Algorithm 1 can probe many solutions."""
+
+    def __init__(self, component: TilableComponent, platform: Platform,
+                 exec_model: ExecModel,
+                 segment_cap: int = DEFAULT_SEGMENT_CAP,
+                 modes: Mapping[str, str] | None = None):
+        self.component = component
+        self.platform = platform
+        self.exec_model = exec_model
+        self.segment_cap = segment_cap
+        self.planner = SegmentPlanner(component, platform, exec_model, modes)
+        self._cache: Dict[tuple, MakespanResult] = {}
+        self.evaluations = 0
+
+    def evaluate(self, solution: Solution) -> MakespanResult:
+        key = solution.key()
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self.evaluations += 1
+        try:
+            plan = self.planner.plan(solution, self.segment_cap)
+        except PlanError as error:
+            result = MakespanResult(
+                component=self.component,
+                solution=solution,
+                makespan_ns=math.inf,
+                feasible=False,
+                reason=str(error),
+            )
+            self._cache[key] = result
+            return result
+        pipeline = evaluate_pipeline(plan.cores)
+        result = MakespanResult(
+            component=self.component,
+            solution=solution,
+            makespan_ns=pipeline.makespan_ns,
+            feasible=True,
+            plan=plan,
+            pipeline=pipeline,
+        )
+        self._cache[key] = result
+        return result
+
+    def evaluate_params(self, tile_sizes: Mapping[str, int],
+                        thread_groups: Mapping[str, int] | None = None
+                        ) -> MakespanResult:
+        """Convenience wrapper building the Solution object."""
+        try:
+            solution = Solution(self.component, tile_sizes, thread_groups)
+        except ValueError as error:
+            return MakespanResult(
+                component=self.component,
+                solution=None,            # type: ignore[arg-type]
+                makespan_ns=math.inf,
+                feasible=False,
+                reason=str(error),
+            )
+        return self.evaluate(solution)

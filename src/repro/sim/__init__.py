@@ -1,0 +1,15 @@
+"""Gem5-substitute timing simulation and tile profiling."""
+
+from .machine import CostTable, MachineModel
+from .profiler import (
+    fit_component_model,
+    profile_component,
+    sample_widths,
+    width_candidates,
+)
+
+__all__ = [
+    "CostTable", "MachineModel",
+    "fit_component_model", "profile_component", "sample_widths",
+    "width_candidates",
+]

@@ -1,0 +1,19 @@
+"""Timing models: platform parameters, memory phases, execution phases."""
+
+from .execmodel import ExecModel, design_matrix, fit_exec_model
+from .memory import (
+    alpha_index,
+    burst_transfers,
+    data_line_num,
+    data_line_size,
+    transfer_bytes,
+    transfer_time_ns,
+)
+from .platform import API_WCET_NS, DEFAULT_PLATFORM, GB, Platform, bus_speed_gb
+
+__all__ = [
+    "ExecModel", "design_matrix", "fit_exec_model",
+    "alpha_index", "burst_transfers", "data_line_num", "data_line_size",
+    "transfer_bytes", "transfer_time_ns",
+    "API_WCET_NS", "DEFAULT_PLATFORM", "GB", "Platform", "bus_speed_gb",
+]

@@ -1,0 +1,10 @@
+"""Test-suite configuration: a CI-friendly hypothesis profile."""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

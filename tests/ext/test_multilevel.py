@@ -1,0 +1,112 @@
+"""Tests for the two-level SPM streaming extension (Chapter 7)."""
+
+import math
+
+import pytest
+
+from repro.ext.multilevel import (
+    TwoLevelPlatform,
+    best_block_size,
+    evaluate_two_level,
+)
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt import ComponentOptimizer, Solution
+from repro.schedule.makespan import MakespanEvaluator
+from repro.sim.profiler import fit_component_model
+from repro.timing.platform import Platform
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+    comp = component_at(tree, ["s1_0", "p"])
+    model = fit_component_model(comp)
+    solution = Solution(comp, {"s1_0": 14, "p": 234}, {"s1_0": 8, "p": 1})
+    return comp, model, solution
+
+
+class TestModel:
+    def test_l1_view_reprices_bus(self):
+        platform = TwoLevelPlatform(
+            Platform().with_bus(1e9), l2_bus_bytes_per_s=32e9)
+        view = platform.l1_view()
+        assert view.bus_bytes_per_s == 32e9
+        assert platform.base.bus_bytes_per_s == 1e9
+
+    def test_bulk_transfer_time(self):
+        platform = TwoLevelPlatform(Platform().with_bus(1e9))
+        # 1 MiB at 1 GB/s: 64-byte bursts of 64 ns each + one line setup.
+        expected = 40.0 + (1 << 20) / 64 * 64.0
+        assert platform.bulk_transfer_ns(1 << 20) == pytest.approx(expected)
+        assert platform.bulk_transfer_ns(0) == 0.0
+
+    def test_block_size_validation(self, setup):
+        comp, model, solution = setup
+        platform = TwoLevelPlatform(Platform())
+        with pytest.raises(ValueError):
+            evaluate_two_level(comp, solution, platform, model, 0)
+
+    def test_l2_capacity_enforced(self, setup):
+        comp, model, solution = setup
+        platform = TwoLevelPlatform(Platform(), l2_bytes=1024)
+        result = evaluate_two_level(comp, solution, platform, model, 4)
+        assert not result.feasible
+        assert "L2" in result.reason
+
+
+class TestShape:
+    def test_two_level_helps_at_slow_main_bus(self, setup):
+        """The whole point of the extension: with a slow main memory and a
+        fast L2 stage, bulk prefetching beats per-segment main-memory
+        streaming."""
+        comp, model, solution = setup
+        slow_bus = Platform().with_bus(1e9 / 8)
+        single = MakespanEvaluator(comp, slow_bus, model).evaluate(solution)
+        platform = TwoLevelPlatform(slow_bus, l2_bus_bytes_per_s=32e9,
+                                    l2_bytes=32 * 1024 * 1024)
+        block, result = best_block_size(comp, solution, platform, model)
+        assert result.feasible
+        assert result.makespan_ns < single.makespan_ns
+
+    def test_never_beats_main_bandwidth_floor(self, setup):
+        """Bulk transfers still move every byte over the main bus."""
+        comp, model, solution = setup
+        slow_bus = Platform().with_bus(1e9 / 8)
+        platform = TwoLevelPlatform(slow_bus, l2_bytes=32 * 1024 * 1024)
+        result = evaluate_two_level(comp, solution, platform, model, 2)
+        assert result.feasible
+        assert result.makespan_ns >= result.bulk_transfer_ns_total * 0.5
+
+    def test_block_one_close_to_single_level(self, setup):
+        """With blocks of one segment, the model degenerates to staging
+        every segment through L2; the makespan stays within the same
+        order as the single-level schedule at equal bandwidths."""
+        comp, model, solution = setup
+        base = Platform()
+        platform = TwoLevelPlatform(
+            base, l2_bus_bytes_per_s=base.bus_bytes_per_s,
+            l2_line_overhead_ns=base.dma_line_overhead_ns,
+            l2_bytes=64 * 1024 * 1024)
+        single = MakespanEvaluator(comp, base, model).evaluate(solution)
+        staged = evaluate_two_level(comp, solution, platform, model, 1)
+        assert staged.feasible
+        assert staged.makespan_ns >= single.makespan_ns * 0.99
+        assert staged.makespan_ns <= single.makespan_ns * 3.0
+
+    def test_interior_block_size_optimum(self, setup):
+        """Very small blocks waste line overheads, very large ones lose
+        overlap: the best block size is usually interior."""
+        comp, model, solution = setup
+        platform = TwoLevelPlatform(
+            Platform().with_bus(1e9 / 8), l2_bytes=64 * 1024 * 1024)
+        results = {
+            block: evaluate_two_level(
+                comp, solution, platform, model, block)
+            for block in (1, 2, 4, 8, 12)
+        }
+        feasible = {b: r for b, r in results.items() if r.feasible}
+        assert feasible
+        best_block = min(feasible, key=lambda b: feasible[b].makespan_ns)
+        assert best_block >= 1

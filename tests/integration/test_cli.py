@@ -1,0 +1,61 @@
+"""CLI smoke tests (fast presets only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_registered(self):
+        parser = build_parser()
+        for command in ("tree", "compile", "codegen", "trace", "gantt",
+                        "sweep"):
+            args = parser.parse_args([command, "cnn"])
+            assert args.command == command
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tree", "fft"])
+
+
+class TestCommands:
+    def test_tree(self, capsys):
+        assert main(["tree", "lstm", "--preset", "MINI"]) == 0
+        out = capsys.readouterr().out
+        assert "s1_0" in out and "dependences" in out
+
+    def test_compile(self, capsys):
+        code = main(["compile", "cnn", "--preset", "MINI",
+                     "--spm", "8", "--cores", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "normalised" in out
+
+    def test_compile_greedy(self, capsys):
+        code = main(["compile", "cnn", "--preset", "MINI",
+                     "--spm", "8", "--greedy"])
+        assert code == 0
+
+    def test_codegen(self, capsys):
+        assert main(["codegen", "maxpool", "--preset", "MINI",
+                     "--spm", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "BUFFER_ALLOC_APIS" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "sumpool", "--preset", "MINI",
+                     "--spm", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "segment" in out
+
+    def test_gantt(self, capsys):
+        assert main(["gantt", "cnn", "--preset", "MINI",
+                     "--spm", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "dma" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "lstm", "--preset", "MINI", "--spm", "8",
+                     "--speeds", "1,16"]) == 0
+        out = capsys.readouterr().out
+        assert "normalised" in out

@@ -1,0 +1,103 @@
+"""Cross-module consistency: the macro builder (used for codegen, traces
+and the VM) and the segment planner (used for timing) must describe the
+same schedule for any solution."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt.solution import Solution
+from repro.prem.macros import MacroBuilder
+from repro.prem.segments import PlanError, SegmentPlanner
+from repro.sim.profiler import fit_component_model
+from repro.timing.platform import Platform
+
+BIG = Platform(spm_bytes=64 * 1024 * 1024)
+
+
+@pytest.fixture(scope="module")
+def lstm_setup():
+    tree = LoopTree.build(make_kernel("lstm", "SMALL"))
+    comp = component_at(tree, ["s1_0", "p"])
+    return comp, fit_component_model(comp)
+
+
+def check_consistency(comp, model, sizes, groups):
+    solution = Solution(comp, sizes, groups)
+    planner = SegmentPlanner(comp, BIG, model)
+    try:
+        plan = planner.plan(solution)
+    except PlanError:
+        return
+    builder = MacroBuilder(comp, solution, planner.modes)
+
+    total_load = 0
+    total_unload = 0
+    for core in range(solution.threads):
+        schedules = builder.core_schedules(core)
+        core_plan = plan.cores[core]
+        n = core_plan.n_segments
+        assert n == solution.segments_on_core(core)
+        for name, schedule in schedules.items():
+            mode = schedule.mode
+            events = schedule.events
+            if n:
+                assert not events or events[0].segment == 1
+            for before, after in zip(events, events[1:]):
+                assert before.segment < after.segment
+            for event in events:
+                slot = schedule.transfer_slot(event.index)
+                assert 1 <= slot <= event.segment
+                if mode in ("RO", "RW"):
+                    total_load += event.crange.bytes
+                if mode in ("WO", "RW"):
+                    total_unload += event.crange.bytes
+                    unload = schedule.unload_slot(event.index)
+                    assert unload <= n + 2
+        for segment in range(1, n + 1):
+            assert 0 <= core_plan.dep_slot[segment - 1] <= segment
+
+    assert total_load == plan.total_load_bytes
+    assert total_unload == plan.total_unload_bytes
+
+
+CASES = [
+    ({"s1_0": 8, "p": 10}, {"s1_0": 4, "p": 1}),
+    ({"s1_0": 32, "p": 40}, None),
+    ({"s1_0": 5, "p": 40}, {"s1_0": 2, "p": 1}),
+    ({"s1_0": 32, "p": 13}, {"s1_0": 1, "p": 1}),
+    ({"s1_0": 3, "p": 7}, {"s1_0": 8, "p": 1}),
+]
+
+
+@pytest.mark.parametrize("sizes,groups", CASES)
+def test_planner_and_macros_agree(lstm_setup, sizes, groups):
+    comp, model = lstm_setup
+    check_consistency(comp, model, sizes, groups)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=1, max_value=32),
+       st.integers(min_value=1, max_value=40),
+       st.sampled_from([1, 2, 4, 8]))
+def test_planner_and_macros_agree_random(k_s1, k_p, r_s1):
+    tree = LoopTree.build(make_kernel("lstm", "SMALL"))
+    comp = component_at(tree, ["s1_0", "p"])
+    model = fit_component_model(comp)
+    import math
+    if r_s1 > math.ceil(comp.nodes[0].N / k_s1):
+        return
+    check_consistency(comp, model, {"s1_0": k_s1, "p": k_p},
+                      {"s1_0": r_s1, "p": 1})
+
+
+def test_cnn_consistency():
+    tree = LoopTree.build(make_kernel("cnn", "SMALL"))
+    comp = component_at(tree, ["n", "k", "p", "q", "c"])
+    model = fit_component_model(comp)
+    check_consistency(
+        comp, model,
+        {"n": 1, "k": 4, "p": 3, "q": 8, "c": 3},
+        {"n": 1, "k": 2, "p": 2, "q": 1, "c": 1})

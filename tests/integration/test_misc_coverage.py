@@ -1,0 +1,107 @@
+"""Small fast tests covering corners the main suites skip."""
+
+import math
+
+import pytest
+
+from repro.ext.multilevel import TwoLevelPlatform
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.builder import for_, stmt_
+from repro.loopir.component import component_at
+from repro.poly.access import Array
+from repro.poly.constraint import Constraint, ConstraintSystem
+from repro.poly.fm import check_feasibility
+from repro.prem.segments import CoreSchedule
+from repro.schedule.gantt import render_gantt
+from repro.timing.platform import Platform
+
+
+class TestFmDiagnostics:
+    def test_reason_strings(self):
+        feasible = check_feasibility(
+            ConstraintSystem([Constraint.ge("x", 0)]))
+        assert bool(feasible)
+        assert "feasible" in repr(feasible)
+        refuted = check_feasibility(ConstraintSystem([
+            Constraint.eq("x", 1), Constraint.eq("x", 2)]))
+        assert not refuted
+        assert refuted.reason
+
+
+class TestBuilderGuards:
+    def test_loop_guards_threaded_through(self):
+        a = Array("a", (4,))
+        s = stmt_("s", {"a": a}, writes={"a": ("i",)})
+        loop = for_("i", 4, s, guards=[Constraint.ge("t", 1)])
+        assert len(loop.guards) == 1
+
+
+class TestGanttOptions:
+    def make_core(self):
+        return CoreSchedule(
+            core=0, n_segments=4, init_api_ns=5.0,
+            exec_ns=[10.0] * 4, mem_slot_ns=[2.0] * 6,
+            dep_slot=[1, 2, 3, 4])
+
+    def test_max_segments_filter(self):
+        full = render_gantt([self.make_core()], width=40)
+        clipped = render_gantt([self.make_core()], width=40,
+                               max_segments=2)
+        assert "3" in full
+        assert "3" not in clipped.split("\n")[1]
+
+    def test_width_respected(self):
+        text = render_gantt([self.make_core()], width=30)
+        lane = [l for l in text.splitlines() if l.startswith("core")][0]
+        assert len(lane) <= len("core 0 |") + 30 + 1
+
+
+class TestTwoLevelPlatformEdges:
+    def test_zero_and_negative_payload(self):
+        platform = TwoLevelPlatform(Platform())
+        assert platform.bulk_transfer_ns(0) == 0.0
+        assert platform.bulk_transfer_ns(-5) == 0.0
+
+    def test_l1_view_preserves_other_fields(self):
+        base = Platform(cores=4, spm_bytes=64 * 1024)
+        view = TwoLevelPlatform(base).l1_view()
+        assert view.cores == 4
+        assert view.spm_bytes == 64 * 1024
+
+
+class TestCompilerComponentMap:
+    def test_heads_are_unique(self):
+        kernel = make_kernel("lstm", "MINI")
+        from repro.compiler import PremCompiler
+        result = PremCompiler(Platform(spm_bytes=8192)).compile(kernel)
+        mapping = result.component_map()
+        assert len(mapping) == len(result.components)
+        for head, (component, solution) in mapping.items():
+            assert component.nodes[0].var == head
+            assert solution.threads >= 1
+
+
+class TestLoopTreePrebuiltDeps:
+    def test_build_accepts_precomputed_dependences(self):
+        kernel = make_kernel("cnn", "MINI")
+        first = LoopTree.build(kernel)
+        second = LoopTree.build(kernel, dependences=first.dependences)
+        assert first.render() == second.render()
+
+
+class TestExhaustiveAccounting:
+    def test_evaluations_bounded_by_space(self):
+        from repro.opt.exhaustive import (
+            ExhaustiveOptimizer,
+            search_space_size,
+        )
+        from repro.sim.profiler import fit_component_model
+
+        tree = LoopTree.build(make_kernel("lstm", "SMALL"))
+        comp = component_at(tree, ["b_0"])
+        model = fit_component_model(comp)
+        optimizer = ExhaustiveOptimizer(comp, Platform(), model)
+        result = optimizer.optimize(4)
+        assert result.evaluations <= search_space_size(comp, 4)
+        assert result.feasible

@@ -1,0 +1,100 @@
+"""Property test: ANY legal tiling/parallelization computes the same
+result as the sequential program under the PREM VM.
+
+This is the repo's master invariant — it exercises canonical ranges,
+buffer modes, swap scheduling, double buffering and the VM together on
+randomly drawn solutions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt.solution import Solution
+from repro.prem.runtime import (
+    SequentialInterpreter,
+    init_arrays,
+    run_kernel_prem,
+)
+
+
+def reference_memory(kernel):
+    arrays = init_arrays(kernel, seed=9)
+    SequentialInterpreter().run(kernel, arrays)
+    return arrays
+
+
+@pytest.fixture(scope="module")
+def cnn_fixture():
+    kernel = make_kernel("cnn", "MINI")
+    tree = LoopTree.build(kernel)
+    comp = component_at(tree, ["n", "k", "p", "q", "c"])
+    return kernel, tree, comp, reference_memory(kernel)
+
+
+@pytest.fixture(scope="module")
+def lstm_fixture():
+    kernel = make_kernel("lstm", "MINI")
+    tree = LoopTree.build(kernel)
+    comp = component_at(tree, ["t"])
+    return kernel, tree, comp, reference_memory(kernel)
+
+
+@settings(max_examples=12, deadline=None)
+@given(data=st.data())
+def test_cnn_random_tilings_equivalent(cnn_fixture, data):
+    kernel, tree, comp, expected = cnn_fixture
+    sizes = {}
+    for node in comp.nodes:
+        sizes[node.var] = data.draw(
+            st.integers(min_value=1, max_value=node.N), label=node.var)
+    groups = {}
+    budget = 8
+    for node in comp.nodes:
+        if not node.parallel:
+            continue
+        import math
+        m = math.ceil(node.N / sizes[node.var])
+        cap = min(budget, m)
+        r = data.draw(st.integers(min_value=1, max_value=cap),
+                      label=f"R_{node.var}")
+        groups[node.var] = r
+        budget //= r
+
+    solution = Solution(comp, sizes, groups)
+    arrays = init_arrays(kernel, seed=9)
+    run_kernel_prem(kernel, {"n": (comp, solution)}, arrays)
+    for name in expected:
+        np.testing.assert_allclose(
+            arrays[name], expected[name], rtol=1e-5, atol=1e-6,
+            err_msg=f"{name} diverged for {solution.describe()}")
+
+
+def test_lstm_time_tiling_rejected_below_full(lstm_fixture):
+    """Chunking the time loop makes consecutive segments' c_F/s_F hulls
+    overlap without being equal (the c_F[t-1] reads straddle chunk
+    boundaries), which Section 5.3.1 declares illegal — the planner must
+    reject every K_t < NT."""
+    from repro.prem.segments import PlanError, SegmentPlanner
+    from repro.sim.profiler import fit_component_model
+    from repro.timing.platform import Platform
+
+    kernel, tree, comp, expected = lstm_fixture
+    model = fit_component_model(comp)
+    planner = SegmentPlanner(
+        comp, Platform(spm_bytes=1 << 26), model)
+    nt = kernel.constants["NT"]
+    for k_t in range(1, nt):
+        with pytest.raises(PlanError):
+            planner.plan(Solution(comp, {"t": k_t}))
+    # the single-tile solution is legal and equivalent
+    solution = Solution(comp, {"t": nt})
+    planner.plan(solution)
+    arrays = init_arrays(kernel, seed=9)
+    run_kernel_prem(kernel, {"t": (comp, solution)}, arrays)
+    for name in expected:
+        np.testing.assert_allclose(
+            arrays[name], expected[name], rtol=1e-5, atol=1e-6)

@@ -1,0 +1,77 @@
+"""Tests for the report formatting and archiving helpers."""
+
+import json
+
+import pytest
+
+from repro.reporting import (
+    ExperimentReport,
+    format_table,
+    format_value,
+    full_grid_enabled,
+    log2_label,
+    results_dir,
+)
+
+
+class TestFormatting:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value("abc") == "abc"
+        assert format_value(1234567) == "1,234,567"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(0.0) == "0"
+        assert format_value(0.1253) == "0.1253"
+        assert format_value(3.14159) == "3.14"
+        assert format_value(1e9) == "1,000,000,000"
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["kernel", "value"],
+            [["cnn", 1], ["lstm", 22222]],
+            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("kernel")
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_log2_label(self):
+        assert log2_label(16) == "16"
+        assert log2_label(1 / 16) == "1/16"
+        assert log2_label(1) == "1"
+
+
+class TestExperimentReport:
+    def test_row_arity_checked(self):
+        report = ExperimentReport("x", "t", ["a", "b"])
+        with pytest.raises(ValueError):
+            report.add_row(1)
+
+    def test_save_and_json(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        report = ExperimentReport("demo_exp", "title", ["a", "b"])
+        report.add_row(1, 2.5)
+        report.add_note("a note")
+        path = report.save()
+        assert path.read_text().startswith("[demo_exp] title")
+        payload = json.loads((tmp_path / "demo_exp.json").read_text())
+        assert payload["rows"] == [[1, 2.5]]
+        assert payload["notes"] == ["a note"]
+
+    def test_results_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path / "sub"))
+        assert results_dir() == tmp_path / "sub"
+        assert (tmp_path / "sub").is_dir()
+
+
+class TestFullGridFlag:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_grid_enabled()
+        monkeypatch.setenv("REPRO_FULL", "0")
+        assert not full_grid_enabled()
+
+    def test_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_grid_enabled()

@@ -1,0 +1,150 @@
+"""Sanity tests for the PolyBench-NN transcriptions."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    GOOGLENET_3X3_LAYERS,
+    KERNELS,
+    PRESETS,
+    bounds_label,
+    googlenet_cnn,
+    layer_sizes,
+    make_kernel,
+    preset_sizes,
+)
+from repro.prem.runtime import SequentialInterpreter, init_arrays
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_all_presets_instantiate(self, name):
+        for preset in PRESETS[name]:
+            kernel = make_kernel(name, preset)
+            assert kernel.name == name
+            assert kernel.roots
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError):
+            preset_sizes("cnn", "GIGANTIC")
+        with pytest.raises(KeyError):
+            preset_sizes("fft", "LARGE")
+
+    def test_overrides(self):
+        kernel = make_kernel("cnn", "MINI", overrides={"NK": 2})
+        assert kernel.constants["NK"] == 2
+
+    def test_large_lstm_matches_paper_bounds(self):
+        sizes = preset_sizes("lstm", "LARGE")
+        assert sizes["NS"] == 650 and sizes["NP"] == 700
+
+    def test_large_working_sets_exceed_spm(self):
+        """The paper picks LARGE so kernels cannot fit a 128 KiB SPM."""
+        for name in KERNELS:
+            kernel = make_kernel(name, "LARGE")
+            total = sum(a.total_bytes for a in kernel.arrays.values())
+            assert total > 128 * 1024, name
+
+
+class TestShapes:
+    def test_cnn_listing_6_1_structure(self):
+        kernel = make_kernel("cnn", "MINI")
+        loops = [loop.var for loop, _ in kernel.walk_loops()]
+        assert loops == ["n", "k", "p", "q", "c", "r", "s"]
+        sz = kernel.constants
+        assert kernel.arrays["inp_F"].shape == (
+            sz["NN"], sz["NC"], sz["NP"] + sz["NR"] - 1,
+            sz["NQ"] + sz["NS"] - 1)
+
+    def test_lstm_listing_3_1_structure(self):
+        kernel = make_kernel("lstm", "MINI")
+        root = kernel.roots[0]
+        assert root.var == "t"
+        children = [c.var for c in root.child_loops()]
+        assert children == ["s1_0", "s1_1", "b_0", "b_1"]
+
+    def test_pool_input_is_window_times_output(self):
+        kernel = make_kernel("maxpool", "MINI")
+        sz = kernel.constants
+        assert kernel.arrays["inp_F"].shape == (
+            sz["NN"], sz["NK"], sz["NP"] * sz["NR"], sz["NQ"] * sz["NS"])
+
+
+class TestNumericSemantics:
+    def test_cnn_matches_numpy_convolution(self):
+        kernel = make_kernel("cnn", "MINI")
+        arrays = init_arrays(kernel, seed=5)
+        w, inp = arrays["W"].copy(), arrays["inp_F"].copy()
+        out = arrays["out_F"].copy()
+        SequentialInterpreter().run(kernel, arrays)
+        sz = kernel.constants
+        nr, ns = sz["NR"], sz["NS"]
+        expected = out.copy()
+        for n in range(sz["NN"]):
+            for k in range(sz["NK"]):
+                for p in range(sz["NP"]):
+                    for q in range(sz["NQ"]):
+                        acc = expected[n, k, p, q]
+                        for c in range(sz["NC"]):
+                            for r in range(nr):
+                                for s in range(ns):
+                                    acc += w[k, c, r, s] * \
+                                        inp[n, c, p + nr - r - 1,
+                                            q + ns - s - 1]
+                        expected[n, k, p, q] = acc
+        np.testing.assert_allclose(
+            arrays["out_F"], expected, rtol=1e-5)
+
+    def test_maxpool_matches_numpy(self):
+        kernel = make_kernel("maxpool", "MINI")
+        arrays = init_arrays(kernel, seed=5)
+        inp = arrays["inp_F"].copy()
+        SequentialInterpreter().run(kernel, arrays)
+        sz = kernel.constants
+        expected = inp.reshape(
+            sz["NN"], sz["NK"], sz["NP"], sz["NR"], sz["NQ"], sz["NS"]
+        ).max(axis=(3, 5))
+        np.testing.assert_allclose(arrays["out_F"], expected, rtol=1e-6)
+
+    def test_sumpool_matches_numpy(self):
+        kernel = make_kernel("sumpool", "MINI")
+        arrays = init_arrays(kernel, seed=5)
+        inp = arrays["inp_F"].copy()
+        SequentialInterpreter().run(kernel, arrays)
+        sz = kernel.constants
+        expected = inp.reshape(
+            sz["NN"], sz["NK"], sz["NP"], sz["NR"], sz["NQ"], sz["NS"]
+        ).sum(axis=(3, 5))
+        np.testing.assert_allclose(arrays["out_F"], expected, rtol=1e-5)
+
+    def test_lstm_state_feeds_forward(self):
+        """s_F[t] must depend on s_F[t-1]: perturbing the input at t=0
+        changes the state at the final step."""
+        kernel = make_kernel("lstm", "MINI")
+        base = init_arrays(kernel, seed=5)
+        perturbed = {k: v.copy() for k, v in base.items()}
+        perturbed["inp_F"][0, 0] += 1.0
+        SequentialInterpreter().run(kernel, base)
+        SequentialInterpreter().run(kernel, perturbed)
+        nt = kernel.constants["NT"]
+        assert not np.allclose(base["s_F"][nt - 1],
+                               perturbed["s_F"][nt - 1])
+
+
+class TestGoogLeNet:
+    def test_layer_list(self):
+        assert len(GOOGLENET_3X3_LAYERS) == 6
+        assert GOOGLENET_3X3_LAYERS[0] == (128, 28, 28, 96)
+
+    def test_layer_sizes(self):
+        sizes = layer_sizes((128, 28, 28, 96))
+        assert sizes == dict(NN=1, NK=128, NP=28, NQ=28, NC=96,
+                             NR=3, NS=3)
+
+    def test_kernel_instantiation(self):
+        kernel = googlenet_cnn((208, 14, 14, 96))
+        assert kernel.constants["NK"] == 208
+        assert kernel.arrays["out_F"].shape == (1, 208, 14, 14)
+
+    def test_bounds_label(self):
+        assert bounds_label((128, 28, 28, 96)) == "128 / 28 / 28 / 96"

@@ -1,0 +1,97 @@
+"""Tests for the loop-nest IR: walks, domains, schedules."""
+
+import pytest
+
+from repro.kernels import lstm, preset_sizes
+from repro.loopir.ast import Kernel, Loop, Stmt
+from repro.loopir.builder import for_, stmt_
+from repro.poly.access import Array
+from repro.poly.constraint import Constraint
+
+
+@pytest.fixture()
+def tiny_kernel():
+    a = Array("a", (4, 6))
+    arrays = {"a": a}
+    s1 = stmt_("init", arrays, writes={"a": ("i", "j")})
+    s2 = stmt_("use", arrays, reads={"a": ("i", "j")},
+               writes={"a": ("i", "j")})
+    loops = for_("i", 4, for_("j", 6, s1, s2))
+    return Kernel("tiny", [a], [loops])
+
+
+class TestStructure:
+    def test_walk_loops_preorder(self, tiny_kernel):
+        loops = [loop.var for loop, _ in tiny_kernel.walk_loops()]
+        assert loops == ["i", "j"]
+
+    def test_walk_stmts_textual_order(self, tiny_kernel):
+        names = [s.name for s, _ in tiny_kernel.walk_stmts()]
+        assert names == ["init", "use"]
+
+    def test_surrounding_loops(self, tiny_kernel):
+        loops = tiny_kernel.surrounding_loops("use")
+        assert [l.var for l in loops] == ["i", "j"]
+
+    def test_lookup_errors(self, tiny_kernel):
+        with pytest.raises(KeyError):
+            tiny_kernel.loop_by_var("zz")
+        with pytest.raises(KeyError):
+            tiny_kernel.stmt_by_name("zz")
+
+    def test_duplicate_loop_names_rejected(self):
+        a = Array("a", (4,))
+        s = stmt_("s", {"a": a}, writes={"a": ("i",)})
+        with pytest.raises(ValueError):
+            Kernel("bad", [a], [for_("i", 4, for_("i", 4, s))])
+
+    def test_duplicate_stmt_names_rejected(self):
+        a = Array("a", (4,))
+        s1 = stmt_("s", {"a": a}, writes={"a": ("i",)})
+        s2 = stmt_("s", {"a": a}, reads={"a": ("i",)})
+        with pytest.raises(ValueError):
+            Kernel("bad", [a], [for_("i", 4, s1, s2)])
+
+    def test_stmts_and_arrays_under(self, tiny_kernel):
+        root = tiny_kernel.roots[0]
+        assert len(tiny_kernel.stmts_under(root)) == 2
+        assert [a.name for a in tiny_kernel.arrays_under(root)] == ["a"]
+
+
+class TestPolyhedralViews:
+    def test_stmt_domain(self, tiny_kernel):
+        dom = tiny_kernel.stmt_domain("use")
+        assert dom.iterators == ("i", "j")
+        assert dom.size() == 24
+
+    def test_stmt_schedule_kelly_form(self, tiny_kernel):
+        init = tiny_kernel.stmt_schedule("init")
+        use = tiny_kernel.stmt_schedule("use")
+        pt = {"i": 1, "j": 2}
+        assert init.evaluate(pt) < use.evaluate(pt)
+        assert init.evaluate({"i": 1, "j": 2}) < \
+            init.evaluate({"i": 1, "j": 3})
+
+    def test_lstm_schedules_interleave(self):
+        kernel = lstm(preset_sizes("lstm", "MINI"))
+        mac_u = kernel.stmt_schedule("lstm_mac_u")
+        mac_w = kernel.stmt_schedule("lstm_mac_w")
+        # mac_u is in the first subtree of t, mac_w in the second.
+        pt_u = {"t": 1, "s1_0": 0, "p": 0}
+        pt_w = {"t": 1, "s1_1": 0, "s2": 0}
+        width = 2  # compare (beta0, t) then position within t's body
+        assert mac_u.evaluate(pt_u)[:3] < mac_w.evaluate(pt_w)[:3]
+
+    def test_lstm_guarded_domain(self):
+        kernel = lstm(preset_sizes("lstm", "MINI"))
+        dom = kernel.stmt_domain("lstm_mac_w")
+        assert not dom.contains({"t": 0, "s1_1": 0, "s2": 0})
+        assert dom.contains({"t": 1, "s1_1": 0, "s2": 0})
+
+    def test_guarded_stmt_domain(self):
+        a = Array("a", (4,))
+        s = stmt_("s", {"a": a}, writes={"a": ("i",)},
+                  guards=[Constraint.eq("j", 0)])
+        k = Kernel("g", [a], [for_("i", 4, for_("j", 5, s))])
+        dom = k.stmt_domain("s")
+        assert len(list(dom.points())) == 4

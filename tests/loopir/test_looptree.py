@@ -1,0 +1,103 @@
+"""Loop-tree construction tests against the paper's figures.
+
+The LSTM tree must match Figure 3.2 (N, I, parallel per level); the CNN
+tree must fold the small filter loops r/s into c, matching Table 6.6's
+reporting of tile sizes for k/p/q/c only.
+"""
+
+import pytest
+
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+
+
+@pytest.fixture(scope="module")
+def trees():
+    return {
+        name: LoopTree.build(make_kernel(name, "SMALL"))
+        for name in ("cnn", "lstm", "maxpool", "sumpool", "rnn")
+    }
+
+
+class TestLstmFigure32:
+    def test_structure(self, trees):
+        tree = trees["lstm"]
+        root = tree.roots[0]
+        assert root.var == "t"
+        assert [c.var for c in root.children] == \
+            ["s1_0", "s1_1", "b_0", "b_1"]
+
+    def test_parallel_flags(self, trees):
+        tree = trees["lstm"]
+        expected = {
+            "t": False, "s1_0": True, "p": False,
+            "s1_1": True, "s2": False, "b_0": True, "b_1": True,
+        }
+        for var, parallel in expected.items():
+            assert tree.node_by_var(var).parallel == parallel, var
+
+    def test_execution_counts(self, trees):
+        tree = trees["lstm"]
+        nt = make_kernel("lstm", "SMALL").constants["NT"]
+        assert tree.node_by_var("t").I == 1
+        assert tree.node_by_var("s1_0").I == nt
+        # guarded by t > 0 (Figure 3.2: l.I = NT - 1)
+        assert tree.node_by_var("s1_1").I == nt - 1
+        assert tree.node_by_var("b_0").I == nt - 1
+        assert tree.node_by_var("b_1").I == nt
+
+
+class TestCnnFolding:
+    def test_filter_loops_folded_into_c(self, trees):
+        tree = trees["cnn"]
+        c = tree.node_by_var("c")
+        assert c.is_leaf
+        assert c.folded
+        with pytest.raises(KeyError):
+            tree.node_by_var("r")
+
+    def test_band_levels_parallel(self, trees):
+        tree = trees["cnn"]
+        for var in ("n", "k", "p", "q"):
+            assert tree.node_by_var(var).parallel, var
+        assert not tree.node_by_var("c").parallel
+
+    def test_chain_shape(self, trees):
+        tree = trees["cnn"]
+        node = tree.roots[0]
+        chain = [node.var]
+        while node.children:
+            assert len(node.children) == 1
+            node = node.children[0]
+            chain.append(node.var)
+        assert chain == ["n", "k", "p", "q", "c"]
+
+
+class TestPooling:
+    @pytest.mark.parametrize("name", ["maxpool", "sumpool"])
+    def test_window_loops_fold(self, trees, name):
+        tree = trees[name]
+        r = tree.node_by_var("r")
+        assert r.is_leaf and r.folded
+        for var in ("n", "k", "p", "q"):
+            assert tree.node_by_var(var).parallel
+
+
+class TestRnn:
+    def test_recurrent_loop_sequential(self, trees):
+        tree = trees["rnn"]
+        s2 = tree.node_by_var("s2")
+        assert not s2.parallel
+        assert s2.is_leaf and s2.folded  # s3 folded (in-place update)
+
+    def test_projection_parallel(self, trees):
+        tree = trees["rnn"]
+        assert tree.node_by_var("s1").parallel
+        assert not tree.node_by_var("p").parallel
+        assert tree.node_by_var("s4").parallel
+
+
+def test_render_mentions_every_level(trees):
+    text = trees["lstm"].render()
+    for var in ("t", "s1_0", "p", "s1_1", "s2", "b_0", "b_1"):
+        assert f"{var}:" in text

@@ -1,0 +1,140 @@
+"""Tests for chain heads, legality criteria and execution counting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernels import lstm, preset_sizes
+from repro.loopir.ast import Kernel, Loop
+from repro.loopir.builder import for_, stmt_
+from repro.loopir.validity import (
+    chain_heads,
+    count_guarded_executions,
+    is_chain_extendable,
+    level_parallel,
+    level_tilable,
+)
+from repro.poly.access import Array
+from repro.poly.constraint import Constraint
+from repro.poly.dependence import Dependence
+
+
+def make_dep(shared, directions, loop_independent=False):
+    return Dependence(
+        src_stmt="S", dst_stmt="T", array="a", kind="RAW",
+        shared_loops=tuple(shared),
+        directions=frozenset(tuple(d) for d in directions),
+        loop_independent=loop_independent,
+    )
+
+
+class TestChainHeads:
+    def test_lstm_chain_heads(self):
+        kernel = lstm(preset_sizes("lstm", "MINI"))
+        heads = chain_heads(kernel)
+        assert heads["t"] == "t"
+        assert heads["s1_0"] == "s1_0"
+        assert heads["p"] == "s1_0"
+        assert heads["s2"] == "s1_1"
+        assert heads["b_0"] == "b_0"
+
+    def test_perfect_nest_single_head(self):
+        a = Array("a", (4, 4, 4))
+        s = stmt_("s", {"a": a}, writes={"a": ("i", "j", "k")})
+        k = Kernel("k", [a], [for_("i", 4, for_("j", 4, for_("k", 4, s)))])
+        heads = chain_heads(k)
+        assert heads == {"i": "i", "j": "i", "k": "i"}
+
+    def test_extendable(self):
+        inner = Loop("j", 4, [])
+        assert is_chain_extendable(Loop("i", 4, [inner]))
+        a = Array("a", (4,))
+        s = stmt_("s", {"a": a}, writes={"a": ("i",)})
+        assert not is_chain_extendable(Loop("i", 4, [s, inner]))
+        assert not is_chain_extendable(Loop("i", 4, [inner, Loop("k", 2)]))
+
+
+class TestLegality:
+    HEADS = {"i": "i", "j": "i", "k": "i"}
+
+    def test_forward_directions_tilable(self):
+        deps = [make_dep(("i", "j"), [("<", "="), ("=", "<")])]
+        assert level_tilable("i", deps, self.HEADS)
+        assert level_tilable("j", deps, self.HEADS)
+
+    def test_negative_inner_carried_in_band_folds(self):
+        deps = [make_dep(("i", "j"), [("<", ">")])]
+        assert level_tilable("i", deps, self.HEADS)
+        assert not level_tilable("j", deps, self.HEADS)
+
+    def test_negative_component_carried_above_head_is_fine(self):
+        heads = {"t": "t", "i": "i", "j": "i"}
+        deps = [make_dep(("t", "i", "j"), [("<", "=", ">")])]
+        assert level_tilable("j", deps, heads)
+
+    def test_parallel_requires_all_zero(self):
+        deps = [make_dep(("i", "j"), [("=", "<")])]
+        assert level_parallel("i", deps, self.HEADS)
+        assert not level_parallel("j", deps, self.HEADS)
+
+    def test_parallel_ignores_deps_carried_above_head(self):
+        heads = {"t": "t", "i": "i"}
+        deps = [make_dep(("t", "i"), [("<", "<")])]
+        assert level_parallel("i", deps, heads)
+        assert not level_parallel("t", deps, heads)
+
+    def test_unrelated_loop_unaffected(self):
+        deps = [make_dep(("i", "j"), [("<", ">")])]
+        other_heads = {**self.HEADS, "z": "z"}
+        assert level_tilable("z", deps, other_heads)
+        assert level_parallel("z", deps, other_heads)
+
+
+class TestExecutionCounting:
+    def loop(self, guards=()):
+        return Loop("inner", 4, [], guards=list(guards))
+
+    def test_root_is_one(self):
+        assert count_guarded_executions(self.loop(), ()) == 1
+
+    def test_unguarded_product(self):
+        anc = (Loop("t", 5, []), Loop("u", 3, []))
+        assert count_guarded_executions(self.loop(), anc) == 15
+
+    def test_single_var_guard(self):
+        anc = (Loop("t", 5, []),)
+        assert count_guarded_executions(
+            self.loop([Constraint.ge("t", 1)]), anc) == 4
+        assert count_guarded_executions(
+            self.loop([Constraint.eq("t", 2)]), anc) == 1
+        assert count_guarded_executions(
+            self.loop([Constraint.le("t", -1)]), anc) == 0
+
+    def test_ancestor_guards_compose(self):
+        anc = (Loop("t", 5, []),
+               Loop("u", 3, [], guards=[Constraint.ge("t", 2)]))
+        assert count_guarded_executions(self.loop(), anc) == 9
+
+    def test_strided_ancestor(self):
+        anc = (Loop("t", 5, [], begin=0, stride=2),)  # t in {0,2,4,6,8}
+        assert count_guarded_executions(
+            self.loop([Constraint.ge("t", 3)]), anc) == 3
+
+    def test_multivar_guard_enumeration(self):
+        anc = (Loop("t", 4, []), Loop("u", 4, []))
+        guard = Constraint.ge("t", "u")  # t >= u
+        assert count_guarded_executions(self.loop([guard]), anc) == 10
+
+    def test_unknown_guard_var_rejected(self):
+        anc = (Loop("t", 4, []),)
+        with pytest.raises(ValueError):
+            count_guarded_executions(
+                self.loop([Constraint.ge("zzz", 0)]), anc)
+
+
+@given(st.integers(min_value=1, max_value=12),
+       st.integers(min_value=-3, max_value=14))
+def test_threshold_guard_counting(n, threshold):
+    anc = (Loop("t", n, []),)
+    loop = Loop("inner", 2, [], guards=[Constraint.ge("t", threshold)])
+    expected = len([t for t in range(n) if t >= threshold])
+    assert count_guarded_executions(loop, anc) == expected

@@ -1,0 +1,63 @@
+"""Edge-case tests for the optimizers and timing model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt.component import ComponentOptimizer
+from repro.opt.greedy import GreedyOptimizer
+from repro.sim.profiler import fit_component_model
+from repro.timing.execmodel import design_matrix, fit_exec_model
+from repro.timing.platform import Platform
+
+
+class TestGreedyInfeasible:
+    def test_no_level_fits_reports_infeasible(self):
+        """With an absurdly small SPM even K=1 tiles overflow: greedy
+        must report infeasibility instead of crashing."""
+        tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+        comp = component_at(tree, ["s1_0", "p"])
+        model = fit_component_model(comp)
+        tiny = Platform(spm_bytes=256)
+        result = GreedyOptimizer(comp, tiny, model).optimize(8)
+        assert not result.feasible
+        assert result.makespan_ns == math.inf
+
+    def test_heuristic_infeasible_platform(self):
+        tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+        comp = component_at(tree, ["s1_0", "p"])
+        model = fit_component_model(comp)
+        tiny = Platform(spm_bytes=256)
+        result = ComponentOptimizer(comp, tiny, model).optimize(8)
+        assert not result.feasible
+
+
+class TestSingleLevelModel:
+    def test_design_matrix_depth_one(self):
+        matrix = design_matrix([(5,)])
+        np.testing.assert_allclose(matrix, [[5.0, 1.0]])
+
+    def test_fit_depth_one(self):
+        samples = [(w,) for w in (1, 2, 4, 8, 16, 32)]
+        measured = [100.0 + 7.0 * w for (w,) in samples]
+        model = fit_exec_model(samples, measured)
+        assert model.estimate((64,)) == pytest.approx(100 + 7 * 64,
+                                                      rel=1e-6)
+        assert model.overheads == (0.0,)
+
+
+class TestSingleIterationLevels:
+    def test_n_equals_one_level(self):
+        """CNN's batch loop has N=1: K=R=1 is the only choice and the
+        machinery must handle the degenerate level throughout."""
+        tree = LoopTree.build(make_kernel("cnn", "SMALL"))
+        comp = component_at(tree, ["n", "k", "p", "q", "c"])
+        model = fit_component_model(comp)
+        result = ComponentOptimizer(comp, Platform(), model).optimize(8)
+        assert result.feasible
+        level = result.best.solution.level("n")
+        assert level.K == 1 and level.R == 1 and level.M == 1

@@ -1,0 +1,107 @@
+"""Solution bookkeeping tests (Section 3.4's worked LSTM example)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt.solution import LevelParams, Solution
+
+
+@pytest.fixture(scope="module")
+def lstm_comp():
+    tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+    return component_at(tree, ["s1_0", "p"])
+
+
+@pytest.fixture()
+def paper_solution(lstm_comp):
+    # Section 3.4: K = (109, 350), R = (3, 1) on NS=650, NP=700.
+    return Solution(lstm_comp, {"s1_0": 109, "p": 350},
+                    {"s1_0": 3, "p": 1})
+
+
+class TestSection34Example:
+    def test_range_counts(self, paper_solution):
+        s1 = paper_solution.level("s1_0")
+        p = paper_solution.level("p")
+        assert s1.M == 6 and p.M == 2            # ceil(650/109), ceil(700/350)
+        assert s1.Z == 2 and p.Z == 2
+        assert paper_solution.total_tiles == 12
+        assert paper_solution.threads == 3
+
+    def test_thread_group_formula(self, paper_solution):
+        # group on s1_0 = threadID % (3*1) / 1 = threadID; on p = 0.
+        for core in range(3):
+            assert paper_solution.group_ids(core) == (core, 0)
+
+    def test_tiles_per_core(self, paper_solution):
+        for core in range(3):
+            assert paper_solution.segments_on_core(core) == 4
+        tiles = list(paper_solution.core_tiles(1))
+        assert tiles == [
+            {"s1_0": 2, "p": 0}, {"s1_0": 2, "p": 1},
+            {"s1_0": 3, "p": 0}, {"s1_0": 3, "p": 1},
+        ]
+
+    def test_remainder_width(self, paper_solution):
+        s1 = paper_solution.level("s1_0")
+        assert s1.tile_width(0) == 109
+        assert s1.tile_width(5) == 650 - 5 * 109   # 105
+        widths = paper_solution.tile_widths({"s1_0": 5, "p": 1})
+        assert widths == (105, 350)
+
+    def test_describe_mentions_all_levels(self, paper_solution):
+        text = paper_solution.describe()
+        assert "'s1_0': 109" in text and "'p': 350" in text
+        assert "'s1_0': 3" in text
+
+
+class TestValidation:
+    def test_tile_size_bounds(self, lstm_comp):
+        with pytest.raises(ValueError):
+            Solution(lstm_comp, {"s1_0": 0, "p": 350})
+        with pytest.raises(ValueError):
+            Solution(lstm_comp, {"s1_0": 651, "p": 350})
+
+    def test_parallelizing_sequential_level_rejected(self, lstm_comp):
+        with pytest.raises(ValueError):
+            Solution(lstm_comp, {"s1_0": 109, "p": 350}, {"p": 2})
+
+    def test_more_groups_than_ranges_rejected(self, lstm_comp):
+        with pytest.raises(ValueError):
+            Solution(lstm_comp, {"s1_0": 650, "p": 700}, {"s1_0": 2})
+
+    def test_key_identity(self, lstm_comp):
+        a = Solution(lstm_comp, {"s1_0": 109, "p": 350}, {"s1_0": 3})
+        b = Solution(lstm_comp, {"s1_0": 109, "p": 350}, {"s1_0": 3})
+        c = Solution(lstm_comp, {"s1_0": 130, "p": 350}, {"s1_0": 3})
+        assert a.key() == b.key() != c.key()
+
+
+class TestUnevenPartitioning:
+    def test_last_group_gets_fewer_ranges(self, lstm_comp):
+        # M = 5 ranges over 4 groups: Z = 2, groups get 2,2,1,0.
+        solution = Solution(lstm_comp, {"s1_0": 130, "p": 700},
+                            {"s1_0": 4, "p": 1})
+        counts = [solution.segments_on_core(c) for c in range(4)]
+        assert counts == [2, 2, 1, 0]
+
+    def test_group_tiles_contiguous(self):
+        level = LevelParams(var="x", N=24, K=4, R=3, M=6, Z=2)
+        assert list(level.group_tiles(0)) == [0, 1]
+        assert list(level.group_tiles(2)) == [4, 5]
+
+
+@given(st.integers(min_value=1, max_value=60),
+       st.integers(min_value=1, max_value=60))
+def test_tile_widths_partition_the_level(n, k):
+    if k > n:
+        k = n
+    import math
+    m = math.ceil(n / k)
+    level = LevelParams(var="x", N=n, K=k, R=1, M=m, Z=m)
+    widths = [level.tile_width(i) for i in range(m)]
+    assert sum(widths) == n
+    assert all(1 <= w <= k for w in widths)

@@ -1,0 +1,107 @@
+"""Tests for non-dominated thread groups and select_tile_sizes
+(Algorithm 1's helper functions, against the paper's worked examples)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt.threadgroups import (
+    dominates,
+    generate_nondominated_thread_groups,
+    nondominated,
+    valid_assignments,
+)
+from repro.opt.tilesizes import select_tile_sizes
+
+
+class TestPaperExamples:
+    def test_p10_two_parallel_levels(self):
+        """Section 4.3's example: on P=10 the non-dominated assignments
+        for two parallel levels are (10,1), (5,2), (3,3), (2,5), (1,10)."""
+        assignments = nondominated(valid_assignments(10, [10, 10]))
+        assert set(assignments) == {
+            (10, 1), (5, 2), (3, 3), (2, 5), (1, 10)}
+
+    def test_select_tile_sizes_n24_r4(self):
+        """Algorithm 1's example: N=24, R=4 yields K in {1, 2, 3, 6}."""
+        assert select_tile_sizes(24, 4) == [1, 2, 3, 6]
+
+    def test_select_tile_sizes_r1_hits_sqrt_pattern(self):
+        candidates = select_tile_sizes(100, 1)
+        # Smallest K per distinct M=ceil(100/K): includes 1 and 100.
+        assert candidates[0] == 1
+        assert candidates[-1] == 100
+        ms = [math.ceil(100 / k) for k in candidates]
+        assert ms == sorted(set(ms), reverse=True)
+
+
+class TestDominance:
+    def test_dominates(self):
+        assert dominates((4, 2), (4, 1))
+        assert not dominates((4, 1), (4, 1))
+        assert not dominates((4, 1), (1, 4))
+
+    def test_nondominated_removes_dominated(self):
+        survivors = nondominated([(2, 2), (2, 1), (1, 1), (4, 1)])
+        assert set(survivors) == {(2, 2), (4, 1)}
+
+
+class TestComponentIntegration:
+    def test_lstm_component_groups(self):
+        tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+        comp = component_at(tree, ["s1_0", "p"])
+        groups = generate_nondominated_thread_groups(8, comp)
+        # p is not parallelizable: only (R, 1) shapes survive.
+        assert groups == [(8, 1)]
+
+    def test_cnn_component_groups(self):
+        tree = LoopTree.build(make_kernel("cnn", "LARGE"))
+        comp = component_at(tree, ["n", "k", "p", "q", "c"])
+        groups = generate_nondominated_thread_groups(8, comp)
+        assert all(g[0] == 1 and g[4] == 1 for g in groups)   # n has N=1, c sequential
+        assert (1, 8, 1, 1, 1) in groups
+        assert (1, 2, 2, 2, 1) in groups
+        for assignment in groups:
+            product = 1
+            for r in assignment:
+                product *= r
+            assert product <= 8
+
+
+class TestValidation:
+    def test_select_tile_sizes_validation(self):
+        with pytest.raises(ValueError):
+            select_tile_sizes(0, 1)
+        with pytest.raises(ValueError):
+            select_tile_sizes(5, 0)
+
+
+@given(st.integers(min_value=1, max_value=200),
+       st.integers(min_value=1, max_value=16))
+def test_select_tile_sizes_invariants(n, r):
+    candidates = select_tile_sizes(n, r)
+    assert candidates[0] == 1
+    assert all(1 <= k <= n for k in candidates)
+    # Each candidate is the smallest K achieving its Z value.
+    zs = [math.ceil(math.ceil(n / k) / r) for k in candidates]
+    assert zs == sorted(set(zs), reverse=True)
+    for k, z in zip(candidates, zs):
+        if k > 1:
+            prev_z = math.ceil(math.ceil(n / (k - 1)) / r)
+            assert prev_z > z
+
+
+@given(st.integers(min_value=1, max_value=12),
+       st.lists(st.integers(min_value=1, max_value=12),
+                min_size=1, max_size=3))
+def test_valid_assignments_respect_budget(cores, maxima):
+    for assignment in valid_assignments(cores, maxima):
+        product = 1
+        for r, cap in zip(assignment, maxima):
+            assert 1 <= r <= cap
+            product *= r
+        assert product <= cores

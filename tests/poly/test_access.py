@@ -1,0 +1,65 @@
+"""Tests for arrays and access relations."""
+
+import pytest
+
+from repro.poly.access import Access, Array, READ, WRITE, read, write
+from repro.poly.affine import aff
+
+
+class TestArray:
+    def test_basic_properties(self):
+        a = Array("a", (3, 5), "float")
+        assert a.ndim == 2
+        assert a.element_size == 4
+        assert a.total_elements == 15
+        assert a.total_bytes == 60
+
+    def test_linear_index_row_major(self):
+        a = Array("a", (3, 5))
+        assert a.linear_index((0, 0)) == 0
+        assert a.linear_index((1, 0)) == 5
+        assert a.linear_index((2, 4)) == 14
+
+    def test_linear_index_bounds(self):
+        a = Array("a", (3, 5))
+        with pytest.raises(IndexError):
+            a.linear_index((3, 0))
+        with pytest.raises(ValueError):
+            a.linear_index((1,))
+
+    def test_invalid_declarations(self):
+        with pytest.raises(ValueError):
+            Array("a", ())
+        with pytest.raises(ValueError):
+            Array("a", (0,))
+        with pytest.raises(ValueError):
+            Array("a", (4,), "quad")
+
+    def test_repr(self):
+        assert "float a[3][5]" in repr(Array("a", (3, 5)))
+
+
+class TestAccess:
+    def test_element(self):
+        a = Array("a", (10, 10))
+        acc = read(a, "i", aff("j") + 1)
+        assert acc.element({"i": 2, "j": 3}) == (2, 4)
+        assert acc.is_read and not acc.is_write
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            read(Array("a", (10, 10)), "i")
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            Access(Array("a", (4,)), ["i"], "readwrite")
+
+    def test_index_bounds_over_box(self):
+        a = Array("inp", (10, 12))
+        acc = write(a, aff("p") + 2 - aff("r"), "q")
+        bounds = acc.index_bounds({"p": (0, 3), "r": (0, 2), "q": (1, 5)})
+        assert bounds == ((0, 5), (1, 5))
+
+    def test_variables(self):
+        acc = read(Array("a", (5, 5)), "i", aff("i") + aff("j"))
+        assert acc.variables() == frozenset({"i", "j"})

@@ -1,0 +1,164 @@
+"""Unit and property tests for affine expressions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.poly.affine import AffineExpr, aff, lex_compare, parse_affine
+
+
+class TestConstruction:
+    def test_var(self):
+        x = AffineExpr.var("x")
+        assert x.coeff("x") == 1
+        assert x.constant == 0
+
+    def test_const(self):
+        assert AffineExpr.const(5).constant == 5
+        assert AffineExpr.const(5).is_constant()
+
+    def test_zero_coeffs_dropped(self):
+        expr = AffineExpr({"x": 0, "y": 2})
+        assert expr.variables() == frozenset({"y"})
+
+    def test_coerce_int_str_expr(self):
+        assert aff(3) == AffineExpr.const(3)
+        assert aff("i") == AffineExpr.var("i")
+        e = aff("i") + 1
+        assert aff(e) is e
+
+    def test_coerce_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            AffineExpr.coerce(3.5)
+
+    def test_is_single_var(self):
+        assert (aff("i") + 4).is_single_var()
+        assert not (aff("i") * 2).is_single_var()
+        assert not (aff("i") + aff("j")).is_single_var()
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        e = aff("i") + aff("j") - aff("i")
+        assert e == aff("j")
+
+    def test_radd_rsub(self):
+        assert 1 + aff("i") == aff("i") + 1
+        assert (5 - aff("i")).coeff("i") == -1
+
+    def test_scale(self):
+        e = (aff("i") + 2) * 3
+        assert e.coeff("i") == 3
+        assert e.constant == 6
+
+    def test_scale_by_expr_rejected(self):
+        with pytest.raises(TypeError):
+            aff("i") * aff("j")
+
+    def test_neg(self):
+        e = -(aff("i") - 4)
+        assert e.coeff("i") == -1
+        assert e.constant == 4
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        e = aff("i") * 2 + aff("j") - 3
+        assert e.evaluate({"i": 5, "j": 1}) == 8
+
+    def test_bounds_positive_coeff(self):
+        e = aff("i") * 2 + 1
+        assert e.bounds({"i": (0, 9)}) == (1, 19)
+
+    def test_bounds_negative_coeff(self):
+        e = -1 * aff("i") + 10
+        assert e.bounds({"i": (2, 4)}) == (6, 8)
+
+    def test_bounds_mixed(self):
+        e = aff("i") - aff("j")
+        assert e.bounds({"i": (0, 3), "j": (0, 5)}) == (-5, 3)
+
+    def test_substitute(self):
+        e = aff("i") * 2 + aff("j")
+        sub = e.substitute({"i": aff("t") + 1})
+        assert sub == aff("t") * 2 + aff("j") + 2
+
+    def test_rename(self):
+        e = aff("i") + aff("j") * 3
+        renamed = e.rename({"i": "s$i"})
+        assert renamed.coeff("s$i") == 1
+        assert renamed.coeff("j") == 3
+
+
+class TestParse:
+    def test_simple(self):
+        assert parse_affine("p") == aff("p")
+
+    def test_paper_cnn_subscript(self):
+        e = parse_affine("p + NR - r - 1", {"NR": 3})
+        assert e == aff("p") - aff("r") + 2
+
+    def test_coefficient_product(self):
+        assert parse_affine("2*p + r") == aff("p") * 2 + aff("r")
+        assert parse_affine("p*2 + r") == aff("p") * 2 + aff("r")
+
+    def test_constant_only(self):
+        assert parse_affine("7").constant == 7
+
+    def test_leading_minus(self):
+        assert parse_affine("-i + 3") == -aff("i") + 3
+
+    def test_nonaffine_product_rejected(self):
+        with pytest.raises(ValueError):
+            parse_affine("i*j")
+
+
+class TestLexCompare:
+    def test_orders(self):
+        assert lex_compare((1, 2), (1, 3)) == -1
+        assert lex_compare((2, 0), (1, 9)) == 1
+        assert lex_compare((4, 4), (4, 4)) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            lex_compare((1,), (1, 2))
+
+
+# -- property-based tests -----------------------------------------------------
+
+small_ints = st.integers(min_value=-8, max_value=8)
+var_names = st.sampled_from(["i", "j", "k"])
+exprs = st.builds(
+    AffineExpr,
+    st.dictionaries(var_names, small_ints, max_size=3),
+    small_ints,
+)
+
+
+@given(exprs, exprs, st.dictionaries(
+    var_names, small_ints, min_size=3, max_size=3))
+def test_add_is_pointwise(a, b, point):
+    assert (a + b).evaluate(point) == a.evaluate(point) + b.evaluate(point)
+
+
+@given(exprs, st.dictionaries(var_names, small_ints, min_size=3, max_size=3))
+def test_neg_is_pointwise(a, point):
+    assert (-a).evaluate(point) == -a.evaluate(point)
+
+
+@given(exprs)
+def test_bounds_are_attained(expr):
+    """Interval bounds over a box are exact for affine forms."""
+    box = {v: (-2, 3) for v in ["i", "j", "k"]}
+    lo, hi = expr.bounds(box)
+    values = [
+        expr.evaluate({"i": i, "j": j, "k": k})
+        for i in range(-2, 4) for j in range(-2, 4) for k in range(-2, 4)
+    ]
+    assert min(values) == lo
+    assert max(values) == hi
+
+
+@given(exprs, exprs)
+def test_equality_and_hash_consistent(a, b):
+    if a == b:
+        assert hash(a) == hash(b)

@@ -1,0 +1,85 @@
+"""Tests for affine constraints and constraint systems."""
+
+import pytest
+
+from repro.poly.affine import aff
+from repro.poly.constraint import (
+    Constraint,
+    ConstraintSystem,
+    EQ,
+    GE,
+    box_constraints,
+)
+
+
+class TestConstructors:
+    def test_ge_le(self):
+        assert Constraint.ge("x", 3).satisfied({"x": 3})
+        assert not Constraint.ge("x", 3).satisfied({"x": 2})
+        assert Constraint.le("x", 3).satisfied({"x": 3})
+        assert not Constraint.le("x", 3).satisfied({"x": 4})
+
+    def test_strict_integer_semantics(self):
+        # gt/lt tighten by one (integer variables).
+        assert not Constraint.gt("x", 3).satisfied({"x": 3})
+        assert Constraint.gt("x", 3).satisfied({"x": 4})
+        assert not Constraint.lt("x", 3).satisfied({"x": 3})
+        assert Constraint.lt("x", 3).satisfied({"x": 2})
+
+    def test_eq(self):
+        c = Constraint.eq(aff("x") - aff("y"))
+        assert c.satisfied({"x": 5, "y": 5})
+        assert not c.satisfied({"x": 5, "y": 4})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint(aff("x"), "!=")
+
+    def test_variables(self):
+        assert Constraint.ge(aff("x") + aff("y"), 0).variables() == \
+            frozenset({"x", "y"})
+
+
+class TestTransforms:
+    def test_rename(self):
+        c = Constraint.ge("x", 1).rename({"x": "s$x"})
+        assert c.variables() == frozenset({"s$x"})
+        assert c.satisfied({"s$x": 1})
+
+    def test_substitute(self):
+        c = Constraint.ge("x", 1).substitute({"x": aff("t") * 2})
+        assert c.satisfied({"t": 1})
+        assert not c.satisfied({"t": 0})
+
+
+class TestSystem:
+    def test_conjunction_semantics(self):
+        system = ConstraintSystem([
+            Constraint.ge("x", 0), Constraint.le("x", 5)])
+        assert system.satisfied({"x": 3})
+        assert not system.satisfied({"x": 6})
+
+    def test_add_extend_copy(self):
+        system = ConstraintSystem()
+        system.add(Constraint.ge("x", 0))
+        clone = system.copy()
+        clone.add(Constraint.le("x", -1))
+        assert len(system) == 1
+        assert len(clone) == 2
+
+    def test_conjoin(self):
+        a = ConstraintSystem([Constraint.ge("x", 0)])
+        b = ConstraintSystem([Constraint.le("x", 9)])
+        joined = a.conjoin(b)
+        assert len(joined) == 2
+        assert joined.variables() == frozenset({"x"})
+
+    def test_box_constraints(self):
+        system = box_constraints({"i": (0, 3), "j": (2, 2)})
+        assert system.satisfied({"i": 0, "j": 2})
+        assert not system.satisfied({"i": 4, "j": 2})
+        assert not system.satisfied({"i": 0, "j": 1})
+
+    def test_repr(self):
+        assert "true" in repr(ConstraintSystem())
+        assert ">=" in repr(ConstraintSystem([Constraint.ge("x", 1)]))

@@ -1,0 +1,111 @@
+"""Tests for rectangular iteration domains."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.poly.constraint import Constraint, ConstraintSystem
+from repro.poly.domain import Domain, LoopRange
+
+
+class TestLoopRange:
+    def test_bounds(self):
+        r = LoopRange("i", begin=2, n=5, stride=3)
+        assert r.last == 2 + 3 * 4
+        assert r.bounds == (2, 14)
+        assert list(r.values()) == [2, 5, 8, 11, 14]
+
+    def test_contains_respects_stride(self):
+        r = LoopRange("i", begin=0, n=4, stride=2)
+        assert 4 in r
+        assert 3 not in r
+        assert 8 not in r
+
+    def test_negative_trip_count_rejected(self):
+        with pytest.raises(ValueError):
+            LoopRange("i", 0, -1)
+
+    def test_nonpositive_stride_rejected(self):
+        with pytest.raises(ValueError):
+            LoopRange("i", 0, 3, 0)
+
+
+class TestDomain:
+    def make(self, guards=None):
+        return Domain(
+            [LoopRange("i", 0, 4), LoopRange("j", 0, 3)],
+            ConstraintSystem(guards or ()),
+        )
+
+    def test_iterators_and_dim(self):
+        d = self.make()
+        assert d.iterators == ("i", "j")
+        assert d.dim == 2
+        assert d.size() == 12
+
+    def test_points_enumeration(self):
+        points = list(self.make().points())
+        assert len(points) == 12
+        assert points[0] == {"i": 0, "j": 0}
+        assert points[-1] == {"i": 3, "j": 2}
+
+    def test_guard_filters_points(self):
+        d = self.make([Constraint.eq("j", 0)])
+        assert all(p["j"] == 0 for p in d.points())
+        assert len(list(d.points())) == 4
+
+    def test_contains(self):
+        d = self.make([Constraint.ge("i", 1)])
+        assert d.contains({"i": 1, "j": 0})
+        assert not d.contains({"i": 0, "j": 0})
+        assert not d.contains({"i": 4, "j": 0})
+
+    def test_duplicate_iterators_rejected(self):
+        with pytest.raises(ValueError):
+            Domain([LoopRange("i", 0, 2), LoopRange("i", 0, 2)])
+
+    def test_guard_with_unknown_var_rejected(self):
+        with pytest.raises(ValueError):
+            self.make([Constraint.ge("z", 0)])
+
+    def test_constraints_with_prefix(self):
+        d = self.make([Constraint.ge("i", 1)])
+        sys_ = d.constraints(prefix="s$")
+        assert sys_.variables() == frozenset({"s$i", "s$j"})
+
+    def test_restrict_plain(self):
+        d = self.make()
+        sub = d.restrict({"i": (1, 2)})
+        assert sub.range_of("i").bounds == (1, 2)
+        assert sub.range_of("j").bounds == (0, 2)
+
+    def test_restrict_empty(self):
+        sub = self.make().restrict({"i": (10, 20)})
+        assert sub.is_empty()
+
+    def test_restrict_keeps_stride_alignment(self):
+        d = Domain([LoopRange("i", 0, 10, 2)])
+        sub = d.restrict({"i": (3, 9)})
+        assert list(sub.range_of("i").values()) == [4, 6, 8]
+
+
+@given(
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=3),
+)
+def test_range_count_matches_values(begin, n, stride):
+    r = LoopRange("i", begin, n, stride)
+    assert len(list(r.values())) == n
+    assert all(v in r for v in r.values())
+
+
+@given(
+    st.integers(min_value=-2, max_value=8),
+    st.integers(min_value=-2, max_value=8),
+)
+def test_restrict_is_intersection(lo, hi):
+    d = Domain([LoopRange("i", 0, 6)])
+    sub = d.restrict({"i": (lo, hi)})
+    expected = [v for v in range(0, 6) if lo <= v <= hi]
+    got = [p["i"] for p in sub.points()]
+    assert got == expected

@@ -1,0 +1,124 @@
+"""Feasibility tests for the Fourier–Motzkin engine."""
+
+from itertools import product
+
+from hypothesis import given, settings, strategies as st
+
+from repro.poly.affine import AffineExpr, aff
+from repro.poly.constraint import Constraint, ConstraintSystem, box_constraints
+from repro.poly.fm import check_feasibility, is_feasible
+
+
+def system(*constraints):
+    return ConstraintSystem(constraints)
+
+
+class TestBasics:
+    def test_empty_system_feasible(self):
+        assert is_feasible(system())
+
+    def test_single_bound(self):
+        assert is_feasible(system(Constraint.ge("x", 3)))
+
+    def test_contradictory_bounds(self):
+        assert not is_feasible(
+            system(Constraint.ge("x", 3), Constraint.le("x", 2)))
+
+    def test_adjacent_integer_bounds(self):
+        assert is_feasible(
+            system(Constraint.ge("x", 3), Constraint.le("x", 3)))
+
+    def test_constant_violation(self):
+        assert not is_feasible(system(Constraint.ge(aff(-1))))
+
+    def test_constant_equality_violation(self):
+        assert not is_feasible(system(Constraint.eq(aff(2))))
+
+    def test_chain_of_differences(self):
+        # x < y < z and z < x is infeasible
+        assert not is_feasible(system(
+            Constraint.lt("x", "y"),
+            Constraint.lt("y", "z"),
+            Constraint.lt("z", "x"),
+        ))
+
+    def test_two_var_equality(self):
+        assert is_feasible(system(
+            Constraint.eq(aff("x") - aff("y")),
+            Constraint.ge("x", 0), Constraint.le("x", 10),
+            Constraint.ge("y", 5), Constraint.le("y", 20),
+        ))
+
+    def test_two_var_equality_infeasible(self):
+        assert not is_feasible(system(
+            Constraint.eq(aff("x") - aff("y")),
+            Constraint.le("x", 4),
+            Constraint.ge("y", 5),
+        ))
+
+
+class TestGcd:
+    def test_gcd_refutes_even_sum_odd_target(self):
+        # 2x + 4y == 7 has no integer solution.
+        result = check_feasibility(system(
+            Constraint.eq(aff("x") * 2 + aff("y") * 4 - 7)))
+        assert not result.feasible
+        assert "gcd" in result.reason
+
+    def test_gcd_allows_divisible_target(self):
+        assert is_feasible(system(
+            Constraint.eq(aff("x") * 2 + aff("y") * 4 - 6)))
+
+
+class TestDependenceShapedSystems:
+    """Systems of the form the dependence tester emits."""
+
+    def test_loop_carried_distance(self):
+        # src in [0,9], dst = src + 1 in [0,9], dst > src: feasible.
+        assert is_feasible(system(
+            Constraint.ge("s", 0), Constraint.le("s", 9),
+            Constraint.ge("t", 0), Constraint.le("t", 9),
+            Constraint.eq(aff("t") - aff("s") - 1),
+            Constraint.gt("t", "s"),
+        ))
+
+    def test_reverse_direction_infeasible(self):
+        assert not is_feasible(system(
+            Constraint.ge("s", 0), Constraint.le("s", 9),
+            Constraint.ge("t", 0), Constraint.le("t", 9),
+            Constraint.eq(aff("t") - aff("s") - 1),
+            Constraint.lt("t", "s"),
+        ))
+
+    def test_strided_access_disjoint(self):
+        # 2s == 2t + 1 never holds for integers.
+        assert not is_feasible(system(
+            Constraint.eq(aff("s") * 2 - aff("t") * 2 - 1)))
+
+
+@settings(max_examples=60)
+@given(st.lists(
+    st.tuples(
+        st.integers(min_value=-3, max_value=3),
+        st.integers(min_value=-3, max_value=3),
+        st.integers(min_value=-4, max_value=4),
+        st.booleans(),
+    ),
+    min_size=1, max_size=5,
+))
+def test_fm_agrees_with_rational_brute_force(rows):
+    """On a small grid, integer satisfiability implies FM feasibility
+    (conservativeness: FM may accept systems with only rational points,
+    but must never reject a system that has an integer point)."""
+    constraints = []
+    for cx, cy, c0, is_eq in rows:
+        expr = AffineExpr({"x": cx, "y": cy}, c0)
+        constraints.append(
+            Constraint(expr, "==") if is_eq else Constraint(expr, ">="))
+    sys_ = ConstraintSystem(constraints).conjoin(
+        box_constraints({"x": (-5, 5), "y": (-5, 5)}))
+    has_integer_point = any(
+        sys_.satisfied({"x": x, "y": y})
+        for x, y in product(range(-5, 6), repeat=2))
+    if has_integer_point:
+        assert is_feasible(sys_)

@@ -1,0 +1,114 @@
+"""Tests for Kelly schedules, tiling transformation and Eq. 5.1 checks."""
+
+import pytest
+
+from repro.poly.schedule import (
+    Schedule,
+    ScheduleDim,
+    TiledSchedule,
+    check_pairs_legal,
+)
+
+
+def kelly(*entries):
+    dims = []
+    for entry in entries:
+        if isinstance(entry, int):
+            dims.append(ScheduleDim.static(entry))
+        else:
+            dims.append(ScheduleDim.loop(entry))
+    return Schedule(dims)
+
+
+class TestSchedule:
+    def test_evaluate_vector_mult_example(self):
+        # Section 2.2.1: Phi(Stmt2[i]) = (1, i, 0, 0), Phi(Stmt3[i,j]) =
+        # (1, i, 1, j); Stmt3[8][40] precedes Stmt2[10].
+        stmt2 = kelly(1, "i", 0, 0)
+        stmt3 = kelly(1, "i", 1, "j")
+        assert stmt3.evaluate({"i": 8, "j": 40}) < \
+            stmt2.evaluate({"i": 10})
+
+    def test_iterators(self):
+        assert kelly(0, "i", 1, "j", 2).iterators() == ("i", "j")
+
+    def test_statics_below(self):
+        sched = kelly(0, "t", 1, "s1", 0, "p", 3)
+        assert sched.statics_below(0) == (0,)
+        assert sched.statics_below(1) == (1,)
+        assert sched.statics_below(3) == (3,)
+
+
+class TestTiledSchedule:
+    def test_section_5_2_2_example(self):
+        # Phi(Stmt1[t, s1, p]) = (t, s1, p, 0) tiled with K_s1=3, K_p=4
+        # becomes (t, s1/3, p/4, s1%3, p%4, 0).
+        base = kelly("t", "s1", "p", 0)
+        tiled = TiledSchedule(base, ["s1", "p"], {"s1": 3, "p": 4})
+        assert tiled.evaluate({"t": 1, "s1": 7, "p": 9}) == \
+            (1, 2, 2, 1, 1, 0)
+
+    def test_missing_tile_size_rejected(self):
+        base = kelly("i", 0)
+        with pytest.raises(ValueError):
+            TiledSchedule(base, ["i"], {})
+
+    def test_nonpositive_tile_size_rejected(self):
+        base = kelly("i", 0)
+        with pytest.raises(ValueError):
+            TiledSchedule(base, ["i"], {"i": 0})
+
+    def test_untiled_dims_keep_positions(self):
+        base = kelly(0, "i", 1, "j", 2)
+        tiled = TiledSchedule(base, ["i"], {"i": 2})
+        assert tiled.evaluate({"i": 5, "j": 7}) == (0, 2, 1, 1, 7, 2)
+
+
+class TestEq51:
+    """Figure 5.2's legal/illegal dependent pairs."""
+
+    def test_forward_dependence_legal(self):
+        sched = kelly("i", "j")
+        pairs = [({"i": 1, "j": 1}, {"i": 2, "j": 2})]
+        assert check_pairs_legal(pairs, sched, sched)
+
+    def test_backward_dependence_illegal(self):
+        sched = kelly("i", "j")
+        pairs = [({"i": 1, "j": 1}, {"i": 0, "j": 0})]
+        assert not check_pairs_legal(pairs, sched, sched)
+
+    def test_inner_negative_distance_legal(self):
+        # Dep3 = (1,2) -> (2,1): distance (1,-1) is lexicographically
+        # positive, hence legal untiled.
+        sched = kelly("i", "j")
+        pairs = [({"i": 1, "j": 2}, {"i": 2, "j": 1})]
+        assert check_pairs_legal(pairs, sched, sched)
+
+    def test_distance_one_minus_one_breaks_tiling(self):
+        """The classical counterexample: distance (1,-1) reorders under
+        2x2 tiling — exactly why the permutable-band criterion folds."""
+        sched = kelly("i", "j")
+        tiled = TiledSchedule(sched, ["i", "j"], {"i": 2, "j": 2})
+        pairs = [({"i": 0, "j": 2}, {"i": 1, "j": 1})]
+        assert check_pairs_legal(pairs, sched, sched)
+        assert not check_pairs_legal(pairs, tiled, tiled)
+
+    def test_forward_only_band_survives_tiling(self):
+        sched = kelly("i", "j")
+        tiled = TiledSchedule(sched, ["i", "j"], {"i": 3, "j": 3})
+        pairs = [
+            ({"i": i, "j": j}, {"i": i + 1, "j": j})
+            for i in range(5) for j in range(6)
+        ]
+        assert check_pairs_legal(pairs, tiled, tiled)
+
+    def test_section_5_2_1_lstm_style_check(self):
+        # Dep2: Stmt2[t,s1,p] -> Stmt2[t,s1,p+1]; tiling s1 by 3, p by 4
+        # keeps all pairs ordered (the paper's worked example).
+        base = kelly("t", "s1", "p", 1)
+        tiled = TiledSchedule(base, ["s1", "p"], {"s1": 3, "p": 4})
+        pairs = [
+            ({"t": 0, "s1": s, "p": p}, {"t": 0, "s1": s, "p": p + 1})
+            for s in range(6) for p in range(7)
+        ]
+        assert check_pairs_legal(pairs, tiled, tiled)

@@ -1,0 +1,108 @@
+"""Structural tests for the generated PREM-C source."""
+
+import pytest
+
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt.solution import Solution
+from repro.prem.codegen import CodeGenerator
+
+
+@pytest.fixture(scope="module")
+def lstm_code():
+    tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+    comp = component_at(tree, ["s1_0", "p"])
+    solution = Solution(comp, {"s1_0": 109, "p": 350},
+                        {"s1_0": 3, "p": 1})
+    return CodeGenerator(comp, solution).generate()
+
+
+@pytest.fixture(scope="module")
+def cnn_code():
+    tree = LoopTree.build(make_kernel("cnn", "LARGE"))
+    comp = component_at(tree, ["n", "k", "p", "q", "c"])
+    solution = Solution(
+        comp, {"n": 1, "k": 32, "p": 7, "q": 28, "c": 16},
+        {"n": 1, "k": 4, "p": 2, "q": 1, "c": 1})
+    return CodeGenerator(comp, solution).generate()
+
+
+class TestLstmListing33Shape:
+    def test_macros_present(self, lstm_code):
+        assert "BUFFER_ALLOC_APIS" in lstm_code
+        assert "DATA_SWAP_APIS" in lstm_code
+        assert "BUFFER_DEALLOC_APIS" in lstm_code
+
+    def test_segment_counter(self, lstm_code):
+        assert "static int s1_0_p_seg_count = 0;" in lstm_code
+        assert "s1_0_p_seg_count++;" in lstm_code
+
+    def test_buffer_allocation(self, lstm_code):
+        assert "allocate_buffer(i_buf1, WO);" in lstm_code
+        assert "allocate_buffer(U_i_buf2, RO);" in lstm_code
+        assert "allocate_buffer(inp_F_buf1, RO);" in lstm_code
+
+    def test_dispatch_between_first_and_second_swaps(self, lstm_code):
+        alloc_block = lstm_code.split("DATA_SWAP_APIS")[0]
+        assert "dispatch();" in alloc_block
+
+    def test_tiled_loop_partitioning(self, lstm_code):
+        # s1_0 is split over 3 thread groups, 2 ranges each.
+        assert "threadID() % 3" in lstm_code
+        assert "* 2" in lstm_code
+
+    def test_element_loop_with_min_clamp(self, lstm_code):
+        assert "for (int s1_0 = s1_0_t * 109;" in lstm_code
+        assert "MIN(650, s1_0_t * 109 + 109)" in lstm_code
+
+    def test_rebased_references(self, lstm_code):
+        # Listing 3.3's i[s1_0 - s1_0_t*109] pattern.
+        assert "[s1_0 - 109*s1_0_t]" in lstm_code
+
+    def test_guarded_init_statement(self, lstm_code):
+        assert "if (p == 0)" in lstm_code
+        assert "STMT_LSTM_INIT" in lstm_code
+
+    def test_swap_parameter_tables(self, lstm_code):
+        assert "U_i_swap_params[3][4]" in lstm_code
+        assert "i_swap_params[3][2]" in lstm_code
+
+    def test_change_stride_conditionals(self, lstm_code):
+        # gates swap every 2 segments: pointer rebinding flips on
+        # seg_count/2 parity; U matrices (stride 1) get modulo conditions.
+        assert "s1_0_p_seg_count / 2) % 2 == 0" in lstm_code
+        assert "s1_0_p_seg_count % 1 == 0" in lstm_code
+
+    def test_end_segment_and_deallocs(self, lstm_code):
+        assert lstm_code.count("end_segment();") >= 2
+        assert "deallocate(" in lstm_code
+
+
+class TestCnnCode:
+    def test_swapnd_for_4d_arrays(self, cnn_code):
+        assert "swapnd_buffer" in cnn_code
+
+    def test_halo_subscript_rebased(self, cnn_code):
+        # inp_F's halo subscript p + 2 - r rebased by the tile start.
+        assert "inp_F" in cnn_code
+        assert "STMT_CNN_MAC" in cnn_code
+
+    def test_inner_filter_loops_emitted(self, cnn_code):
+        assert "for (int r = 0; r < 3; r += 1)" in cnn_code
+        assert "for (int s = 0; s < 3; s += 1)" in cnn_code
+
+    def test_thread_group_expression(self, cnn_code):
+        # R = (1, 4, 2, 1, 1): k's group = threadID() % 8 / 2.
+        assert "threadID() % 8 / 2" in cnn_code
+
+
+class TestDeterminism:
+    def test_generation_is_deterministic(self):
+        tree = LoopTree.build(make_kernel("maxpool", "SMALL"))
+        comp = component_at(tree, ["n", "k", "p", "q", "r"])
+        solution = Solution(
+            comp, {"n": 1, "k": 4, "p": 4, "q": 16, "r": 2})
+        first = CodeGenerator(comp, solution).generate()
+        second = CodeGenerator(comp, solution).generate()
+        assert first == second

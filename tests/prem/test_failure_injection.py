@@ -1,0 +1,115 @@
+"""Failure injection: the PREM VM must expose broken schedules.
+
+The functional VM is only a trustworthy oracle if incorrect compilation
+decisions actually surface as errors or wrong results.  These tests
+deliberately corrupt schedules and check the failure is caught:
+
+- misclassifying an RW array as WO (skipping its loads) must poison the
+  output with NaNs;
+- accessing outside a segment's canonical range must raise;
+- statements without compute functions must raise, not silently no-op.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.builder import for_, kernel_, stmt_
+from repro.loopir.component import component_at
+from repro.opt.solution import Solution
+from repro.poly.access import Array
+from repro.prem.runtime import (
+    PremRuntime,
+    SequentialInterpreter,
+    init_arrays,
+)
+from repro.prem.segments import RO, RW, WO, classify_modes
+
+
+@pytest.fixture()
+def cnn_setup():
+    kernel = make_kernel("cnn", "MINI")
+    tree = LoopTree.build(kernel)
+    comp = component_at(tree, ["n", "k", "p", "q", "c"])
+    solution = Solution(comp, {"n": 1, "k": 2, "p": 2, "q": 4, "c": 3})
+    return kernel, comp, solution
+
+
+class TestModeMisclassification:
+    def test_rw_as_wo_poisons_output(self, cnn_setup):
+        """out_F accumulates (RW): treating it as WO skips the loads, so
+        the first read in every tile hits poisoned SPM and NaN propagates
+        to main memory — a silent-wrong-answer becomes a loud one."""
+        kernel, comp, solution = cnn_setup
+        modes = classify_modes(comp)
+        assert modes["out_F"] == RW
+        broken = dict(modes)
+        broken["out_F"] = WO
+        runtime = PremRuntime(comp, solution, modes=broken)
+        arrays = init_arrays(kernel, seed=4)
+        runtime.run(arrays, outer={})
+        assert np.isnan(arrays["out_F"]).any()
+
+    def test_correct_modes_no_poison(self, cnn_setup):
+        kernel, comp, solution = cnn_setup
+        runtime = PremRuntime(comp, solution)
+        arrays = init_arrays(kernel, seed=4)
+        runtime.run(arrays, outer={})
+        assert not np.isnan(arrays["out_F"]).any()
+
+    def test_ro_write_target_never_written_back(self, cnn_setup):
+        """Marking the output RO drops its unloads: main memory keeps the
+        original values — detectable against the reference."""
+        kernel, comp, solution = cnn_setup
+        broken = dict(classify_modes(comp))
+        broken["out_F"] = RO
+        runtime = PremRuntime(comp, solution, modes=broken)
+        arrays = init_arrays(kernel, seed=4)
+        before = arrays["out_F"].copy()
+        runtime.run(arrays, outer={})
+        np.testing.assert_array_equal(arrays["out_F"], before)
+
+
+class TestOutOfRangeAccess:
+    def test_access_outside_canonical_range_raises(self):
+        """A statement whose compute touches elements its declared
+        accesses do not cover must trip the SPM view's bounds check."""
+        a = Array("a", (16,))
+        b = Array("b", (16,))
+        arrays = {"a": a, "b": b}
+
+        def lying_compute(views, pt):
+            i = pt["i"]
+            # declared read is b[i]; actually reads b[i+8]
+            views["a"][(i,)] = views["b"][((i + 8) % 16,)]
+
+        s = stmt_("s", arrays, writes={"a": ("i",)},
+                  reads={"b": ("i",)}, compute=lying_compute)
+        kernel = kernel_("liar", [a, b], [for_("i", 16, s)])
+        tree = LoopTree.build(kernel)
+        comp = component_at(tree, ["i"])
+        solution = Solution(comp, {"i": 4})
+        runtime = PremRuntime(comp, solution)
+        memory = init_arrays(kernel, seed=1)
+        with pytest.raises(IndexError):
+            runtime.run(memory, outer={})
+
+
+class TestMissingCompute:
+    def test_sequential_interpreter_raises(self):
+        a = Array("a", (4,))
+        s = stmt_("s", {"a": a}, writes={"a": ("i",)})   # no compute
+        kernel = kernel_("nocompute", [a], [for_("i", 4, s)])
+        with pytest.raises(ValueError, match="compute"):
+            SequentialInterpreter().run(kernel, init_arrays(kernel))
+
+    def test_vm_raises(self):
+        a = Array("a", (4,))
+        s = stmt_("s", {"a": a}, writes={"a": ("i",)})
+        kernel = kernel_("nocompute2", [a], [for_("i", 4, s)])
+        tree = LoopTree.build(kernel)
+        comp = component_at(tree, ["i"])
+        runtime = PremRuntime(comp, Solution(comp, {"i": 2}))
+        with pytest.raises(ValueError, match="compute"):
+            runtime.run(init_arrays(kernel), outer={})

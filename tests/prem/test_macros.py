@@ -1,0 +1,136 @@
+"""Macro/swap-schedule tests reproducing Table 3.1's structure.
+
+The fixture is the paper's running example: LSTM LARGE, component
+(s1_0, p), K = (109, 350), R = (3, 1), 3 cores with 4 segments each.
+"""
+
+import pytest
+
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt.solution import Solution
+from repro.prem.macros import MacroBuilder, render_trace
+
+
+@pytest.fixture(scope="module")
+def builder():
+    tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+    comp = component_at(tree, ["s1_0", "p"])
+    solution = Solution(comp, {"s1_0": 109, "p": 350},
+                        {"s1_0": 3, "p": 1})
+    return MacroBuilder(comp, solution)
+
+
+@pytest.fixture(scope="module")
+def core0(builder):
+    return builder.core_schedules(0)
+
+
+class TestSegmentToSwap:
+    def test_u_matrices_swap_every_segment(self, core0):
+        assert core0["U_i"].segments_to_swap == [1, 2, 3, 4]
+        assert core0["U_i"].change_stride == 1
+
+    def test_inp_f_swaps_every_segment(self, core0):
+        assert core0["inp_F"].segments_to_swap == [1, 2, 3, 4]
+
+    def test_gates_change_stride_two(self, core0):
+        """Table 3.1: SegmentToSwap_ifog(0) = {seg1, seg3}."""
+        for gate in ("i", "f", "o", "g"):
+            assert core0[gate].segments_to_swap == [1, 3]
+            assert core0[gate].change_stride == 2
+
+    def test_equation_3_1_uniform_across_cores(self, builder):
+        assert builder.segments_to_swap_uniform()
+
+
+class TestIssuePlacement:
+    def test_first_two_swaps_in_init_segment(self, core0):
+        schedule = core0["U_i"]
+        assert schedule.issue_segment(1) == 0
+        assert schedule.issue_segment(2) == 0
+
+    def test_third_swap_issued_at_seg1(self, core0):
+        # Table 3.1: swap U_ifog(seg_{0,3}) executes in seg_{0,1}.
+        assert core0["U_i"].issue_segment(3) == 1
+        assert core0["U_i"].issue_segment(4) == 2
+
+    def test_buffer_alternation(self, core0):
+        buffers = [e.buffer for e in core0["U_i"].events]
+        assert buffers == [1, 2, 1, 2]
+
+    def test_transfer_slots(self, core0):
+        schedule = core0["U_i"]
+        # stride 1: the x-th load lands in slot x.
+        assert [schedule.transfer_slot(x) for x in (1, 2, 3, 4)] == \
+            [1, 2, 3, 4]
+        gates = core0["i"]
+        # stride 2: initial load slot 1, second load slot 3.
+        assert gates.transfer_slot(1) == 1
+        assert gates.transfer_slot(2) == 3
+
+    def test_unload_slots(self, core0):
+        gates = core0["i"]
+        # range 1 (segs 1-2) unloads during seg 3 (slot 4); range 2 after
+        # the last segment (slot n+2 = 6).
+        assert gates.unload_slot(1) == 4
+        assert gates.unload_slot(2) == 6
+
+
+class TestDealloc:
+    def test_gates_dealloc_placement(self, core0):
+        # Table 3.1: dealloc ifog_buf1 in seg_{0,2}; final in seg_{0,4}.
+        assert core0["i"].dealloc_segments() == [(2, 1), (4, 2)]
+
+    def test_u_dealloc_placement(self, core0):
+        # Table 3.1: dealloc U_ifog_buf1 in seg_{0,3}; buf2 in seg_{0,4}.
+        assert core0["U_i"].dealloc_segments() == [(3, 1), (4, 2)]
+
+
+class TestTrace:
+    def test_trace_rows(self, builder):
+        groups = {"U_ifog": ["U_i", "U_f", "U_o", "U_g"],
+                  "ifog": ["i", "f", "o", "g"]}
+        rows = builder.trace(0, outer={"t": 0}, groups=groups)
+        assert len(rows) == 5          # init + 4 segments
+        assert rows[0].segment == 0
+        assert rows[0].tile is None
+        assert any("dispatch" in call for call in rows[0].calls)
+        # Every execution segment ends with end_segment.
+        assert all(row.calls[-1] == "end_segment()" for row in rows)
+
+    def test_spm_state_progression(self, builder):
+        groups = {"U_ifog": ["U_i", "U_f", "U_o", "U_g"]}
+        rows = builder.trace(0, outer={"t": 0}, groups=groups)
+        # After the init segment buf1 holds seg1's range, buf2 empty;
+        # after segment 1 buf2 holds seg2's range.
+        state0 = rows[0].spm_state["U_ifog"]
+        state1 = rows[1].spm_state["U_ifog"]
+        assert state0[0] != "empty"
+        assert state0[1] == "empty"
+        assert state1[1] != "empty"
+
+    def test_render_trace(self, builder):
+        text = render_trace(builder.trace(0, outer={"t": 0}))
+        assert "init segment" in text
+        assert "segment 4" in text
+        assert "swap2d_buffer" in text
+
+
+class TestNonConstantStride:
+    def test_bitvector_fallback(self):
+        """Uneven tile counts yield non-constant change strides; the
+        bit-vector encoding must cover every issued swap."""
+        tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+        comp = component_at(tree, ["s1_0", "p"])
+        # 3 p-ranges: gate swaps at segments 1 and 4 (stride 3), U swaps
+        # every segment; make s1 ranges uneven: 650 = 2*300 + 50.
+        solution = Solution(comp, {"s1_0": 300, "p": 250})
+        builder = MacroBuilder(comp, solution)
+        schedule = builder.core_schedules(0)["U_i"]
+        stride = schedule.change_stride
+        bits = schedule.swap_bitvector
+        assert bits > 0
+        for event in schedule.events:
+            assert bits >> schedule.issue_segment(event.index) & 1

@@ -1,0 +1,164 @@
+"""Canonical data element range tests against the paper's worked examples.
+
+Key fixtures: the LSTM component of Section 3.5 (segment ranges like
+``U_ifog[0-108][0-349]``) and the 3-D transfer example of Figure 5.4.
+"""
+
+import pytest
+
+from repro.kernels import lstm, make_kernel, preset_sizes
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.poly.affine import AffineExpr, aff
+from repro.prem.ranges import (
+    CanonicalRange,
+    bounding_box,
+    canonical_range,
+    partial_bounds,
+    ranges_overlap,
+    tile_box,
+)
+from repro.poly.access import Array
+
+
+@pytest.fixture(scope="module")
+def lstm_large():
+    tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+    return component_at(tree, ["s1_0", "p"])
+
+
+SIZES = {"s1_0": 109, "p": 350}
+
+
+class TestPartialBounds:
+    def test_pure_numeric(self):
+        lo, hi = partial_bounds(aff("i") * 2 + 1, {"i": (0, 4)})
+        assert (lo.constant, hi.constant) == (1, 9)
+
+    def test_symbolic_part_passes_through(self):
+        expr = aff("t") + aff("p")
+        lo, hi = partial_bounds(expr, {"p": (3, 7)})
+        assert lo == aff("t") + 3
+        assert hi == aff("t") + 7
+
+    def test_negative_coefficient(self):
+        lo, hi = partial_bounds(5 - aff("r"), {"r": (0, 2)})
+        assert (lo.constant, hi.constant) == (3, 5)
+
+
+class TestSection35Ranges:
+    """The canonical ranges quoted in Section 3.5 for the LSTM example
+    with K = (109, 350) on core 0."""
+
+    def range_at(self, comp, name, s1_t, p_t):
+        box = tile_box(comp, {"s1_0": s1_t, "p": p_t}, SIZES)
+        return canonical_range(comp, name, box)
+
+    def test_u_ifog_seg01(self, lstm_large):
+        crange = self.range_at(lstm_large, "U_i", 0, 0)
+        assert crange.concrete() == ((0, 108), (0, 349))
+
+    def test_u_ifog_seg02(self, lstm_large):
+        crange = self.range_at(lstm_large, "U_i", 0, 1)
+        assert crange.concrete() == ((0, 108), (350, 699))
+
+    def test_u_ifog_seg03(self, lstm_large):
+        crange = self.range_at(lstm_large, "U_i", 1, 0)
+        assert crange.concrete() == ((109, 217), (0, 349))
+
+    def test_last_tile_clipped(self, lstm_large):
+        # 650 = 5*109 + 105: the last s1 range has 105 rows.
+        crange = self.range_at(lstm_large, "U_i", 5, 1)
+        assert crange.concrete() == ((545, 649), (350, 699))
+        assert crange.shape == (105, 350)
+
+    def test_ifog_depends_only_on_s1(self, lstm_large):
+        a = self.range_at(lstm_large, "i", 0, 0)
+        b = self.range_at(lstm_large, "i", 0, 1)
+        c = self.range_at(lstm_large, "i", 1, 0)
+        assert a.same_as(b)
+        assert not a.same_as(c)
+
+    def test_inp_f_symbolic_over_time(self, lstm_large):
+        crange = self.range_at(lstm_large, "inp_F", 0, 0)
+        # dim 0 is the outer iterator t: symbolic until pinned.
+        assert crange.lo[0] == aff("t")
+        assert crange.concrete({"t": 4}) == ((4, 4), (0, 349))
+        assert crange.shape == (1, 350)
+
+    def test_bytes_match_table_3_2(self, lstm_large):
+        # Table 3.2: ifog swap sizes are 109*4 bytes per segment.
+        crange = self.range_at(lstm_large, "i", 0, 0)
+        assert crange.bytes == 109 * 4
+
+    def test_address_offset(self, lstm_large):
+        crange = self.range_at(lstm_large, "i", 2, 0)
+        assert crange.address_offset() == 218
+
+
+class TestFigure53Hull:
+    """Figure 5.3: sparse accesses in arr[5][5] hull to [1..4]x[0..3]."""
+
+    def test_hull_of_guarded_accesses(self):
+        arr = Array("arr", (5, 5))
+        lo = (aff(1), aff(0))
+        hi = (aff(4), aff(3))
+        crange = CanonicalRange(arr, lo, hi)
+        assert crange.shape == (4, 4)
+        assert crange.elements == 16
+
+
+class TestCnnHalo:
+    def test_input_halo_included(self):
+        tree = LoopTree.build(make_kernel("cnn", "SMALL"))
+        comp = component_at(tree, ["n", "k", "p", "q", "c"])
+        sizes = {"n": 1, "k": 4, "p": 2, "q": 8, "c": 8}
+        box = tile_box(comp, {v: 0 for v in sizes}, sizes)
+        crange = canonical_range(comp, "inp_F", box)
+        nr = tree.kernel.constants["NR"]
+        # p in [0,1], subscript p + NR-1-r covers [0, 1 + NR - 1].
+        assert crange.concrete()[2] == (0, 1 + nr - 1)
+
+
+class TestBoundingBox:
+    def test_dominated_by_full_tile(self, lstm_large):
+        bbox = bounding_box(lstm_large, "U_i", SIZES)
+        assert bbox == (109, 350)
+
+    def test_unknown_array_raises(self, lstm_large):
+        with pytest.raises(LookupError):
+            bounding_box(lstm_large, "nope", SIZES)
+
+
+class TestOverlap:
+    def make(self, lo0, hi0):
+        arr = Array("a", (100,))
+        return CanonicalRange(arr, (aff(lo0),), (aff(hi0),))
+
+    def test_disjoint(self):
+        assert not ranges_overlap(self.make(0, 9), self.make(10, 19))
+
+    def test_overlapping(self):
+        assert ranges_overlap(self.make(0, 10), self.make(10, 19))
+
+    def test_symbolic_conservative(self):
+        arr = Array("a", (100, 100))
+        a = CanonicalRange(arr, (aff("t"), aff(0)), (aff("t"), aff(9)))
+        b = CanonicalRange(
+            arr, (aff("t") - 1, aff(0)), (aff("t") - 1, aff(9)))
+        assert not ranges_overlap(a, b)   # t-1 < t provably
+
+
+class TestGuardNarrowing:
+    def test_loop_guard_narrows_band_variable(self):
+        """The LSTM (t) whole-loop component must not produce negative
+        subscripts for s_F[t-1][...] thanks to the t > 0 loop guard."""
+        kernel = lstm(preset_sizes("lstm", "MINI"))
+        tree = LoopTree.build(kernel)
+        comp = component_at(tree, ["t"])
+        nt = kernel.constants["NT"]
+        box = tile_box(comp, {"t": 0}, {"t": nt})
+        crange = canonical_range(comp, "s_F", box)
+        lo, hi = crange.concrete()[0]
+        assert lo == 0
+        assert hi == nt - 1

@@ -1,0 +1,179 @@
+"""Tests for buffer-mode classification and per-core segment planning."""
+
+import math
+
+import pytest
+
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt.solution import Solution
+from repro.prem.segments import (
+    PlanError,
+    RO,
+    RW,
+    SegmentPlanner,
+    WO,
+    classify_modes,
+    swap_api_name,
+)
+from repro.sim.profiler import fit_component_model
+from repro.timing.platform import Platform
+
+
+@pytest.fixture(scope="module")
+def lstm_comp():
+    tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+    return component_at(tree, ["s1_0", "p"])
+
+
+@pytest.fixture(scope="module")
+def lstm_model(lstm_comp):
+    return fit_component_model(lstm_comp)
+
+
+@pytest.fixture(scope="module")
+def cnn_comp():
+    tree = LoopTree.build(make_kernel("cnn", "LARGE"))
+    return component_at(tree, ["n", "k", "p", "q", "c"])
+
+
+BIG_SPM = Platform(spm_bytes=4 * 1024 * 1024)
+
+
+def test_swap_api_name():
+    assert swap_api_name(1) == "swap_buffer"
+    assert swap_api_name(2) == "swap2d_buffer"
+    assert swap_api_name(4) == "swapnd_buffer"
+
+
+class TestModes:
+    def test_lstm_component_modes(self, lstm_comp):
+        """Section 3.5: U_* and inp_F are RO; i/f/o/g are WO because the
+        guarded init writes every element before the accumulation reads."""
+        modes = classify_modes(lstm_comp)
+        for gate in ("i", "f", "o", "g"):
+            assert modes[gate] == WO
+        for mat in ("U_i", "U_f", "U_o", "U_g"):
+            assert modes[mat] == RO
+        assert modes["inp_F"] == RO
+
+    def test_cnn_modes(self, cnn_comp):
+        modes = classify_modes(cnn_comp)
+        assert modes["out_F"] == RW       # read-modify-write accumulation
+        assert modes["W"] == RO
+        assert modes["inp_F"] == RO
+
+    def test_rnn_modes(self):
+        tree = LoopTree.build(make_kernel("rnn", "SMALL"))
+        comp = component_at(tree, ["s2"])
+        modes = classify_modes(comp)
+        assert modes["h"] == RW           # exposed reads of h[s3]
+        assert modes["acc"] == RO
+        emit = component_at(tree, ["s4"])
+        assert classify_modes(emit)["out_F"] == WO
+
+
+class TestPlanning:
+    def make_plan(self, comp, model, sizes, groups, platform=BIG_SPM):
+        planner = SegmentPlanner(comp, platform, model)
+        return planner.plan(Solution(comp, sizes, groups))
+
+    def test_paper_example_geometry(self, lstm_comp, lstm_model):
+        plan = self.make_plan(
+            lstm_comp, lstm_model,
+            {"s1_0": 109, "p": 350}, {"s1_0": 3, "p": 1})
+        assert len(plan.cores) == 3
+        assert all(core.n_segments == 4 for core in plan.cores)
+        assert plan.total_segments == 12
+
+    def test_spm_overflow_raises(self, lstm_comp, lstm_model):
+        planner = SegmentPlanner(lstm_comp, Platform(), lstm_model)
+        with pytest.raises(PlanError, match="SPM"):
+            planner.plan(Solution(
+                lstm_comp, {"s1_0": 109, "p": 350}, {"s1_0": 3, "p": 1}))
+
+    def test_segment_cap_raises(self, lstm_comp, lstm_model):
+        planner = SegmentPlanner(lstm_comp, BIG_SPM, lstm_model)
+        with pytest.raises(PlanError, match="segments"):
+            planner.plan(
+                Solution(lstm_comp, {"s1_0": 1, "p": 1}),
+                max_segments_per_core=100)
+
+    def test_relevant_levels(self, lstm_comp, lstm_model):
+        plan = self.make_plan(
+            lstm_comp, lstm_model,
+            {"s1_0": 109, "p": 350}, {"s1_0": 3, "p": 1})
+        # U matrices move with both levels; gates only with s1; inp_F only
+        # with p (its first dim is the outer t iterator).
+        assert plan.array_plans["U_i"].relevant_levels == (0, 1)
+        assert plan.array_plans["i"].relevant_levels == (0,)
+        assert plan.array_plans["inp_F"].relevant_levels == (1,)
+
+    def test_bounding_boxes_and_spm_accounting(self, lstm_comp, lstm_model):
+        plan = self.make_plan(
+            lstm_comp, lstm_model,
+            {"s1_0": 109, "p": 350}, {"s1_0": 3, "p": 1})
+        assert plan.array_plans["U_i"].bounding_shape == (109, 350)
+        expected = 2 * sum(p.bounding_bytes
+                           for p in plan.array_plans.values())
+        assert plan.spm_bytes_needed == expected
+
+    def test_mem_slots_and_deps(self, lstm_comp, lstm_model):
+        plan = self.make_plan(
+            lstm_comp, lstm_model,
+            {"s1_0": 109, "p": 350}, {"s1_0": 3, "p": 1})
+        core = plan.cores[0]
+        n = core.n_segments
+        assert len(core.mem_slot_ns) == n + 2
+        # Loads exist for the first two slots; trailing unload occupies
+        # the final slot (gates are WO and unload at n+2).
+        assert core.mem_slot_ns[0] > 0
+        assert core.mem_slot_ns[1] > 0
+        assert core.mem_slot_ns[n + 1] > 0
+        # Each segment's dependency points at a slot no later than itself.
+        for segment in range(1, n + 1):
+            assert 0 <= core.dep_slot[segment - 1] <= segment
+
+    def test_transferred_bytes_double_counts_rw(self, cnn_comp):
+        model = fit_component_model(cnn_comp)
+        planner = SegmentPlanner(cnn_comp, Platform(), model)
+        plan = planner.plan(Solution(
+            cnn_comp, {"n": 1, "k": 32, "p": 7, "q": 28, "c": 16},
+            {"n": 1, "k": 4, "p": 2, "q": 1, "c": 1}))
+        # out_F is RW: it is both loaded and unloaded.
+        assert plan.total_unload_bytes > 0
+        assert plan.total_load_bytes > plan.total_unload_bytes
+
+    def test_write_sharing_across_groups_rejected(self):
+        """A written array whose range does not move with a parallelized
+        level would be written identically by all its thread groups.
+
+        Dependence analysis already clears such flags, so the scenario is
+        forced by overriding the parallel attribute — the planner is the
+        last line of defence (Section 5.3.1's cross-core overlap rule).
+        """
+        tree = LoopTree.build(make_kernel("lstm", "SMALL"))
+        comp = component_at(tree, ["s1_0", "p"])
+        model = fit_component_model(comp)
+        planner = SegmentPlanner(comp, BIG_SPM, model)
+        tree.node_by_var("p").parallel = True   # force an illegal flag
+        ns = tree.kernel.constants["NS"]
+        np_ = tree.kernel.constants["NP"]
+        try:
+            # The gates i/f/o/g (written) do not move with p: both p
+            # thread groups would write the same gate ranges.
+            with pytest.raises(PlanError, match="thread groups"):
+                planner.plan(Solution(
+                    comp, {"s1_0": ns, "p": np_ // 2}, {"p": 2}))
+        finally:
+            tree.node_by_var("p").parallel = False
+
+    def test_api_costs_accounted(self, lstm_comp, lstm_model):
+        plan = self.make_plan(
+            lstm_comp, lstm_model,
+            {"s1_0": 109, "p": 350}, {"s1_0": 3, "p": 1})
+        core = plan.cores[0]
+        assert core.init_api_ns > 0
+        assert core.api_ns_total > core.init_api_ns
+        assert all(e > 0 for e in core.exec_ns)

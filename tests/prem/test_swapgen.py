@@ -1,0 +1,88 @@
+"""Algorithm 3 swap-parameter tests, including Figure 5.4's 3-D example."""
+
+import pytest
+
+from repro.poly.access import Array
+from repro.poly.affine import aff
+from repro.prem.ranges import CanonicalRange
+from repro.prem.swapgen import generate_swap_call
+
+
+def crange(array, bounds):
+    lo = tuple(aff(b[0]) for b in bounds)
+    hi = tuple(aff(b[1]) for b in bounds)
+    return CanonicalRange(array, lo, hi)
+
+
+class TestFigure54:
+    """double d[6][5][4]; range shape (4,3,2) starting at (2,0,2);
+    bounding box (5,4,3).  Expected call parameters from the paper:
+    offset 42, size {4,3,16}, spitch {5,32}, dpitch {4,24}."""
+
+    @pytest.fixture()
+    def call(self):
+        d = Array("d", (6, 5, 4), "double")
+        return generate_swap_call(
+            crange(d, [(2, 5), (0, 2), (2, 3)]), (5, 4, 3))
+
+    def test_api(self, call):
+        assert call.api == "swapnd_buffer"
+
+    def test_offset(self, call):
+        assert call.src_offset() == 42
+
+    def test_size(self, call):
+        assert call.size == (4, 3, 2 * 8)
+
+    def test_spitch(self, call):
+        assert call.spitch == (5, 4 * 8)
+
+    def test_dpitch(self, call):
+        assert call.dpitch == (4, 3 * 8)
+
+    def test_render(self, call):
+        text = call.render("d_id")
+        assert "swapnd_buffer(d_id" in text
+        assert "{4, 3, 16}" in text
+        assert "{5, 32}" in text
+        assert "{4, 24}" in text
+
+
+class TestOneAndTwoD:
+    def test_1d_table_3_2_style(self):
+        # Table 3.2: ifog rows of 109 elements, 4 bytes each.
+        a = Array("ifog", (650,), "float")
+        call = generate_swap_call(crange(a, [(218, 326)]), (109,))
+        assert call.api == "swap_buffer"
+        assert call.src_offset() == 218
+        assert call.size == (109 * 4,)
+
+    def test_2d_listing_3_3_style(self):
+        u = Array("U_i", (650, 700), "float")
+        call = generate_swap_call(
+            crange(u, [(109, 217), (350, 699)]), (109, 350))
+        assert call.api == "swap2d_buffer"
+        assert call.src_offset() == 109 * 700 + 350
+        assert call.size == (109, 350 * 4)
+        assert call.spitch == (700 * 4,)
+        assert call.dpitch == (350 * 4,)
+
+    def test_symbolic_offset(self):
+        inp = Array("inp_F", (10, 700), "float")
+        call = generate_swap_call(
+            CanonicalRange(inp, (aff("t"), aff(0)), (aff("t"), aff(349))),
+            (1, 350))
+        assert call.src_offset({"t": 3}) == 3 * 700
+        assert "t" in call.render("inp_id")
+
+
+class TestValidation:
+    def test_range_exceeding_bbox_rejected(self):
+        a = Array("a", (100,), "float")
+        with pytest.raises(ValueError):
+            generate_swap_call(crange(a, [(0, 49)]), (10,))
+
+    def test_rank_mismatch_rejected(self):
+        a = Array("a", (10, 10), "float")
+        with pytest.raises(ValueError):
+            generate_swap_call(crange(a, [(0, 4), (0, 4)]), (5,))

@@ -1,0 +1,98 @@
+"""Makespan evaluator tests: caching, feasibility reporting, totals."""
+
+import math
+
+import pytest
+
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt.solution import Solution
+from repro.schedule.makespan import MakespanEvaluator
+from repro.sim.profiler import fit_component_model
+from repro.timing.platform import Platform
+
+BIG_SPM = Platform(spm_bytes=4 * 1024 * 1024)
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+    comp = component_at(tree, ["s1_0", "p"])
+    model = fit_component_model(comp)
+    return MakespanEvaluator(comp, BIG_SPM, model)
+
+
+class TestEvaluate:
+    def test_feasible_solution(self, evaluator):
+        result = evaluator.evaluate_params(
+            {"s1_0": 109, "p": 350}, {"s1_0": 3, "p": 1})
+        assert result.feasible
+        assert math.isfinite(result.makespan_ns)
+        assert result.plan is not None
+        assert result.pipeline is not None
+        assert result.transferred_bytes > 0
+        assert result.spm_bytes_needed > 0
+
+    def test_total_multiplies_executions(self, evaluator):
+        result = evaluator.evaluate_params(
+            {"s1_0": 109, "p": 350}, {"s1_0": 3, "p": 1})
+        executions = evaluator.component.executions
+        assert result.total_makespan_ns == \
+            pytest.approx(result.makespan_ns * executions)
+
+    def test_infeasible_spm(self):
+        tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+        comp = component_at(tree, ["s1_0", "p"])
+        model = fit_component_model(comp)
+        small = MakespanEvaluator(comp, Platform(), model)
+        result = small.evaluate_params(
+            {"s1_0": 109, "p": 350}, {"s1_0": 3, "p": 1})
+        assert not result.feasible
+        assert result.makespan_ns == math.inf
+        assert "SPM" in result.reason
+
+    def test_invalid_params_reported(self, evaluator):
+        result = evaluator.evaluate_params({"s1_0": 0, "p": 350})
+        assert not result.feasible
+        result = evaluator.evaluate_params(
+            {"s1_0": 109, "p": 350}, {"p": 2})   # p not parallel
+        assert not result.feasible
+        assert "parallel" in result.reason
+
+    def test_caching(self, evaluator):
+        before = evaluator.evaluations
+        a = evaluator.evaluate_params(
+            {"s1_0": 14, "p": 700}, {"s1_0": 8, "p": 1})
+        b = evaluator.evaluate_params(
+            {"s1_0": 14, "p": 700}, {"s1_0": 8, "p": 1})
+        assert a is b
+        assert evaluator.evaluations == before + 1
+
+    def test_segment_cap(self):
+        tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+        comp = component_at(tree, ["s1_0", "p"])
+        model = fit_component_model(comp)
+        capped = MakespanEvaluator(comp, BIG_SPM, model, segment_cap=10)
+        result = capped.evaluate_params({"s1_0": 10, "p": 10})
+        assert not result.feasible
+        assert "cap" in result.reason
+
+
+class TestShapeOfMakespan:
+    def test_parallelism_helps_when_compute_bound(self, evaluator):
+        serial = evaluator.evaluate_params({"s1_0": 82, "p": 700})
+        parallel = evaluator.evaluate_params(
+            {"s1_0": 82, "p": 700}, {"s1_0": 8, "p": 1})
+        assert parallel.makespan_ns < serial.makespan_ns
+
+    def test_slow_bus_increases_makespan(self):
+        tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+        comp = component_at(tree, ["s1_0", "p"])
+        model = fit_component_model(comp)
+        fast = MakespanEvaluator(comp, BIG_SPM, model)
+        slow = MakespanEvaluator(
+            comp, BIG_SPM.with_bus(1e9 / 16), model)
+        params = ({"s1_0": 82, "p": 700}, {"s1_0": 8, "p": 1})
+        assert slow.evaluate_params(*params).makespan_ns > \
+            fast.evaluate_params(*params).makespan_ns

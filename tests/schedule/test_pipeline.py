@@ -1,0 +1,110 @@
+"""Pipeline evaluator tests, including the paper's Section 4.1 formula.
+
+Section 4.1 derives, for the 3-core/12-segment execution-bound LSTM
+schedule with uniform phase lengths, a makespan of
+``3*(ld/12) + 4*(e/12) + ul/12``: the three initial loads serialize on the
+DMA, core 2's four executions follow, and its last unload closes the
+schedule.  We rebuild exactly that schedule from hand-made CoreSchedules
+and check the closed form.
+"""
+
+import pytest
+
+from repro.prem.segments import CoreSchedule
+from repro.schedule.pipeline import evaluate_pipeline
+
+
+def uniform_core(core, n, exec_ns, load_ns, unload_ns):
+    """A stride-1 double-buffered core: load before every segment, the
+    final unload in the trailing slot."""
+    mem = [load_ns] * n + [0.0, unload_ns]
+    return CoreSchedule(
+        core=core,
+        n_segments=n,
+        init_api_ns=0.0,
+        exec_ns=[exec_ns] * n,
+        mem_slot_ns=mem,
+        dep_slot=list(range(1, n + 1)),
+    )
+
+
+class TestSection41Formula:
+    def test_execution_bound_three_cores(self):
+        e_total, ld_total, ul_total = 1200.0, 120.0, 60.0
+        n = 4                      # 12 segments over 3 cores
+        e, ld, ul = e_total / 12, ld_total / 12, ul_total / 12
+        cores = [uniform_core(i, n, e, ld, ul) for i in range(3)]
+        result = evaluate_pipeline(cores)
+        expected = 3 * ld + 4 * e + ul
+        assert result.makespan_ns == pytest.approx(expected)
+
+    def test_more_segments_reduce_makespan(self):
+        """Section 4.1: splitting the same work into 15 segments lowers
+        the makespan to ld/5 + e/3 + ul/15."""
+        e_total, ld_total, ul_total = 1200.0, 120.0, 60.0
+        coarse = [uniform_core(i, 4, e_total / 12, ld_total / 12,
+                               ul_total / 12) for i in range(3)]
+        fine = [uniform_core(i, 5, e_total / 15, ld_total / 15,
+                             ul_total / 15) for i in range(3)]
+        coarse_result = evaluate_pipeline(coarse)
+        fine_result = evaluate_pipeline(fine)
+        assert fine_result.makespan_ns < coarse_result.makespan_ns
+        assert fine_result.makespan_ns == pytest.approx(
+            3 * ld_total / 15 + 5 * e_total / 15 + ul_total / 15)
+
+
+class TestStructure:
+    def test_empty(self):
+        assert evaluate_pipeline([]).makespan_ns == 0.0
+
+    def test_single_segment_core(self):
+        core = CoreSchedule(
+            core=0, n_segments=1, init_api_ns=5.0,
+            exec_ns=[100.0], mem_slot_ns=[20.0, 0.0, 30.0],
+            dep_slot=[1])
+        result = evaluate_pipeline([core])
+        # init, load, exec, trailing unload all serialize.
+        assert result.makespan_ns == pytest.approx(5 + 20 + 100 + 30)
+
+    def test_memory_bound_dma_serializes(self):
+        # Loads dominate: cores starve on the single DMA.
+        cores = [uniform_core(i, 4, 1.0, 100.0, 0.0) for i in range(4)]
+        result = evaluate_pipeline(cores)
+        # 16 loads of 100 serialize; the last exec then runs.
+        assert result.makespan_ns >= 16 * 100.0
+        assert result.dma_busy_ns == pytest.approx(16 * 100.0)
+
+    def test_compute_bound_hides_memory(self):
+        cores = [uniform_core(0, 6, 1000.0, 1.0, 1.0)]
+        result = evaluate_pipeline(cores)
+        # All but the first load hide under execution.
+        assert result.makespan_ns == pytest.approx(1.0 + 6 * 1000.0 + 1.0)
+
+    def test_init_segment_delays_first_load(self):
+        slow_init = CoreSchedule(
+            core=0, n_segments=1, init_api_ns=500.0,
+            exec_ns=[10.0], mem_slot_ns=[20.0, 0.0, 0.0], dep_slot=[1])
+        result = evaluate_pipeline([slow_init])
+        assert result.makespan_ns == pytest.approx(500 + 20 + 10)
+
+    def test_double_buffering_skips_one_round(self):
+        """The load in slot s waits on exec(s-2), not exec(s-1): a long
+        segment must not block the load of the segment after next."""
+        core = CoreSchedule(
+            core=0, n_segments=3, init_api_ns=0.0,
+            exec_ns=[100.0, 100.0, 100.0],
+            mem_slot_ns=[10.0, 10.0, 10.0, 0.0, 0.0],
+            dep_slot=[1, 2, 3])
+        result = evaluate_pipeline([core])
+        # load1=10, exec1 @10..110; load2 during exec1; exec2 @110..210;
+        # load3 waits exec1 only -> done long before exec3.
+        assert result.makespan_ns == pytest.approx(10 + 300)
+
+    def test_idle_cores_ignored(self):
+        busy = uniform_core(0, 2, 50.0, 5.0, 5.0)
+        idle = CoreSchedule(core=1, n_segments=0, init_api_ns=0.0,
+                            exec_ns=[], mem_slot_ns=[0.0, 0.0],
+                            dep_slot=[])
+        with_idle = evaluate_pipeline([busy, idle])
+        without = evaluate_pipeline([busy])
+        assert with_idle.makespan_ns == without.makespan_ns

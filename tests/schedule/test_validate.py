@@ -1,0 +1,67 @@
+"""Timing-model accuracy tests (the paper's <=5% claim, Section 6.1)."""
+
+import pytest
+
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt import ComponentOptimizer, Solution
+from repro.schedule.validate import ExactExecModel, validate_timing_model
+from repro.sim.machine import MachineModel
+from repro.sim.profiler import fit_component_model
+from repro.timing.platform import Platform
+
+
+@pytest.fixture(scope="module")
+def lstm_setup():
+    tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+    comp = component_at(tree, ["s1_0", "p"])
+    return comp, fit_component_model(comp)
+
+
+class TestExactModel:
+    def test_matches_machine(self, lstm_setup):
+        comp, _ = lstm_setup
+        machine = MachineModel()
+        exact = ExactExecModel(comp, machine)
+        assert exact.estimate((14, 234)) == \
+            machine.tile_cost(comp, (14, 234))
+
+
+class TestAccuracy:
+    def test_model_within_five_percent_on_chosen_solution(self, lstm_setup):
+        """On the solution the optimizer actually picks, predicted and
+        simulated makespans agree within the paper's 5% bound."""
+        comp, model = lstm_setup
+        platform = Platform()
+        result = ComponentOptimizer(comp, platform, model).optimize(8)
+        outcome = validate_timing_model(
+            comp, result.best.solution, platform, model)
+        assert abs(outcome.error) <= 0.05
+
+    def test_model_is_safe_overestimate(self, lstm_setup):
+        """The constrained fit makes the model a WCET upper bound, so the
+        deviation must be non-negative for any feasible solution."""
+        comp, model = lstm_setup
+        platform = Platform(spm_bytes=4 * 1024 * 1024)
+        for sizes, groups in [
+            ({"s1_0": 109, "p": 350}, {"s1_0": 3, "p": 1}),
+            ({"s1_0": 50, "p": 700}, {"s1_0": 8, "p": 1}),
+            ({"s1_0": 650, "p": 140}, None),
+        ]:
+            solution = Solution(comp, sizes, groups)
+            outcome = validate_timing_model(
+                comp, solution, platform, model)
+            assert outcome.error >= -0.01, sizes
+
+    def test_accuracy_across_kernels(self):
+        platform = Platform()
+        for name, band in [("cnn", ["n", "k", "p", "q", "c"]),
+                           ("maxpool", ["n", "k", "p", "q", "r"])]:
+            tree = LoopTree.build(make_kernel(name, "LARGE"))
+            comp = component_at(tree, band)
+            model = fit_component_model(comp)
+            result = ComponentOptimizer(comp, platform, model).optimize(8)
+            outcome = validate_timing_model(
+                comp, result.best.solution, platform, model)
+            assert abs(outcome.error) <= 0.08, name

@@ -1,0 +1,108 @@
+"""Machine-model tests: closed form vs interpretation, kernel costs."""
+
+import pytest
+
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.builder import for_, kernel_, stmt_
+from repro.loopir.component import component_at
+from repro.poly.access import Array
+from repro.prem.ranges import tile_box
+from repro.sim.machine import CostTable, MachineModel
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineModel()
+
+
+def unguarded_kernel():
+    a = Array("a", (6, 8))
+    b = Array("b", (6, 8))
+    s = stmt_("s", {"a": a, "b": b},
+              writes={"a": ("i", "j")}, reads={"b": ("i", "j")}, flops=2)
+    return kernel_("k2", [a, b], [for_("i", 6, for_("j", 8, s))])
+
+
+class TestClosedFormVsInterpretation:
+    def test_unguarded_component_exact(self, machine):
+        tree = LoopTree.build(unguarded_kernel())
+        comp = component_at(tree, ["i", "j"])
+        for widths in [(1, 1), (2, 3), (6, 8), (5, 7)]:
+            box = tile_box(comp, {"i": 0, "j": 0},
+                           {"i": widths[0], "j": widths[1]})
+            assert machine.tile_cost(comp, widths) == \
+                machine.interpret_tile(comp, box)
+
+    def test_cnn_folded_leaf_exact(self, machine):
+        tree = LoopTree.build(make_kernel("cnn", "MINI"))
+        comp = component_at(tree, ["n", "k", "p", "q", "c"])
+        widths = (1, 2, 2, 2, 3)
+        sizes = dict(zip(comp.band_vars, widths))
+        box = tile_box(comp, {v: 0 for v in comp.band_vars}, sizes)
+        assert machine.tile_cost(comp, widths) == \
+            machine.interpret_tile(comp, box)
+
+    def test_guarded_lstm_close(self, machine):
+        """Guard averaging: the closed form charges the p==0 init once per
+        full p sweep, so tiles containing p=0 are slightly underestimated
+        and later tiles overestimated — within one init body per point."""
+        tree = LoopTree.build(make_kernel("lstm", "MINI"))
+        comp = component_at(tree, ["s1_0", "p"])
+        widths = (2, 3)
+        sizes = {"s1_0": 2, "p": 3}
+        box = tile_box(comp, {"s1_0": 0, "p": 0}, sizes)
+        closed = machine.tile_cost(comp, widths)
+        exact = machine.interpret_tile(comp, box)
+        assert abs(closed - exact) / exact < 0.5
+
+
+class TestCostStructure:
+    def test_monotone_in_widths(self, machine):
+        tree = LoopTree.build(unguarded_kernel())
+        comp = component_at(tree, ["i", "j"])
+        assert machine.tile_cost(comp, (2, 2)) < \
+            machine.tile_cost(comp, (2, 4)) < \
+            machine.tile_cost(comp, (4, 4))
+
+    def test_width_validation(self, machine):
+        tree = LoopTree.build(unguarded_kernel())
+        comp = component_at(tree, ["i", "j"])
+        with pytest.raises(ValueError):
+            machine.tile_cost(comp, (2,))
+        with pytest.raises(ValueError):
+            machine.tile_cost(comp, (0, 2))
+
+    def test_custom_cost_table(self):
+        cheap = MachineModel(CostTable(flop=1, load=1, store=1))
+        default = MachineModel()
+        tree = LoopTree.build(unguarded_kernel())
+        comp = component_at(tree, ["i", "j"])
+        assert cheap.tile_cost(comp, (4, 4)) < \
+            default.tile_cost(comp, (4, 4))
+
+
+class TestKernelCost:
+    def test_matches_sum_of_tiles_plus_overheads(self, machine):
+        """For an unguarded perfect nest, the whole-kernel cost equals one
+        full-size tile minus the per-tile warm-up."""
+        kernel = unguarded_kernel()
+        tree = LoopTree.build(kernel)
+        comp = component_at(tree, ["i", "j"])
+        full = machine.tile_cost(comp, (6, 8))
+        assert machine.kernel_cost(kernel) == \
+            full - machine.costs.tile_warmup
+
+    def test_guarded_loops_reduce_cost(self, machine):
+        lstm_small = make_kernel("lstm", "MINI")
+        cost = machine.kernel_cost(lstm_small)
+        assert cost > 0
+        # Removing the t>0 guards can only increase the count.
+        for loop, _ in lstm_small.walk_loops():
+            loop.guards.clear()
+        assert machine.kernel_cost(lstm_small) > cost
+
+    def test_scales_with_problem_size(self, machine):
+        small = machine.kernel_cost(make_kernel("cnn", "MINI"))
+        large = machine.kernel_cost(make_kernel("cnn", "SMALL"))
+        assert large > small

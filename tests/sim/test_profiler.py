@@ -1,0 +1,70 @@
+"""Profiling + fit quality tests (the paper's <=5% model-accuracy claim)."""
+
+import pytest
+
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.sim.machine import MachineModel
+from repro.sim.profiler import (
+    fit_component_model,
+    profile_component,
+    sample_widths,
+    width_candidates,
+)
+
+
+@pytest.fixture(scope="module")
+def lstm_comp():
+    tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+    return component_at(tree, ["s1_0", "p"])
+
+
+class TestSampling:
+    def test_width_candidates_bounds(self):
+        for n in (1, 2, 7, 24, 650):
+            candidates = width_candidates(n)
+            assert candidates[0] >= 1
+            assert candidates[-1] == n
+            assert candidates == sorted(set(candidates))
+
+    def test_sample_cap(self, lstm_comp):
+        samples = sample_widths(lstm_comp, max_samples=40)
+        assert 0 < len(samples) <= 40
+        assert all(len(w) == 2 for w in samples)
+
+    def test_deep_component_capped(self):
+        tree = LoopTree.build(make_kernel("cnn", "LARGE"))
+        comp = component_at(tree, ["n", "k", "p", "q", "c"])
+        samples = sample_widths(comp)
+        assert len(samples) <= 256
+
+
+class TestFitQuality:
+    def test_measurements_never_exceed_estimate(self, lstm_comp):
+        model = fit_component_model(lstm_comp)
+        machine = MachineModel()
+        samples, measured = profile_component(lstm_comp, machine)
+        for widths, value in zip(samples, measured):
+            assert model.estimate(widths) >= value - 1e-6
+
+    def test_out_of_sample_accuracy(self, lstm_comp):
+        """The analogue of the paper's <=5% timing-model validation, on
+        width vectors the fit never saw."""
+        model = fit_component_model(lstm_comp)
+        machine = MachineModel()
+        probes = [(13, 101), (37, 500), (109, 350), (217, 699), (5, 13)]
+        for widths in probes:
+            estimate = model.estimate(widths)
+            actual = machine.tile_cost(lstm_comp, widths)
+            assert estimate >= actual * 0.95
+            assert estimate <= actual * 1.30
+
+    def test_large_tiles_tightest(self, lstm_comp):
+        """The W term dominates large tiles, where the fit must be tight."""
+        model = fit_component_model(lstm_comp)
+        machine = MachineModel()
+        widths = (650, 700)
+        ratio = model.estimate(widths) / machine.tile_cost(
+            lstm_comp, widths)
+        assert 1.0 <= ratio < 1.05
