@@ -15,7 +15,33 @@ Quick start::
     print(result.opt_result.describe())
 """
 
-from .compiler import CompilationResult, CompiledComponent, PremCompiler
+from .compiler import (
+    FALLBACK_CHAIN,
+    CompilationResult,
+    CompiledComponent,
+    PremCompiler,
+    StageAttempt,
+)
+from .errors import (
+    CompilationError,
+    InfeasibleScheduleError,
+    InvariantViolation,
+    InvariantViolationError,
+    KernelConfigError,
+    OptimizerError,
+    OptimizerTimeout,
+    PremVmError,
+    ReproError,
+    SpmAccessError,
+    TileConfigError,
+)
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    PremInvariantChecker,
+    run_campaign,
+)
 from .kernels import make_kernel
 from .loopir import Kernel, Loop, LoopTree, Stmt, for_, kernel_, stmt_
 from .loopir.component import TilableComponent, component_at
@@ -35,7 +61,14 @@ from .timing import ExecModel, Platform, bus_speed_gb
 __version__ = "0.1.0"
 
 __all__ = [
-    "CompilationResult", "CompiledComponent", "PremCompiler",
+    "CompilationResult", "CompiledComponent", "FALLBACK_CHAIN",
+    "PremCompiler", "StageAttempt",
+    "CompilationError", "InfeasibleScheduleError", "InvariantViolation",
+    "InvariantViolationError", "KernelConfigError", "OptimizerError",
+    "OptimizerTimeout", "PremVmError", "ReproError", "SpmAccessError",
+    "TileConfigError",
+    "FaultInjector", "FaultPlan", "FaultSpec", "PremInvariantChecker",
+    "run_campaign",
     "make_kernel",
     "Kernel", "Loop", "LoopTree", "Stmt", "for_", "kernel_", "stmt_",
     "TilableComponent", "component_at",

@@ -8,12 +8,14 @@ Commands
 ``codegen``   emit the PREM-C of every compiled component
 ``gantt``     render the schedule timeline of the first component
 ``sweep``     makespan across bus speeds (mini Figure 6.1 for one kernel)
+``faults``    seeded fault-injection campaign; injected vs detected
 
 Examples
 --------
     python -m repro compile lstm --preset LARGE --bus 1
     python -m repro tree cnn
     python -m repro sweep rnn --cores 8
+    python -m repro faults lstm --seed 7
 """
 
 from __future__ import annotations
@@ -23,7 +25,7 @@ import sys
 from typing import List, Optional
 
 from .compiler import PremCompiler
-from .kernels import KERNELS, PRESETS, make_kernel
+from .kernels import KERNELS, PRESET_NAMES, PRESETS, make_kernel
 from .loopir import LoopTree
 from .opt import ideal_makespan_ns
 from .schedule.gantt import render_gantt
@@ -39,8 +41,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_common(p):
         p.add_argument("kernel", choices=sorted(KERNELS))
-        p.add_argument("--preset", default="LARGE",
-                       help="problem size preset (MINI/SMALL/LARGE)")
+        p.add_argument("--preset", default="LARGE", choices=PRESET_NAMES,
+                       help="problem size preset")
         p.add_argument("--cores", type=int, default=None)
         p.add_argument("--bus", type=float, default=16.0,
                        help="bus bandwidth in GB/s")
@@ -49,20 +51,38 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--greedy", action="store_true",
                        help="use the greedy baseline optimizer")
 
-    add_common(sub.add_parser("compile", help="optimize and report"))
+    compile_cmd = sub.add_parser("compile", help="optimize and report")
+    add_common(compile_cmd)
+    compile_cmd.add_argument(
+        "--robust", action="store_true",
+        help="graceful degradation: exhaustive -> greedy -> sequential")
+    compile_cmd.add_argument(
+        "--stage-budget", type=float, default=10.0, metavar="S",
+        help="wall-clock budget per --robust stage in seconds")
     add_common(sub.add_parser("codegen", help="emit PREM-C"))
     add_common(sub.add_parser("trace", help="PREM API schedule trace"))
     add_common(sub.add_parser("gantt", help="schedule timeline"))
 
     tree_cmd = sub.add_parser("tree", help="print the loop tree")
     tree_cmd.add_argument("kernel", choices=sorted(KERNELS))
-    tree_cmd.add_argument("--preset", default="LARGE")
+    tree_cmd.add_argument("--preset", default="LARGE", choices=PRESET_NAMES)
 
     sweep = sub.add_parser("sweep", help="makespan vs bus bandwidth")
     add_common(sweep)
     sweep.add_argument(
         "--speeds", default="0.0625,0.25,1,4,16",
         help="comma-separated bus speeds in GB/s")
+
+    faults = sub.add_parser(
+        "faults", help="seeded fault-injection campaign")
+    add_common(faults)
+    faults.set_defaults(preset="MINI")
+    faults.add_argument("--seed", type=int, default=7,
+                        help="campaign seed (deterministic per seed)")
+    faults.add_argument("--per-kind", type=int, default=3, metavar="N",
+                        help="faults injected per kind")
+    faults.add_argument("--kinds", default=None,
+                        help="comma-separated fault kinds (default: all)")
     return parser
 
 
@@ -86,12 +106,23 @@ def cmd_tree(args) -> int:
 
 
 def cmd_compile(args) -> int:
-    result = _compile(args)
+    if args.robust:
+        kernel = make_kernel(args.kernel, args.preset)
+        compiler = PremCompiler(_platform(args))
+        result = compiler.compile_robust(
+            kernel, cores=args.cores, stage_budget_s=args.stage_budget)
+    else:
+        result = _compile(args)
     print(result.opt_result.describe())
     print(f"\nideal single-core : {result.ideal_ns:>16,.0f} ns")
     print(f"makespan          : {result.makespan_ns:>16,.0f} ns")
     if result.feasible:
         print(f"normalised        : {result.normalized_makespan:.4f}")
+    if args.robust:
+        print(f"strategy          : {result.strategy}"
+              + (" (degraded)" if result.degraded else ""))
+        for attempt in result.attempts:
+            print(f"  {attempt.describe()}")
     return 0 if result.feasible else 1
 
 
@@ -165,6 +196,29 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from .faults import ALL_KINDS, run_campaign
+
+    kinds = ALL_KINDS
+    if args.kinds:
+        kinds = tuple(token.strip() for token in args.kinds.split(","))
+        unknown = sorted(set(kinds) - set(ALL_KINDS))
+        if unknown:
+            print(f"unknown fault kinds: {', '.join(unknown)} "
+                  f"(known: {', '.join(ALL_KINDS)})", file=sys.stderr)
+            return 2
+    strategy = "greedy" if args.greedy else "heuristic"
+    result = run_campaign(
+        args.kernel, preset=args.preset, seed=args.seed, kinds=kinds,
+        per_kind=args.per_kind, platform=_platform(args),
+        strategy=strategy)
+    print(result.describe())
+    for outcome in result.outcomes:
+        if outcome.missed:
+            print(f"MISSED: {outcome.spec.describe()}", file=sys.stderr)
+    return 0 if result.all_affecting_detected else 1
+
+
 COMMANDS = {
     "tree": cmd_tree,
     "compile": cmd_compile,
@@ -172,6 +226,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "gantt": cmd_gantt,
     "sweep": cmd_sweep,
+    "faults": cmd_faults,
 }
 
 

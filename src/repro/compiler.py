@@ -11,14 +11,23 @@ execute the transformed program on the functional PREM VM.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .errors import (
+    CompilationError,
+    InfeasibleScheduleError,
+    OptimizerError,
+    OptimizerTimeout,
+    ReproError,
+)
 from .loopir.ast import Kernel
 from .loopir.component import TilableComponent
 from .loopir.looptree import LoopTree
+from .opt.exhaustive import ExhaustiveOptimizer
 from .opt.greedy import GreedyOptimizer
 from .opt.ideal import ideal_makespan_ns
 from .opt.solution import Solution
@@ -28,6 +37,10 @@ from .prem.runtime import SequentialInterpreter, init_arrays, run_kernel_prem
 from .schedule.makespan import DEFAULT_SEGMENT_CAP
 from .sim.machine import MachineModel
 from .timing.platform import DEFAULT_PLATFORM, Platform
+
+#: Degradation order of :meth:`PremCompiler.compile_robust` — the best
+#: optimizer first, the unconditionally feasible strategy last.
+FALLBACK_CHAIN: Tuple[str, ...] = ("exhaustive", "greedy", "sequential")
 
 
 @dataclass
@@ -45,6 +58,20 @@ class CompiledComponent:
 
 
 @dataclass
+class StageAttempt:
+    """One stage of the fallback chain and how it ended."""
+
+    strategy: str
+    status: str               # "ok" | "timeout" | "infeasible" | "error"
+    elapsed_s: float
+    detail: str = ""
+
+    def describe(self) -> str:
+        text = f"{self.strategy}: {self.status} ({self.elapsed_s:.3f} s)"
+        return f"{text} — {self.detail}" if self.detail else text
+
+
+@dataclass
 class CompilationResult:
     """Everything the compiler produces for one kernel/platform pair."""
 
@@ -55,6 +82,13 @@ class CompilationResult:
     makespan_ns: float
     ideal_ns: float
     opt_result: TreeOptResult
+    strategy: str = "heuristic"
+    attempts: List[StageAttempt] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one better strategy failed before this one."""
+        return any(a.status != "ok" for a in self.attempts)
 
     @property
     def feasible(self) -> bool:
@@ -103,30 +137,50 @@ class PremCompiler:
 
     def __init__(self, platform: Platform = DEFAULT_PLATFORM,
                  machine: MachineModel | None = None, max_iter: int = 3,
-                 seed: int = 0, segment_cap: int = DEFAULT_SEGMENT_CAP):
+                 seed: int = 0, segment_cap: int = DEFAULT_SEGMENT_CAP,
+                 exhaustive_max_points: int = 20_000):
         self.platform = platform
         self.machine = machine or MachineModel()
         self.max_iter = max_iter
         self.seed = seed
         self.segment_cap = segment_cap
+        self.exhaustive_max_points = exhaustive_max_points
 
     def compile(self, kernel: Kernel, cores: Optional[int] = None,
                 strategy: str = "heuristic",
                 tree: Optional[LoopTree] = None,
-                optimizer: Optional[TreeOptimizer] = None
-                ) -> CompilationResult:
-        """Analyze, optimize (``heuristic`` or ``greedy``) and package."""
+                optimizer: Optional[TreeOptimizer] = None,
+                deadline: Optional[float] = None,
+                budget_s: float = 0.0) -> CompilationResult:
+        """Analyze, optimize and package one kernel.
+
+        *strategy* is ``heuristic`` (Algorithm 1), ``greedy`` (the
+        Section 6.2 baseline), ``exhaustive`` (full candidate scan,
+        guarded by ``exhaustive_max_points``), or ``sequential`` (no
+        PREM transformation at all — the whole kernel on one core).
+        *deadline*/*budget_s* arm the cooperative per-stage timeout used
+        by :meth:`compile_robust`.
+        """
         tree = tree or LoopTree.build(kernel)
+        if strategy == "sequential":
+            return self._compile_sequential(kernel, tree)
         optimizer = optimizer or TreeOptimizer(
             tree, machine=self.machine, max_iter=self.max_iter,
             seed=self.seed, segment_cap=self.segment_cap)
 
         if strategy == "heuristic":
-            result = optimizer.optimize(self.platform, cores=cores)
+            result = optimizer.optimize(
+                self.platform, cores=cores,
+                optimize_fn=self._heuristic_fn(cores, deadline, budget_s)
+                if deadline is not None else None)
         elif strategy == "greedy":
             result = optimizer.optimize(
                 self.platform, cores=cores,
-                optimize_fn=self._greedy_fn(cores))
+                optimize_fn=self._greedy_fn(cores, deadline, budget_s))
+        elif strategy == "exhaustive":
+            result = optimizer.optimize(
+                self.platform, cores=cores,
+                optimize_fn=self._exhaustive_fn(cores, deadline, budget_s))
         else:
             raise ValueError(f"unknown strategy {strategy!r}")
 
@@ -149,15 +203,119 @@ class PremCompiler:
             makespan_ns=result.makespan_ns,
             ideal_ns=ideal_makespan_ns(kernel, self.platform, self.machine),
             opt_result=result,
+            strategy=strategy,
         )
 
-    def _greedy_fn(self, cores: Optional[int]):
+    def compile_robust(self, kernel: Kernel, cores: Optional[int] = None,
+                       strategies: Sequence[str] = FALLBACK_CHAIN,
+                       stage_budget_s: Optional[float] = 10.0,
+                       tree: Optional[LoopTree] = None
+                       ) -> CompilationResult:
+        """Compile with graceful degradation.
+
+        Stages are tried in order; a stage that times out (wall-clock
+        budget *stage_budget_s*), proves infeasible on this platform, or
+        raises any :class:`repro.errors.ReproError` is recorded as a
+        :class:`StageAttempt` and the next stage runs.  ``sequential``
+        never fails, so with the default chain this method never raises
+        for a well-formed kernel; the attempt log lands in
+        :attr:`CompilationResult.attempts`.
+        """
+        tree = tree or LoopTree.build(kernel)
+        attempts: List[StageAttempt] = []
+        for strategy in strategies:
+            started = time.perf_counter()
+            deadline = None
+            if stage_budget_s is not None and strategy != "sequential":
+                deadline = started + stage_budget_s
+            try:
+                result = self.compile(
+                    kernel, cores=cores, strategy=strategy, tree=tree,
+                    deadline=deadline, budget_s=stage_budget_s or 0.0)
+                if not result.feasible:
+                    raise InfeasibleScheduleError(
+                        f"strategy {strategy!r} found no feasible "
+                        f"schedule on this platform")
+            except ReproError as error:
+                status = "timeout" if isinstance(error, OptimizerTimeout) \
+                    else ("infeasible"
+                          if isinstance(error, (InfeasibleScheduleError,
+                                                OptimizerError))
+                          else "error")
+                attempts.append(StageAttempt(
+                    strategy, status,
+                    time.perf_counter() - started, str(error)))
+                continue
+            attempts.append(StageAttempt(
+                strategy, "ok", time.perf_counter() - started))
+            result.attempts = attempts
+            return result
+        raise CompilationError(
+            f"all strategies failed for kernel {kernel.name}: "
+            + "; ".join(a.describe() for a in attempts))
+
+    # -- stage builders ---------------------------------------------------
+
+    def _compile_sequential(self, kernel: Kernel,
+                            tree: LoopTree) -> CompilationResult:
+        """No-PREM fallback: the untransformed kernel on one core."""
+        started = time.perf_counter()
+        makespan = self.machine.kernel_cost(kernel) * \
+            self.platform.ns_per_cycle
+        result = TreeOptResult(
+            tree=tree,
+            makespan_ns=makespan,
+            choices=[],
+            elapsed_s=time.perf_counter() - started,
+            evaluations=0,
+        )
+        return CompilationResult(
+            kernel=kernel,
+            tree=tree,
+            platform=self.platform,
+            components=[],
+            makespan_ns=makespan,
+            ideal_ns=ideal_makespan_ns(kernel, self.platform, self.machine),
+            opt_result=result,
+            strategy="sequential",
+        )
+
+    def _heuristic_fn(self, cores: Optional[int],
+                      deadline: Optional[float], budget_s: float):
+        from .opt.component import ComponentOptimizer
+
+        def optimize_fn(component, exec_model):
+            optimizer = ComponentOptimizer(
+                component, self.platform, exec_model,
+                max_iter=self.max_iter, seed=self.seed,
+                segment_cap=self.segment_cap,
+                deadline=deadline, budget_s=budget_s)
+            return optimizer.optimize(cores)
+
+        return optimize_fn
+
+    def _greedy_fn(self, cores: Optional[int],
+                   deadline: Optional[float] = None,
+                   budget_s: float = 0.0):
         platform = self.platform
         segment_cap = self.segment_cap
 
         def optimize_fn(component, exec_model):
             greedy = GreedyOptimizer(
-                component, platform, exec_model, segment_cap=segment_cap)
+                component, platform, exec_model, segment_cap=segment_cap,
+                deadline=deadline, budget_s=budget_s)
             return greedy.optimize(cores)
+
+        return optimize_fn
+
+    def _exhaustive_fn(self, cores: Optional[int],
+                       deadline: Optional[float], budget_s: float):
+        def optimize_fn(component, exec_model):
+            exhaustive = ExhaustiveOptimizer(
+                component, self.platform, exec_model,
+                segment_cap=self.segment_cap,
+                max_points=self.exhaustive_max_points,
+                deadline=deadline, budget_s=budget_s)
+            return exhaustive.optimize(cores)
 
         return optimize_fn

@@ -1,0 +1,162 @@
+"""Typed error hierarchy for the whole toolchain.
+
+Every failure the compiler, optimizers, planners, and the PREM VM can
+produce derives from :class:`ReproError`, so callers can distinguish a
+bug in the reproduction from an *expected* failure mode (infeasible
+platform, optimizer timeout, a schedule that violates PREM semantics)
+and degrade gracefully instead of crashing deep inside numpy.
+
+Several classes multiply-inherit from the builtin exception previously
+raised at the same site (``ValueError``, ``IndexError``, ...), so
+pre-existing ``except``/``pytest.raises`` clauses keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class ReproError(Exception):
+    """Base class of every expected toolchain failure."""
+
+
+# ---------------------------------------------------------------------------
+# configuration / input errors
+
+
+class KernelConfigError(ReproError, KeyError):
+    """Unknown kernel name or preset."""
+
+    def __str__(self) -> str:     # KeyError quotes its repr; keep prose
+        return self.args[0] if self.args else ""
+
+
+class TileConfigError(ReproError, ValueError):
+    """Malformed tile-width vector handed to a cost model."""
+
+
+# ---------------------------------------------------------------------------
+# optimization / planning errors
+
+
+class OptimizerError(ReproError):
+    """An optimization stage could not produce a usable schedule."""
+
+
+class OptimizerTimeout(OptimizerError):
+    """An optimization stage exceeded its wall-clock budget."""
+
+    def __init__(self, stage: str, budget_s: float):
+        super().__init__(
+            f"stage {stage!r} exceeded its {budget_s:.3g} s budget")
+        self.stage = stage
+        self.budget_s = budget_s
+
+
+class InfeasibleScheduleError(OptimizerError):
+    """No candidate solution fits the platform (SPM, legality, caps)."""
+
+
+class CompilationError(ReproError):
+    """Every stage of the compiler's fallback chain failed."""
+
+
+# ---------------------------------------------------------------------------
+# PREM VM errors
+
+
+class PremVmError(ReproError):
+    """Base class of functional-VM execution failures."""
+
+
+class SpmAccessError(PremVmError, IndexError):
+    """An execution phase touched SPM outside a segment's canonical range.
+
+    Carries the full coordinates of the violation — array name, global
+    index, the buffer's bound range, and the core/segment executing —
+    so a fault campaign can report *where* PREM semantics broke.
+    """
+
+    def __init__(self, name: str, index: Tuple[int, ...],
+                 lo: Tuple[int, ...], shape: Tuple[int, ...],
+                 core: Optional[int] = None,
+                 segment: Optional[int] = None, detail: str = ""):
+        where = ""
+        if core is not None or segment is not None:
+            where = f" (core {core}, segment {segment})"
+        hi = tuple(l + s - 1 for l, s in zip(lo, shape))
+        super().__init__(
+            f"{name}[{index}]{where}: {detail or 'outside'} the segment's "
+            f"canonical range [{lo}..{hi}]")
+        self.name = name
+        self.index = index
+        self.lo = lo
+        self.shape = shape
+        self.core = core
+        self.segment = segment
+
+
+class BufferUnboundError(PremVmError, RuntimeError):
+    """An execution phase used a buffer no swap ever bound."""
+
+    def __init__(self, name: str, buffer: int,
+                 core: Optional[int] = None,
+                 segment: Optional[int] = None):
+        super().__init__(
+            f"core {core} segment {segment}: buffer {name}_buf{buffer} "
+            f"used before any swap")
+        self.name = name
+        self.buffer = buffer
+        self.core = core
+        self.segment = segment
+
+
+class MissingComputeError(PremVmError, ValueError):
+    """A statement reached by the VM has no compute function."""
+
+    def __init__(self, stmt_name: str):
+        super().__init__(f"statement {stmt_name} has no compute function")
+        self.stmt_name = stmt_name
+
+
+# ---------------------------------------------------------------------------
+# structured PREM-invariant diagnostics
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One detected PREM-compliance violation, with coordinates.
+
+    ``kind`` is a stable machine-readable tag (``dropped-swap``,
+    ``stale-range``, ``late-transfer``, ...); the remaining fields pin
+    the violation to a core / segment / DMA slot / array, any of which
+    may be ``None`` when not applicable.
+    """
+
+    kind: str
+    message: str
+    core: Optional[int] = None
+    segment: Optional[int] = None
+    slot: Optional[int] = None
+    array: Optional[str] = None
+
+    def describe(self) -> str:
+        coords = ", ".join(
+            f"{label}={value}"
+            for label, value in (("core", self.core),
+                                 ("segment", self.segment),
+                                 ("slot", self.slot),
+                                 ("array", self.array))
+            if value is not None)
+        return f"[{self.kind}] {coords}: {self.message}"
+
+
+class InvariantViolationError(ReproError):
+    """Raised when a caller asks the checker to fail on violations."""
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        lines = "\n".join(v.describe() for v in self.violations)
+        super().__init__(
+            f"{len(self.violations)} PREM invariant violation(s):\n{lines}")

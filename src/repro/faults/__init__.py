@@ -1,0 +1,53 @@
+"""Fault injection, PREM invariant checking, and seeded campaigns.
+
+This package owns the robustness surface of the toolchain: seeded
+:class:`FaultPlan`/:class:`FaultInjector` perturbations of the simulated
+machine, the :class:`PremInvariantChecker` that audits swap plans, core
+schedules, VM traces and static timing for PREM-compliance, and
+:func:`run_campaign`, which injects a seeded batch of faults into a
+compiled kernel and reports how many the checker caught.
+
+Import direction is one-way: ``repro.faults`` imports from ``repro.prem``
+and ``repro.schedule``; the instrumented modules only ever see the
+injector duck-typed through an optional parameter.
+"""
+
+from .campaign import CampaignResult, FaultOutcome, run_campaign
+from .invariants import PremInvariantChecker
+from .plan import (
+    ALL_KINDS,
+    DMA_JITTER,
+    DMA_STALL,
+    EXEC_OVERRUN,
+    FUNCTIONAL_KINDS,
+    NULL_INJECTOR,
+    SPM_POISON,
+    SWAP_DELAY,
+    SWAP_DROP,
+    SWAP_DUPLICATE,
+    TIMING_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "CampaignResult",
+    "DMA_JITTER",
+    "DMA_STALL",
+    "EXEC_OVERRUN",
+    "FUNCTIONAL_KINDS",
+    "FaultInjector",
+    "FaultOutcome",
+    "FaultPlan",
+    "FaultSpec",
+    "NULL_INJECTOR",
+    "PremInvariantChecker",
+    "SPM_POISON",
+    "SWAP_DELAY",
+    "SWAP_DROP",
+    "SWAP_DUPLICATE",
+    "TIMING_KINDS",
+    "run_campaign",
+]

@@ -9,6 +9,7 @@ from .googlenet import (
 )
 from .polybench import (
     KERNELS,
+    PRESET_NAMES,
     PRESETS,
     cnn,
     lstm,
@@ -22,6 +23,6 @@ from .polybench import (
 __all__ = [
     "GOOGLENET_3X3_LAYERS", "STUDY_LAYER", "bounds_label", "googlenet_cnn",
     "layer_sizes",
-    "KERNELS", "PRESETS", "cnn", "lstm", "make_kernel", "maxpool",
-    "preset_sizes", "rnn", "sumpool",
+    "KERNELS", "PRESET_NAMES", "PRESETS", "cnn", "lstm", "make_kernel",
+    "maxpool", "preset_sizes", "rnn", "sumpool",
 ]

@@ -26,6 +26,7 @@ from typing import Callable, Dict, Mapping
 
 import numpy as np
 
+from ..errors import KernelConfigError
 from ..loopir.ast import Kernel
 from ..loopir.builder import for_, stmt_
 from ..poly.access import Array
@@ -64,12 +65,25 @@ PRESETS: Dict[str, Dict[str, Dict[str, int]]] = {
 }
 
 
+#: Every preset name any kernel defines — the CLI's ``--preset`` choices.
+PRESET_NAMES: tuple = tuple(sorted(
+    {preset for presets in PRESETS.values() for preset in presets}))
+
+
 def preset_sizes(kernel: str, preset: str = "LARGE") -> Dict[str, int]:
     """The size mapping for a named kernel/preset pair."""
     try:
-        return dict(PRESETS[kernel][preset])
+        presets = PRESETS[kernel]
     except KeyError as exc:
-        raise KeyError(f"no preset {preset!r} for kernel {kernel!r}") from exc
+        raise KernelConfigError(
+            f"unknown kernel {kernel!r}; known kernels: "
+            f"{', '.join(sorted(PRESETS))}") from exc
+    try:
+        return dict(presets[preset])
+    except KeyError as exc:
+        raise KernelConfigError(
+            f"no preset {preset!r} for kernel {kernel!r}; known presets: "
+            f"{', '.join(PRESET_NAMES)}") from exc
 
 
 # ---------------------------------------------------------------------------

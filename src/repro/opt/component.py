@@ -63,7 +63,8 @@ class ComponentOptimizer:
 
     def __init__(self, component: TilableComponent, platform: Platform,
                  exec_model: ExecModel, max_iter: int = 3, seed: int = 0,
-                 segment_cap: int = DEFAULT_SEGMENT_CAP, restarts: int = 3):
+                 segment_cap: int = DEFAULT_SEGMENT_CAP, restarts: int = 3,
+                 deadline: float | None = None, budget_s: float = 0.0):
         self.component = component
         self.platform = platform
         self.exec_model = exec_model
@@ -73,6 +74,8 @@ class ComponentOptimizer:
         self.restarts = restarts
         self.evaluator = MakespanEvaluator(
             component, platform, exec_model, segment_cap)
+        if deadline is not None:
+            self.evaluator.set_deadline(deadline, "heuristic", budget_s)
 
     # -- Algorithm 1 --------------------------------------------------------
 

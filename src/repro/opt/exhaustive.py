@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from itertools import product
 from typing import List, Optional, Sequence, Tuple
 
+from ..errors import OptimizerError
 from ..loopir.component import TilableComponent
 from ..schedule.makespan import (
     DEFAULT_SEGMENT_CAP,
@@ -33,7 +34,7 @@ from .threadgroups import generate_nondominated_thread_groups
 from .tilesizes import select_tile_sizes
 
 
-class SearchSpaceTooLarge(RuntimeError):
+class SearchSpaceTooLarge(OptimizerError, RuntimeError):
     """The exhaustive space exceeds the configured evaluation budget."""
 
 
@@ -55,13 +56,16 @@ class ExhaustiveOptimizer:
     def __init__(self, component: TilableComponent, platform: Platform,
                  exec_model: ExecModel,
                  segment_cap: int = DEFAULT_SEGMENT_CAP,
-                 max_points: int = 20_000):
+                 max_points: int = 20_000,
+                 deadline: float | None = None, budget_s: float = 0.0):
         self.component = component
         self.platform = platform
         self.exec_model = exec_model
         self.max_points = max_points
         self.evaluator = MakespanEvaluator(
             component, platform, exec_model, segment_cap)
+        if deadline is not None:
+            self.evaluator.set_deadline(deadline, "exhaustive", budget_s)
 
     def optimize(self, cores: Optional[int] = None) -> ComponentOptResult:
         cores = cores if cores is not None else self.platform.cores

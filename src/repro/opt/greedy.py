@@ -31,12 +31,15 @@ class GreedyOptimizer:
 
     def __init__(self, component: TilableComponent, platform: Platform,
                  exec_model: ExecModel,
-                 segment_cap: int = DEFAULT_SEGMENT_CAP):
+                 segment_cap: int = DEFAULT_SEGMENT_CAP,
+                 deadline: float | None = None, budget_s: float = 0.0):
         self.component = component
         self.platform = platform
         self.exec_model = exec_model
         self.evaluator = MakespanEvaluator(
             component, platform, exec_model, segment_cap)
+        if deadline is not None:
+            self.evaluator.set_deadline(deadline, "greedy", budget_s)
 
     def optimize(self, cores: Optional[int] = None) -> ComponentOptResult:
         cores = cores if cores is not None else self.platform.cores

@@ -17,10 +17,16 @@ unwritten data propagates the poison into the final comparison.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..errors import (
+    BufferUnboundError,
+    MissingComputeError,
+    SpmAccessError,
+)
 from ..loopir.ast import Kernel, Loop, Stmt
 from ..loopir.component import TilableComponent
 from ..opt.solution import Solution
@@ -33,6 +39,44 @@ Index = Union[int, Tuple[int, ...]]
 POISON = float("nan")
 
 
+@dataclass(frozen=True)
+class VmTraceEvent:
+    """One observed VM action (DMA op, execution phase, or fault)."""
+
+    kind: str                     # load | unload | rebind | poison | exec
+    core: int
+    slot: Optional[int] = None
+    segment: Optional[int] = None
+    array: Optional[str] = None
+    buffer: Optional[int] = None
+    lo: Optional[Tuple[int, ...]] = None
+    shape: Optional[Tuple[int, ...]] = None
+    element: Optional[int] = None
+    used: Optional[Tuple[Tuple[str, int, Tuple[int, ...],
+                                Tuple[int, ...]], ...]] = None
+
+
+@dataclass
+class VmTrace:
+    """Chronological record of what one VM run actually did.
+
+    The trace is what :class:`repro.faults.PremInvariantChecker` audits
+    against the *planned* swap schedules: a perturbed run leaves a
+    different trail (missing / extra / relocated DMA ops, execution
+    phases bound to stale ranges), which the checker turns into
+    structured diagnostics.
+    """
+
+    events: List[VmTraceEvent] = field(default_factory=list)
+    outer: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, **kwargs) -> None:
+        self.events.append(VmTraceEvent(**kwargs))
+
+    def by_kind(self, kind: str) -> List[VmTraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+
 class SpmBufferView:
     """Indexable view of one SPM buffer, addressed with *global* indices.
 
@@ -42,25 +86,31 @@ class SpmBufferView:
     """
 
     def __init__(self, name: str, buffer: np.ndarray,
-                 lo: Tuple[int, ...], shape: Tuple[int, ...]):
+                 lo: Tuple[int, ...], shape: Tuple[int, ...],
+                 core: Optional[int] = None,
+                 segment: Optional[int] = None):
         self.name = name
         self._buffer = buffer
         self._lo = lo
         self._shape = shape
+        self._core = core
+        self._segment = segment
 
     def _translate(self, index: Index) -> Tuple[int, ...]:
         if not isinstance(index, tuple):
             index = (index,)
         if len(index) != len(self._lo):
-            raise IndexError(
-                f"{self.name}: rank mismatch {index} vs range {self._lo}")
+            raise SpmAccessError(
+                self.name, index, self._lo, self._shape,
+                core=self._core, segment=self._segment,
+                detail=f"rank {len(index)} does not match")
         local = []
         for value, lo, extent in zip(index, self._lo, self._shape):
             offset = value - lo
             if not 0 <= offset < extent:
-                raise IndexError(
-                    f"{self.name}[{index}]: outside the segment's "
-                    f"canonical range (lo={self._lo}, shape={self._shape})")
+                raise SpmAccessError(
+                    self.name, index, self._lo, self._shape,
+                    core=self._core, segment=self._segment)
             local.append(offset)
         return tuple(local)
 
@@ -94,21 +144,30 @@ class SequentialInterpreter:
     @staticmethod
     def _run_stmt(stmt: Stmt, arrays, point: Dict[str, int]) -> None:
         if stmt.compute is None:
-            raise ValueError(
-                f"statement {stmt.name} has no compute function")
+            raise MissingComputeError(stmt.name)
         if all(g.satisfied(point) for g in stmt.guards):
             stmt.compute(arrays, point)
 
 
 class PremRuntime:
-    """Executes one component execution under the streaming PREM schedule."""
+    """Executes one component execution under the streaming PREM schedule.
+
+    *injector* (optional, duck-typed — see
+    :class:`repro.faults.FaultInjector`) perturbs the DMA swap stream and
+    the SPM contents; *trace* (optional :class:`VmTrace`) records every
+    DMA op and execution phase for later invariant auditing.  With both
+    left at ``None`` the run is bit-identical to the unhooked VM.
+    """
 
     def __init__(self, component: TilableComponent, solution: Solution,
-                 modes: Mapping[str, str] | None = None):
+                 modes: Mapping[str, str] | None = None,
+                 injector=None, trace: Optional[VmTrace] = None):
         self.component = component
         self.solution = solution
         self.builder = MacroBuilder(component, solution, modes)
         self.modes = self.builder.modes
+        self.injector = injector
+        self.trace = trace
 
     def run(self, main_memory: Mapping[str, np.ndarray],
             outer: Mapping[str, int] | None = None) -> None:
@@ -120,9 +179,12 @@ class PremRuntime:
         canonical interleaving is representative.
         """
         outer = dict(outer or {})
+        if self.trace is not None:
+            self.trace.outer.update(outer)
         cores = [
             _CoreState(self.component, self.solution, self.builder,
-                       self.modes, core, main_memory, outer)
+                       self.modes, core, main_memory, outer,
+                       injector=self.injector, trace=self.trace)
             for core in range(self.solution.threads)
         ]
         max_rounds = max((core.n_segments for core in cores), default=0)
@@ -141,12 +203,15 @@ class _CoreState:
     def __init__(self, component: TilableComponent, solution: Solution,
                  builder: MacroBuilder, modes: Mapping[str, str],
                  core: int, main_memory: Mapping[str, np.ndarray],
-                 outer: Mapping[str, int]):
+                 outer: Mapping[str, int],
+                 injector=None, trace: Optional[VmTrace] = None):
         self.component = component
         self.solution = solution
         self.core = core
         self.main = main_memory
         self.outer = dict(outer)
+        self.injector = injector
+        self.trace = trace
         self.schedules: Dict[str, ArraySwapSchedule] = \
             builder.core_schedules(core)
         self.modes = modes
@@ -171,21 +236,45 @@ class _CoreState:
         for name, schedule in self.schedules.items():
             mode = self.modes[name]
             for event in schedule.events:
-                if mode in (WO, RW) and \
-                        schedule.unload_slot(event.index) == slot:
-                    self._unload(name, event)
+                if mode in (WO, RW) and self._op_fires(
+                        schedule.unload_slot(event.index), slot,
+                        name, event, "unload"):
+                    self._unload(name, event, slot)
             for event in schedule.events:
-                if mode in (RO, RW) and \
-                        schedule.transfer_slot(event.index) == slot:
-                    self._load(name, event)
-                elif mode == WO and \
-                        schedule.transfer_slot(event.index) == slot:
+                if mode in (RO, RW):
+                    if self._op_fires(schedule.transfer_slot(event.index),
+                                      slot, name, event, "load"):
+                        self._load(name, event, slot)
+                elif mode == WO and self._op_fires(
+                        schedule.transfer_slot(event.index), slot,
+                        name, event, "load"):
                     # No data moves, but the buffer is rebound to the new
                     # range (and re-poisoned: stale contents are garbage).
                     spm = self.buffers[(name, event.buffer)]
                     if np.issubdtype(spm.dtype, np.floating):
                         spm.fill(POISON)
                     self._bind(name, event)
+                    self._record("rebind", slot, name, event)
+
+    def _op_fires(self, base_slot: int, slot: int, name: str, event,
+                  op: str) -> bool:
+        """Whether the DMA op scheduled for *base_slot* runs in *slot*.
+
+        Without an injector this is plain equality.  The injector may
+        drop the op, move it to a later slot, or have it fire a second
+        time at a duplicate slot.
+        """
+        if self.injector is None:
+            return base_slot == slot
+        if self.injector.drops(self.core, name, event.index, op):
+            return False
+        effective = base_slot + self.injector.delay_slots(
+            self.core, name, event.index, op)
+        if effective == slot:
+            return True
+        extra = self.injector.duplicate_offset(
+            self.core, name, event.index, op)
+        return extra is not None and base_slot + extra == slot
 
     def _bounds(self, event) -> Tuple[Tuple[int, int], ...]:
         return event.crange.concrete(self.outer)
@@ -196,7 +285,7 @@ class _CoreState:
         shape = tuple(b[1] - b[0] + 1 for b in bounds)
         self.buffer_range[(name, event.buffer)] = (lo, shape)
 
-    def _load(self, name: str, event) -> None:
+    def _load(self, name: str, event, slot: Optional[int] = None) -> None:
         bounds = self._bounds(event)
         slices = tuple(slice(lo, hi + 1) for lo, hi in bounds)
         shape = tuple(hi - lo + 1 for lo, hi in bounds)
@@ -204,14 +293,41 @@ class _CoreState:
         region = tuple(slice(0, extent) for extent in shape)
         spm[region] = self.main[name][slices]
         self._bind(name, event)
+        self._record("load", slot, name, event)
+        self._maybe_poison(name, event, spm, slot)
 
-    def _unload(self, name: str, event) -> None:
+    def _unload(self, name: str, event, slot: Optional[int] = None) -> None:
         bounds = self._bounds(event)
         slices = tuple(slice(lo, hi + 1) for lo, hi in bounds)
         shape = tuple(hi - lo + 1 for lo, hi in bounds)
         spm = self.buffers[(name, event.buffer)]
         region = tuple(slice(0, extent) for extent in shape)
         self.main[name][slices] = spm[region]
+        self._record("unload", slot, name, event)
+
+    def _maybe_poison(self, name: str, event, spm: np.ndarray,
+                      slot: Optional[int]) -> None:
+        if self.injector is None:
+            return
+        for element in self.injector.poison_elements(
+                self.core, name, event.index):
+            if np.issubdtype(spm.dtype, np.floating):
+                spm.flat[element % spm.size] = POISON
+            if self.trace is not None:
+                self.trace.add(kind="poison", core=self.core, slot=slot,
+                               array=name, buffer=event.buffer,
+                               element=element % spm.size)
+
+    def _record(self, kind: str, slot: Optional[int], name: str,
+                event) -> None:
+        if self.trace is None:
+            return
+        bounds = self._bounds(event)
+        self.trace.add(
+            kind=kind, core=self.core, slot=slot, array=name,
+            buffer=event.buffer,
+            lo=tuple(b[0] for b in bounds),
+            shape=tuple(b[1] - b[0] + 1 for b in bounds))
 
     # -- execution phases -----------------------------------------------------
 
@@ -219,18 +335,23 @@ class _CoreState:
         from .ranges import tile_box
 
         views: Dict[str, SpmBufferView] = {}
+        used = []
         for name, schedule in self.schedules.items():
             event = self._current_event(schedule, segment)
             if event is None:
                 continue
             bound = self.buffer_range[(name, event.buffer)]
             if bound is None:
-                raise RuntimeError(
-                    f"core {self.core} segment {segment}: buffer "
-                    f"{name}_buf{event.buffer} used before any swap")
+                raise BufferUnboundError(
+                    name, event.buffer, core=self.core, segment=segment)
             lo, shape = bound
             views[name] = SpmBufferView(
-                name, self.buffers[(name, event.buffer)], lo, shape)
+                name, self.buffers[(name, event.buffer)], lo, shape,
+                core=self.core, segment=segment)
+            used.append((name, event.buffer, lo, shape))
+        if self.trace is not None:
+            self.trace.add(kind="exec", core=self.core, segment=segment,
+                           used=tuple(used))
 
         indices = self.tiles[segment - 1]
         box = tile_box(self.component, indices, self.solution.tile_sizes)
@@ -270,8 +391,7 @@ class _CoreState:
         for child in body:
             if isinstance(child, Stmt):
                 if child.compute is None:
-                    raise ValueError(
-                        f"statement {child.name} has no compute function")
+                    raise MissingComputeError(child.name)
                 if all(g.satisfied(point) for g in child.guards):
                     child.compute(self._views, point)
             else:
@@ -301,16 +421,19 @@ def init_arrays(kernel: Kernel, seed: int = 7) -> Dict[str, np.ndarray]:
 def run_kernel_prem(kernel: Kernel,
                     components: Mapping[str, Tuple[TilableComponent,
                                                    Solution]],
-                    arrays: Mapping[str, np.ndarray]) -> None:
+                    arrays: Mapping[str, np.ndarray],
+                    injector=None, trace: Optional[VmTrace] = None) -> None:
     """Execute a kernel, running each chosen component under the PREM VM.
 
     *components* maps a component's head iterator to (component, solution).
     Loops outside any component run sequentially; each time control reaches
     a component head, one PREM component execution happens with the current
-    outer iterators pinned.
+    outer iterators pinned.  *injector*/*trace* are forwarded to every
+    :class:`PremRuntime` (fault campaigns over whole kernels).
     """
     runtimes = {
-        head: PremRuntime(component, solution)
+        head: PremRuntime(component, solution,
+                          injector=injector, trace=trace)
         for head, (component, solution) in components.items()
     }
 

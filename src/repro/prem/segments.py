@@ -29,6 +29,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..errors import InfeasibleScheduleError
 from ..loopir.component import TilableComponent
 from ..poly.access import Array
 from ..poly.affine import lex_compare
@@ -202,7 +203,7 @@ class ComponentPlan:
         return sum(core.n_segments for core in self.cores)
 
 
-class PlanError(ValueError):
+class PlanError(InfeasibleScheduleError, ValueError):
     """A solution that cannot be planned (infeasible or illegal)."""
 
 

@@ -11,9 +11,11 @@ the search simply moves away from them).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
+from ..errors import OptimizerTimeout
 from ..loopir.component import TilableComponent
 from ..opt.solution import Solution
 from ..prem.segments import ComponentPlan, PlanError, SegmentPlanner
@@ -65,12 +67,32 @@ class MakespanEvaluator:
         self.planner = SegmentPlanner(component, platform, exec_model, modes)
         self._cache: Dict[tuple, MakespanResult] = {}
         self.evaluations = 0
+        self.deadline: Optional[float] = None
+        self.stage: str = "optimize"
+        self.budget_s: float = 0.0
+
+    def set_deadline(self, deadline: Optional[float],
+                     stage: str = "optimize",
+                     budget_s: float = 0.0) -> None:
+        """Arm a cooperative wall-clock budget.
+
+        Every *fresh* evaluation first checks the clock and raises
+        :class:`OptimizerTimeout` once the deadline has passed — the
+        hook the compiler's fallback chain relies on to bound each
+        optimization stage.  Cache hits stay free of the check.
+        """
+        self.deadline = deadline
+        self.stage = stage
+        self.budget_s = budget_s
 
     def evaluate(self, solution: Solution) -> MakespanResult:
         key = solution.key()
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        if self.deadline is not None and \
+                time.perf_counter() > self.deadline:
+            raise OptimizerTimeout(self.stage, self.budget_s)
         self.evaluations += 1
         try:
             plan = self.planner.plan(solution, self.segment_cap)

@@ -19,7 +19,7 @@ cross-check; this module is the fast evaluator used inside the optimizer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..prem.segments import CoreSchedule
 
@@ -35,8 +35,32 @@ class PipelineResult:
     exec_busy_ns: float        # total core occupancy (max over cores)
 
 
-def evaluate_pipeline(cores: Sequence[CoreSchedule]) -> PipelineResult:
-    """Makespan of one component execution over the given core schedules."""
+@dataclass(frozen=True)
+class PipelineOp:
+    """One scheduled operation of the evaluated pipeline timeline."""
+
+    kind: str           # "mem" (DMA op in a slot) or "exec" (segment)
+    core: int
+    index: int          # slot number (mem) or segment number (exec)
+    start_ns: float
+    end_ns: float
+
+    @property
+    def length_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+def evaluate_pipeline(cores: Sequence[CoreSchedule],
+                      injector=None,
+                      timeline: Optional[List[PipelineOp]] = None
+                      ) -> PipelineResult:
+    """Makespan of one component execution over the given core schedules.
+
+    *injector* (duck-typed, see :class:`repro.faults.FaultInjector`) may
+    stretch individual DMA ops (``mem_ns``) and execution phases
+    (``exec_ns``); *timeline* collects every operation's placement.  Both
+    default to ``None``, leaving the hot path untouched.
+    """
     active = [core for core in cores if core.n_segments > 0]
     if not active:
         return PipelineResult(0.0, 0.0, 0.0, 0.0, 0.0)
@@ -60,12 +84,17 @@ def evaluate_pipeline(cores: Sequence[CoreSchedule]) -> PipelineResult:
             length = core.mem_slot_ns[slot - 1]
             if length <= 0.0:
                 continue
+            if injector is not None:
+                length = injector.mem_ns(core.core, slot, length)
             ends = exec_end[core.core]
             gate_idx = min(max(slot - 2, 0), len(ends) - 1)
             start = max(dma_clock, ends[gate_idx])
             dma_clock = start + length
             dma_busy += length
             slot_end[core.core][slot] = dma_clock
+            if timeline is not None:
+                timeline.append(PipelineOp(
+                    "mem", core.core, slot, start, dma_clock))
         # Execution phases for segment == slot.
         for core in active:
             if slot > core.n_segments:
@@ -75,7 +104,13 @@ def evaluate_pipeline(cores: Sequence[CoreSchedule]) -> PipelineResult:
             dep = core.dep_slot[slot - 1]
             if dep:
                 ready = max(ready, slot_end[core.core].get(dep, 0.0))
-            ends.append(ready + core.exec_ns[slot - 1])
+            length = core.exec_ns[slot - 1]
+            if injector is not None:
+                length = injector.exec_ns(core.core, slot, length)
+            ends.append(ready + length)
+            if timeline is not None:
+                timeline.append(PipelineOp(
+                    "exec", core.core, slot, ready, ends[-1]))
 
     exec_finish = max(exec_end[core.core][-1] for core in active)
     dma_finish = max(

@@ -10,6 +10,7 @@ model's exact per-tile costs — and compare the resulting makespans.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -43,7 +44,14 @@ class ValidationResult:
 
     @property
     def error(self) -> float:
-        """Relative deviation (positive when the model overestimates)."""
+        """Relative deviation (positive when the model overestimates).
+
+        A degenerate zero-length simulation has no meaningful relative
+        error: both zero means perfect agreement (0.0), otherwise the
+        deviation is unbounded (``inf``).
+        """
+        if self.simulated_ns == 0:
+            return 0.0 if self.predicted_ns == 0 else math.inf
         return (self.predicted_ns - self.simulated_ns) / self.simulated_ns
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
 
+from ..errors import TileConfigError
 from ..loopir.ast import Loop, Stmt
 from ..loopir.component import TilableComponent
 from ..poly.constraint import EQ
@@ -41,10 +42,17 @@ class CostTable:
 
 
 class MachineModel:
-    """Closed-form tile execution cost with an interpretive cross-check."""
+    """Closed-form tile execution cost with an interpretive cross-check.
 
-    def __init__(self, costs: CostTable | None = None):
+    *injector* (duck-typed, see :class:`repro.faults.FaultInjector`) may
+    perturb the cycle count a tile "measures" — modelling a machine whose
+    execution phases overrun the profiled worst case.  ``None`` (the
+    default) keeps the model exactly deterministic.
+    """
+
+    def __init__(self, costs: CostTable | None = None, injector=None):
         self.costs = costs or CostTable()
+        self.injector = injector
 
     # -- closed form -----------------------------------------------------
 
@@ -57,10 +65,11 @@ class MachineModel:
         per band point.
         """
         if len(widths) != component.depth:
-            raise ValueError(
+            raise TileConfigError(
                 f"expected {component.depth} widths, got {len(widths)}")
         if any(w <= 0 for w in widths):
-            raise ValueError("tile widths must be positive")
+            raise TileConfigError(
+                f"tile widths must be positive, got {tuple(widths)}")
 
         total = self.costs.tile_warmup
         prefix = 1
@@ -75,6 +84,8 @@ class MachineModel:
         per_point = self._sequence_cost(
             component.nodes[-1].loop.body, band_widths)
         total += prefix * per_point
+        if self.injector is not None:
+            total = self.injector.tile_cycles(tuple(widths), total)
         return total
 
     def _sequence_cost(self, body, band_widths: Mapping[str, int]) -> int:

@@ -1,0 +1,29 @@
+"""Seeded campaign smoke tests: determinism and full detection."""
+
+import pytest
+
+from repro.faults import ALL_KINDS, run_campaign
+
+
+@pytest.mark.parametrize("kernel", ["cnn", "lstm"])
+class TestCampaign:
+    def test_all_affecting_faults_detected(self, kernel):
+        result = run_campaign(kernel, preset="MINI", seed=7, per_kind=2)
+        assert len(set(o.spec.kind for o in result.outcomes)) >= 5
+        assert result.injected >= 10
+        assert result.all_affecting_detected, result.describe()
+
+    def test_campaign_is_deterministic(self, kernel):
+        first = run_campaign(kernel, preset="MINI", seed=11, per_kind=1)
+        second = run_campaign(kernel, preset="MINI", seed=11, per_kind=1)
+        assert [o.spec for o in first.outcomes] == \
+            [o.spec for o in second.outcomes]
+        assert [(o.affecting, o.detected) for o in first.outcomes] == \
+            [(o.affecting, o.detected) for o in second.outcomes]
+
+    def test_describe_reports_every_kind(self, kernel):
+        result = run_campaign(kernel, preset="MINI", seed=7, per_kind=1)
+        text = result.describe()
+        for kind in ALL_KINDS:
+            assert kind in text
+        assert "total" in text and "OK" in text

@@ -1,0 +1,256 @@
+"""PremInvariantChecker tests: clean plans pass, corrupted ones don't."""
+
+import pytest
+
+from repro.compiler import PremCompiler
+from repro.errors import InvariantViolationError
+from repro.faults import (
+    DMA_STALL,
+    EXEC_OVERRUN,
+    NULL_INJECTOR,
+    SPM_POISON,
+    SWAP_DELAY,
+    SWAP_DROP,
+    SWAP_DUPLICATE,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    PremInvariantChecker,
+)
+from repro.kernels import make_kernel
+from repro.prem.macros import ArraySwapSchedule, MacroBuilder, SwapEvent
+from repro.prem.runtime import PremRuntime, VmTrace, init_arrays
+from repro.prem.segments import RW, CoreSchedule
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    kernel = make_kernel("cnn", "MINI")
+    result = PremCompiler().compile(kernel)
+    compiled = result.components[0]
+    choice = next(c for c in result.opt_result.choices
+                  if c.component is compiled.component)
+    builder = MacroBuilder(compiled.component, compiled.solution)
+    return kernel, compiled, choice.result.best.plan, builder
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return PremInvariantChecker()
+
+
+def _traced_run(kernel, compiled, injector=None):
+    arrays = init_arrays(kernel, seed=7)
+    trace = VmTrace()
+    component, solution = compiled.component, compiled.solution
+    outer = {var: 0 for var in component.outer_vars()}
+    runtime = PremRuntime(component, solution, injector=injector,
+                          trace=trace)
+    try:
+        runtime.run(arrays, outer=outer)
+    except Exception:
+        pass
+    return trace
+
+
+class TestCleanPlansPass:
+    def test_swap_plans_clean(self, compiled, checker):
+        _, _, plan, builder = compiled
+        for core in plan.cores:
+            assert checker.check_swap_plan(builder, core.core) == []
+
+    def test_core_schedules_clean(self, compiled, checker):
+        _, _, plan, _ = compiled
+        for core in plan.cores:
+            assert checker.check_core_schedule(core) == []
+
+    def test_unfaulted_trace_clean(self, compiled, checker):
+        kernel, comp, _, builder = compiled
+        trace = _traced_run(kernel, comp)
+        assert checker.check_trace(
+            comp.component, comp.solution, builder, trace) == []
+
+    def test_unfaulted_timing_clean(self, compiled, checker):
+        _, _, plan, _ = compiled
+        assert checker.check_timing(plan.cores, NULL_INJECTOR) == []
+
+
+def _synthetic_schedule(cls=ArraySwapSchedule, segments=(1, 2, 3),
+                        n_segments=4, mode=RW):
+    events = [SwapEvent(index=i + 1, segment=s, crange=None, call=None)
+              for i, s in enumerate(segments)]
+    return cls(array_name="a", mode=mode, core=0,
+               n_segments=n_segments, events=events)
+
+
+class _LateTransfer(ArraySwapSchedule):
+    def transfer_slot(self, index):
+        return 99
+
+
+class _EarlyTransfer(ArraySwapSchedule):
+    def transfer_slot(self, index):
+        return 1
+
+
+class _EarlyUnload(ArraySwapSchedule):
+    def unload_slot(self, index):
+        return 1
+
+
+class TestCorruptedSwapPlans:
+    def test_non_monotone_segments_flagged(self, checker):
+        schedule = _synthetic_schedule(segments=(2, 1, 3))
+        kinds = {v.kind for v in checker._check_schedule(schedule)}
+        assert "swap-order" in kinds
+
+    def test_segment_past_end_flagged(self, checker):
+        schedule = _synthetic_schedule(segments=(1, 2, 9))
+        kinds = {v.kind for v in checker._check_schedule(schedule)}
+        assert "swap-order" in kinds
+
+    def test_late_transfer_flagged(self, checker):
+        schedule = _synthetic_schedule(cls=_LateTransfer)
+        kinds = {v.kind for v in checker._check_schedule(schedule)}
+        assert "late-transfer" in kinds
+
+    def test_double_buffer_overlap_flagged(self, checker):
+        schedule = _synthetic_schedule(cls=_EarlyTransfer)
+        kinds = {v.kind for v in checker._check_schedule(schedule)}
+        assert "double-buffer-overlap" in kinds
+
+    def test_unload_before_last_write_flagged(self, checker):
+        schedule = _synthetic_schedule(cls=_EarlyUnload)
+        kinds = {v.kind for v in checker._check_schedule(schedule)}
+        assert "unload-before-last-write" in kinds
+
+    def test_violations_carry_coordinates(self, checker):
+        schedule = _synthetic_schedule(segments=(2, 1, 3))
+        violation = checker._check_schedule(schedule)[0]
+        assert violation.core == 0 and violation.array == "a"
+        assert "core=0" in violation.describe()
+
+
+class TestCorruptedCoreSchedules:
+    def _clean(self):
+        return CoreSchedule(
+            core=0, n_segments=2, init_api_ns=0.0,
+            exec_ns=[10.0, 10.0], mem_slot_ns=[5.0, 5.0, 5.0, 5.0],
+            dep_slot=[1, 2])
+
+    def test_shape_mismatch_flagged(self, checker):
+        bad = self._clean()
+        bad.exec_ns = [10.0]
+        assert any(v.kind == "plan-shape"
+                   for v in checker.check_core_schedule(bad))
+        bad = self._clean()
+        bad.mem_slot_ns = [5.0]
+        assert any(v.kind == "plan-shape"
+                   for v in checker.check_core_schedule(bad))
+
+    def test_dep_slot_after_segment_flagged(self, checker):
+        bad = self._clean()
+        bad.dep_slot = [4, 2]
+        assert any(v.kind == "dep-order"
+                   for v in checker.check_core_schedule(bad))
+
+    def test_negative_times_flagged(self, checker):
+        bad = self._clean()
+        bad.exec_ns = [10.0, -1.0]
+        bad.mem_slot_ns = [5.0, -5.0, 5.0, 5.0]
+        kinds = [v.kind for v in checker.check_core_schedule(bad)]
+        assert kinds.count("negative-time") == 2
+
+    def test_clean_schedule_passes(self, checker):
+        assert checker.check_core_schedule(self._clean()) == []
+
+
+def _swap_target(builder, solution):
+    """(core, array, index) of the first planned swap event."""
+    for core in range(solution.threads):
+        schedules = builder.core_schedules(core)
+        for name in sorted(schedules):
+            for event in schedules[name].events:
+                return core, name, event.index
+    raise AssertionError("no swap events planned")
+
+
+class TestFaultedTraces:
+    def test_dropped_swap_detected(self, compiled, checker):
+        kernel, comp, _, builder = compiled
+        core, name, index = _swap_target(builder, comp.solution)
+        injector = FaultInjector(FaultPlan.single(
+            FaultSpec(SWAP_DROP, core=core, array=name, index=index)))
+        trace = _traced_run(kernel, comp, injector)
+        kinds = {v.kind for v in checker.check_trace(
+            comp.component, comp.solution, builder, trace)}
+        assert "dropped-swap" in kinds
+
+    def test_duplicate_swap_detected(self, compiled, checker):
+        kernel, comp, _, builder = compiled
+        core, name, index = _swap_target(builder, comp.solution)
+        injector = FaultInjector(FaultPlan.single(
+            FaultSpec(SWAP_DUPLICATE, core=core, array=name, index=index,
+                      magnitude=1.0)))
+        trace = _traced_run(kernel, comp, injector)
+        kinds = {v.kind for v in checker.check_trace(
+            comp.component, comp.solution, builder, trace)}
+        assert "duplicate-swap" in kinds
+
+    def test_delayed_swap_detected(self, compiled, checker):
+        kernel, comp, _, builder = compiled
+        core, name, index = _swap_target(builder, comp.solution)
+        injector = FaultInjector(FaultPlan.single(
+            FaultSpec(SWAP_DELAY, core=core, array=name, index=index,
+                      magnitude=1.0)))
+        trace = _traced_run(kernel, comp, injector)
+        kinds = {v.kind for v in checker.check_trace(
+            comp.component, comp.solution, builder, trace)}
+        # A delay either shifts the op to a later slot or (past the end
+        # of the run) suppresses it entirely; both must be flagged.
+        assert kinds & {"delayed-swap", "dropped-swap"}
+
+    def test_poison_read_detected(self, compiled, checker):
+        kernel, comp, _, builder = compiled
+        core, name, index = _swap_target(builder, comp.solution)
+        injector = FaultInjector(FaultPlan.single(
+            FaultSpec(SPM_POISON, core=core, array=name, index=index,
+                      element=0)))
+        trace = _traced_run(kernel, comp, injector)
+        kinds = {v.kind for v in checker.check_trace(
+            comp.component, comp.solution, builder, trace)}
+        assert "poison-read" in kinds
+
+
+class TestFaultedTiming:
+    def test_dma_stall_breaks_round_robin(self, compiled, checker):
+        _, _, plan, _ = compiled
+        busy = next(
+            (core.core, slot + 1)
+            for core in plan.cores
+            for slot, length in enumerate(core.mem_slot_ns) if length > 0)
+        injector = FaultInjector(FaultPlan.single(
+            FaultSpec(DMA_STALL, core=busy[0], slot=busy[1],
+                      magnitude=1e6)))
+        kinds = {v.kind for v in checker.check_timing(plan.cores, injector)}
+        assert "dma-order" in kinds
+
+    def test_exec_overrun_detected(self, compiled, checker):
+        _, _, plan, _ = compiled
+        core = next(c for c in plan.cores if c.n_segments > 0)
+        injector = FaultInjector(FaultPlan.single(
+            FaultSpec(EXEC_OVERRUN, core=core.core, segment=1,
+                      magnitude=100.0)))
+        kinds = {v.kind for v in checker.check_timing(plan.cores, injector)}
+        assert "exec-overrun" in kinds
+
+
+class TestEnsure:
+    def test_raises_with_violations(self, checker):
+        schedule = _synthetic_schedule(segments=(2, 1, 3))
+        violations = checker._check_schedule(schedule)
+        with pytest.raises(InvariantViolationError):
+            checker.ensure(violations)
+
+    def test_noop_when_clean(self, checker):
+        checker.ensure([])

@@ -59,3 +59,46 @@ class TestCommands:
                      "--speeds", "1,16"]) == 0
         out = capsys.readouterr().out
         assert "normalised" in out
+
+    def test_faults_campaign(self, capsys):
+        code = main(["faults", "cnn", "--seed", "7", "--per-kind", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault campaign" in out and "detected" in out
+        assert "OK: every correctness-affecting fault was detected" in out
+
+    def test_faults_selected_kinds(self, capsys):
+        code = main(["faults", "cnn", "--seed", "7", "--per-kind", "1",
+                     "--kinds", "swap-drop,spm-poison"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "swap-drop" in out and "dma-jitter" not in out
+
+    def test_faults_unknown_kind_rejected(self, capsys):
+        code = main(["faults", "cnn", "--kinds", "bitrot"])
+        assert code == 2
+        assert "unknown fault kinds" in capsys.readouterr().err
+
+    def test_compile_robust(self, capsys):
+        code = main(["compile", "maxpool", "--preset", "MINI",
+                     "--robust", "--stage-budget", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy" in out and "ok" in out
+
+
+class TestPresetValidation:
+    def test_unknown_preset_rejected_by_parser(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["compile", "cnn", "--preset", "HUGE"])
+        assert excinfo.value.code == 2
+
+    def test_faults_defaults_to_mini(self):
+        args = build_parser().parse_args(["faults", "cnn"])
+        assert args.preset == "MINI"
+
+    def test_known_presets_accepted(self):
+        for preset in ("MINI", "SMALL", "LARGE"):
+            args = build_parser().parse_args(
+                ["compile", "cnn", "--preset", preset])
+            assert args.preset == preset
