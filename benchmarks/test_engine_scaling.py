@@ -1,0 +1,130 @@
+"""Evaluation-engine benches: pool scaling and warm-cache replay.
+
+Two properties of the parallel candidate-evaluation engine are measured
+on the exhaustive search (DESIGN.md's engine section):
+
+- E1: a ``jobs > 1`` run must return *bit-identical* results to the
+  serial run — same best solution key, same makespan, same evaluation
+  count — and on a multi-core host it should cut wall-clock time.  The
+  identity assertions are hard; the >= 2x speedup assertion only applies
+  when the host actually grants the pool more than one CPU (CI
+  containers are often single-core, where a pool can only add overhead).
+- E2: a re-run against a populated persistent cache must perform zero
+  fresh evaluations and still choose the identical solution.
+"""
+
+import time
+
+import pytest
+
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt import ExhaustiveOptimizer, PersistentCache, effective_jobs
+from repro.reporting import ExperimentReport, engine_note, full_grid_enabled
+from repro.sim.profiler import fit_component_model
+from repro.timing import Platform
+
+#: Pool widths measured by E1 (1 is the serial baseline).
+JOB_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def lstm_setup(bank):
+    # REPRO_FULL makes the search long enough (minutes) for pool scaling
+    # to dominate fork overhead; the quick grid checks the contract only.
+    preset = "LARGE" if full_grid_enabled() else "SMALL"
+    tree = LoopTree.build(bank.kernel("lstm", preset))
+    comp = component_at(tree, ["s1_0", "p"])
+    model = fit_component_model(comp, bank.machine)
+    return comp, model
+
+
+@pytest.mark.benchmark(group="engine")
+def test_e1_pool_scaling(lstm_setup, benchmark):
+    comp, model = lstm_setup
+    platform = Platform()
+    report = ExperimentReport(
+        "engine_scaling",
+        "Exhaustive search wall-clock vs worker-pool width",
+        ["jobs", "effective", "elapsed (s)", "speedup",
+         "evaluations", "makespan (ns)"])
+
+    def run():
+        outcomes = {}
+        for jobs in JOB_COUNTS:
+            optimizer = ExhaustiveOptimizer(
+                comp, platform, model, jobs=jobs)
+            started = time.perf_counter()
+            result = optimizer.optimize(8)
+            elapsed = time.perf_counter() - started
+            outcomes[jobs] = (result, elapsed, optimizer.metrics)
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_result, base_elapsed, _ = outcomes[1]
+    for jobs in JOB_COUNTS:
+        result, elapsed, metrics = outcomes[jobs]
+        report.add_row(jobs, effective_jobs(jobs), round(elapsed, 3),
+                       round(base_elapsed / elapsed, 2),
+                       result.evaluations, result.makespan_ns)
+        if metrics is not None:
+            report.add_note(f"jobs={jobs}: {engine_note(metrics)}")
+        # The determinism contract, asserted bit for bit.
+        assert result.makespan_ns == base_result.makespan_ns
+        assert result.evaluations == base_result.evaluations
+        assert result.best.solution.key() == \
+            base_result.best.solution.key()
+    report.emit()
+
+    widest = max(JOB_COUNTS)
+    if effective_jobs(widest) > 1 and full_grid_enabled():
+        # The >= 2x acceptance target needs both spare CPUs and a search
+        # long enough that fork/IPC overhead is amortized (REPRO_FULL).
+        _, widest_elapsed, _ = outcomes[widest]
+        assert base_elapsed / widest_elapsed >= 2.0, \
+            f"{widest}-worker pool only {base_elapsed / widest_elapsed:.2f}x"
+    elif effective_jobs(widest) == 1:
+        report.add_note(
+            "single-CPU host: speedup not asserted (pool degrades to "
+            "serial by design)")
+        report.save()
+
+
+@pytest.mark.benchmark(group="engine")
+def test_e2_warm_cache_replay(lstm_setup, benchmark, tmp_path):
+    comp, model = lstm_setup
+    platform = Platform()
+    report = ExperimentReport(
+        "engine_warm_cache",
+        "Exhaustive search: cold run vs warm persistent-cache replay",
+        ["run", "elapsed (s)", "evaluations", "cache hits",
+         "makespan (ns)"])
+
+    def run():
+        cold_opt = ExhaustiveOptimizer(
+            comp, platform, model, cache=PersistentCache(tmp_path))
+        started = time.perf_counter()
+        cold = cold_opt.optimize(8)
+        cold_s = time.perf_counter() - started
+
+        warm_opt = ExhaustiveOptimizer(
+            comp, platform, model, cache=PersistentCache(tmp_path))
+        started = time.perf_counter()
+        warm = warm_opt.optimize(8)
+        warm_s = time.perf_counter() - started
+        return cold, cold_s, warm, warm_s
+
+    cold, cold_s, warm, warm_s = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    report.add_row("cold", round(cold_s, 3), cold.evaluations,
+                   cold.cache_hits, cold.makespan_ns)
+    report.add_row("warm", round(warm_s, 3), warm.evaluations,
+                   warm.cache_hits, warm.makespan_ns)
+    report.emit()
+
+    assert cold.evaluations > 0
+    assert warm.evaluations == 0               # zero fresh plans
+    assert warm.cache_hits == cold.evaluations
+    assert warm.makespan_ns == cold.makespan_ns
+    assert warm.best.solution.key() == cold.best.solution.key()
+    assert warm_s < cold_s

@@ -9,18 +9,22 @@ Commands
 ``gantt``     render the schedule timeline of the first component
 ``sweep``     makespan across bus speeds (mini Figure 6.1 for one kernel)
 ``faults``    seeded fault-injection campaign; injected vs detected
+``cache``     persistent makespan-cache statistics / clearing
 
 Examples
 --------
     python -m repro compile lstm --preset LARGE --bus 1
+    python -m repro compile lstm --preset MINI --jobs 4 --cache-dir .cache
     python -m repro tree cnn
     python -m repro sweep rnn --cores 8
     python -m repro faults lstm --seed 7
+    python -m repro cache stats --cache-dir .cache
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -28,6 +32,7 @@ from .compiler import PremCompiler
 from .kernels import KERNELS, PRESET_NAMES, PRESETS, make_kernel
 from .loopir import LoopTree
 from .opt import ideal_makespan_ns
+from .opt.cache import CACHE_ENV, PersistentCache, default_cache_dir
 from .schedule.gantt import render_gantt
 from .timing.platform import Platform
 
@@ -50,6 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-core SPM size in KiB")
         p.add_argument("--greedy", action="store_true",
                        help="use the greedy baseline optimizer")
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for candidate evaluation "
+                            "(1 = serial; results are identical)")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent makespan-cache directory (also "
+                            f"honours ${CACHE_ENV})")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the persistent makespan cache")
 
     compile_cmd = sub.add_parser("compile", help="optimize and report")
     add_common(compile_cmd)
@@ -83,6 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="faults injected per kind")
     faults.add_argument("--kinds", default=None,
                         help="comma-separated fault kinds (default: all)")
+
+    cache_cmd = sub.add_parser(
+        "cache", help="persistent makespan-cache maintenance")
+    cache_cmd.add_argument("action", choices=("stats", "clear"))
+    cache_cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=f"cache directory (default: ${CACHE_ENV} or "
+             f"the user cache dir)")
     return parser
 
 
@@ -90,9 +111,25 @@ def _platform(args) -> Platform:
     return Platform(spm_bytes=args.spm * 1024).with_bus(args.bus * 1e9)
 
 
-def _compile(args):
+def _cache(args) -> Optional[PersistentCache]:
+    """Persistent cache per the CLI flags, or None.
+
+    The cache only activates when a directory is named explicitly
+    (``--cache-dir`` or $REPRO_CACHE_DIR) so that plain runs never write
+    outside the working tree."""
+    if getattr(args, "no_cache", False):
+        return None
+    directory = getattr(args, "cache_dir", None) or os.environ.get(CACHE_ENV)
+    if not directory:
+        return None
+    return PersistentCache(directory)
+
+
+def _compile(args, use_cache: bool = True):
     kernel = make_kernel(args.kernel, args.preset)
-    compiler = PremCompiler(_platform(args))
+    cache = _cache(args) if use_cache else None
+    compiler = PremCompiler(
+        _platform(args), jobs=getattr(args, "jobs", 1), cache=cache)
     strategy = "greedy" if args.greedy else "heuristic"
     return compiler.compile(kernel, cores=args.cores, strategy=strategy)
 
@@ -108,7 +145,8 @@ def cmd_tree(args) -> int:
 def cmd_compile(args) -> int:
     if args.robust:
         kernel = make_kernel(args.kernel, args.preset)
-        compiler = PremCompiler(_platform(args))
+        compiler = PremCompiler(
+            _platform(args), jobs=args.jobs, cache=_cache(args))
         result = compiler.compile_robust(
             kernel, cores=args.cores, stage_budget_s=args.stage_budget)
     else:
@@ -118,6 +156,11 @@ def cmd_compile(args) -> int:
     print(f"makespan          : {result.makespan_ns:>16,.0f} ns")
     if result.feasible:
         print(f"normalised        : {result.normalized_makespan:.4f}")
+    opt = result.opt_result
+    print(f"evaluations       : {opt.evaluations:>16,}")
+    if opt.cache_hits:
+        print(f"cache hits        : {opt.cache_hits:>16,} "
+              f"({opt.cache_hit_rate:.1%} of probes)")
     if args.robust:
         print(f"strategy          : {result.strategy}"
               + (" (degraded)" if result.degraded else ""))
@@ -152,7 +195,9 @@ def cmd_trace(args) -> int:
 
 
 def cmd_gantt(args) -> int:
-    result = _compile(args)
+    # Rendering needs a full SegmentPlan; a warm cache would hand back a
+    # plan-less result, so the timeline always compiles fresh.
+    result = _compile(args, use_cache=False)
     if not result.components:
         print("no feasible components", file=sys.stderr)
         return 1
@@ -219,6 +264,22 @@ def cmd_faults(args) -> int:
     return 0 if result.all_affecting_detected else 1
 
 
+def cmd_cache(args) -> int:
+    directory = args.cache_dir or os.environ.get(CACHE_ENV) \
+        or default_cache_dir()
+    cache = PersistentCache(directory)
+    if args.action == "clear":
+        removed = len(cache)
+        cache.clear()
+        print(f"cleared {removed} entries from {cache.path}")
+        return 0
+    stats = cache.stats()
+    print(f"cache file : {cache.path}")
+    print(f"entries    : {len(cache):,}")
+    print(f"size       : {stats['bytes']:,} bytes")
+    return 0
+
+
 COMMANDS = {
     "tree": cmd_tree,
     "compile": cmd_compile,
@@ -227,6 +288,7 @@ COMMANDS = {
     "gantt": cmd_gantt,
     "sweep": cmd_sweep,
     "faults": cmd_faults,
+    "cache": cmd_cache,
 }
 
 

@@ -27,6 +27,7 @@ from .errors import (
 from .loopir.ast import Kernel
 from .loopir.component import TilableComponent
 from .loopir.looptree import LoopTree
+from .opt.cache import PersistentCache
 from .opt.exhaustive import ExhaustiveOptimizer
 from .opt.greedy import GreedyOptimizer
 from .opt.ideal import ideal_makespan_ns
@@ -108,12 +109,24 @@ class CompilationResult:
         return out
 
     def component_map(self) -> Dict[str, Tuple[TilableComponent, Solution]]:
-        """Head iterator -> (component, solution), for the PREM VM."""
-        return {
-            compiled.component.nodes[0].var:
-                (compiled.component, compiled.solution)
-            for compiled in self.components
-        }
+        """Head iterator -> (component, solution), for the PREM VM.
+
+        The PREM VM dispatches components by head iterator name, so two
+        components sharing one (both headed by ``i``, say) cannot be
+        represented — building the map would silently drop the first.
+        That is a hard error, not a quiet wrong answer."""
+        out: Dict[str, Tuple[TilableComponent, Solution]] = {}
+        for compiled in self.components:
+            head = compiled.component.nodes[0].var
+            if head in out:
+                raise CompilationError(
+                    f"components {out[head][0].label()} and "
+                    f"{compiled.component.label()} share the head "
+                    f"iterator {head!r}; the PREM VM keys components by "
+                    f"head iterator and would drop one of them — rename "
+                    f"one of the loops")
+            out[head] = (compiled.component, compiled.solution)
+        return out
 
     def run_functional(self, arrays: Optional[Dict[str, np.ndarray]] = None,
                        seed: int = 7) -> Dict[str, np.ndarray]:
@@ -138,20 +151,29 @@ class PremCompiler:
     def __init__(self, platform: Platform = DEFAULT_PLATFORM,
                  machine: MachineModel | None = None, max_iter: int = 3,
                  seed: int = 0, segment_cap: int = DEFAULT_SEGMENT_CAP,
-                 exhaustive_max_points: int = 20_000):
+                 exhaustive_max_points: int = 20_000,
+                 jobs: int = 1, cache: Optional[PersistentCache] = None):
         self.platform = platform
         self.machine = machine or MachineModel()
         self.max_iter = max_iter
         self.seed = seed
         self.segment_cap = segment_cap
         self.exhaustive_max_points = exhaustive_max_points
+        #: Worker-pool width for candidate evaluation (1 = serial) and
+        #: the optional persistent cross-run makespan cache; both are
+        #: threaded through every optimization strategy.
+        self.jobs = jobs
+        self.cache = cache
 
     def compile(self, kernel: Kernel, cores: Optional[int] = None,
                 strategy: str = "heuristic",
                 tree: Optional[LoopTree] = None,
                 optimizer: Optional[TreeOptimizer] = None,
                 deadline: Optional[float] = None,
-                budget_s: float = 0.0) -> CompilationResult:
+                budget_s: float = 0.0,
+                jobs: Optional[int] = None,
+                cache: Optional[PersistentCache] = None
+                ) -> CompilationResult:
         """Analyze, optimize and package one kernel.
 
         *strategy* is ``heuristic`` (Algorithm 1), ``greedy`` (the
@@ -159,8 +181,13 @@ class PremCompiler:
         guarded by ``exhaustive_max_points``), or ``sequential`` (no
         PREM transformation at all — the whole kernel on one core).
         *deadline*/*budget_s* arm the cooperative per-stage timeout used
-        by :meth:`compile_robust`.
+        by :meth:`compile_robust`.  *jobs*/*cache* override the
+        compiler-level evaluation-engine settings for this call; the
+        deadline stays armed inside worker processes, and parallel runs
+        are guaranteed to pick the same solutions as serial ones.
         """
+        jobs = self.jobs if jobs is None else jobs
+        cache = self.cache if cache is None else cache
         tree = tree or LoopTree.build(kernel)
         if strategy == "sequential":
             return self._compile_sequential(kernel, tree)
@@ -171,16 +198,18 @@ class PremCompiler:
         if strategy == "heuristic":
             result = optimizer.optimize(
                 self.platform, cores=cores,
-                optimize_fn=self._heuristic_fn(cores, deadline, budget_s)
-                if deadline is not None else None)
+                optimize_fn=self._heuristic_fn(
+                    cores, deadline, budget_s, jobs, cache))
         elif strategy == "greedy":
             result = optimizer.optimize(
                 self.platform, cores=cores,
-                optimize_fn=self._greedy_fn(cores, deadline, budget_s))
+                optimize_fn=self._greedy_fn(
+                    cores, deadline, budget_s, cache))
         elif strategy == "exhaustive":
             result = optimizer.optimize(
                 self.platform, cores=cores,
-                optimize_fn=self._exhaustive_fn(cores, deadline, budget_s))
+                optimize_fn=self._exhaustive_fn(
+                    cores, deadline, budget_s, jobs, cache))
         else:
             raise ValueError(f"unknown strategy {strategy!r}")
 
@@ -209,7 +238,9 @@ class PremCompiler:
     def compile_robust(self, kernel: Kernel, cores: Optional[int] = None,
                        strategies: Sequence[str] = FALLBACK_CHAIN,
                        stage_budget_s: Optional[float] = 10.0,
-                       tree: Optional[LoopTree] = None
+                       tree: Optional[LoopTree] = None,
+                       jobs: Optional[int] = None,
+                       cache: Optional[PersistentCache] = None
                        ) -> CompilationResult:
         """Compile with graceful degradation.
 
@@ -219,7 +250,10 @@ class PremCompiler:
         :class:`StageAttempt` and the next stage runs.  ``sequential``
         never fails, so with the default chain this method never raises
         for a well-formed kernel; the attempt log lands in
-        :attr:`CompilationResult.attempts`.
+        :attr:`CompilationResult.attempts`.  *jobs*/*cache* are forwarded
+        to every stage's :meth:`compile` call; a shared cache lets a
+        later stage reuse makespans an earlier, timed-out stage already
+        paid for.
         """
         tree = tree or LoopTree.build(kernel)
         attempts: List[StageAttempt] = []
@@ -231,7 +265,8 @@ class PremCompiler:
             try:
                 result = self.compile(
                     kernel, cores=cores, strategy=strategy, tree=tree,
-                    deadline=deadline, budget_s=stage_budget_s or 0.0)
+                    deadline=deadline, budget_s=stage_budget_s or 0.0,
+                    jobs=jobs, cache=cache)
                 if not result.feasible:
                     raise InfeasibleScheduleError(
                         f"strategy {strategy!r} found no feasible "
@@ -281,7 +316,9 @@ class PremCompiler:
         )
 
     def _heuristic_fn(self, cores: Optional[int],
-                      deadline: Optional[float], budget_s: float):
+                      deadline: Optional[float], budget_s: float,
+                      jobs: int = 1,
+                      cache: Optional[PersistentCache] = None):
         from .opt.component import ComponentOptimizer
 
         def optimize_fn(component, exec_model):
@@ -289,33 +326,38 @@ class PremCompiler:
                 component, self.platform, exec_model,
                 max_iter=self.max_iter, seed=self.seed,
                 segment_cap=self.segment_cap,
-                deadline=deadline, budget_s=budget_s)
+                deadline=deadline, budget_s=budget_s,
+                jobs=jobs, cache=cache)
             return optimizer.optimize(cores)
 
         return optimize_fn
 
     def _greedy_fn(self, cores: Optional[int],
                    deadline: Optional[float] = None,
-                   budget_s: float = 0.0):
+                   budget_s: float = 0.0,
+                   cache: Optional[PersistentCache] = None):
         platform = self.platform
         segment_cap = self.segment_cap
 
         def optimize_fn(component, exec_model):
             greedy = GreedyOptimizer(
                 component, platform, exec_model, segment_cap=segment_cap,
-                deadline=deadline, budget_s=budget_s)
+                deadline=deadline, budget_s=budget_s, cache=cache)
             return greedy.optimize(cores)
 
         return optimize_fn
 
     def _exhaustive_fn(self, cores: Optional[int],
-                       deadline: Optional[float], budget_s: float):
+                       deadline: Optional[float], budget_s: float,
+                       jobs: int = 1,
+                       cache: Optional[PersistentCache] = None):
         def optimize_fn(component, exec_model):
             exhaustive = ExhaustiveOptimizer(
                 component, self.platform, exec_model,
                 segment_cap=self.segment_cap,
                 max_points=self.exhaustive_max_points,
-                deadline=deadline, budget_s=budget_s)
+                deadline=deadline, budget_s=budget_s,
+                jobs=jobs, cache=cache)
             return exhaustive.optimize(cores)
 
         return optimize_fn

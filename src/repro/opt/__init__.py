@@ -1,6 +1,13 @@
 """Schedule optimization: Algorithm 1, Algorithm 2, greedy and ideal."""
 
+from .cache import PersistentCache, context_fingerprint, solution_digest
 from .component import ComponentOptResult, ComponentOptimizer
+from .engine import EngineMetrics, EvaluationEngine, effective_jobs
+from .exhaustive import (
+    ExhaustiveOptimizer,
+    SearchSpaceTooLarge,
+    search_space_size,
+)
 from .greedy import GreedyOptimizer
 from .ideal import ideal_makespan_ns
 from .solution import LevelParams, Solution
@@ -14,7 +21,10 @@ from .tilesizes import select_tile_sizes
 from .tree import ComponentChoice, TreeOptResult, TreeOptimizer
 
 __all__ = [
+    "PersistentCache", "context_fingerprint", "solution_digest",
     "ComponentOptResult", "ComponentOptimizer",
+    "EngineMetrics", "EvaluationEngine", "effective_jobs",
+    "ExhaustiveOptimizer", "SearchSpaceTooLarge", "search_space_size",
     "GreedyOptimizer",
     "ideal_makespan_ns",
     "LevelParams", "Solution",

@@ -1,0 +1,229 @@
+"""Content-addressed persistent makespan cache.
+
+Planning a PREM segment schedule for one candidate solution is the hot
+operation of every optimizer in this package; re-running a bench or a CI
+job re-pays that cost for a search space that has not changed at all.
+This module memoizes :class:`~repro.schedule.makespan.MakespanResult`
+outcomes *across processes and runs*: entries are keyed by a stable
+SHA-256 digest of everything the makespan depends on — component
+structure, platform parameters, fitted execution model, segment cap,
+planner modes, and the solution key — and stored append-only as JSON
+lines, so concurrent readers never see a torn entry and a corrupted
+line degrades to a cache miss instead of an error.
+
+The cache stores only the *outcome* (makespan, feasibility, reason,
+transfer/SPM totals), never the plan object itself: a warm hit skips
+planning entirely, which is exactly what re-runs of the Figure 6.1 /
+Table 6.5 benches need.  Callers that need the full plan of a chosen
+winner re-plan that single solution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: Environment override for the default cache directory.
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+#: File holding the append-only entry log inside the cache directory.
+CACHE_FILENAME = "makespan-cache.jsonl"
+
+#: Bumped whenever the entry layout or fingerprint recipe changes;
+#: entries from other versions are ignored on load.
+CACHE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+# ---------------------------------------------------------------------------
+# fingerprinting
+
+
+def _component_payload(component) -> List[Any]:
+    """Deterministic structural description of a tilable component."""
+    nodes = [[node.var, node.N, node.I, bool(node.parallel)]
+             for node in component.nodes]
+    inner = sorted(
+        (var, list(bounds))
+        for var, bounds in component.full_inner_box().items())
+    stmts = []
+    for stmt in component.stmts():
+        accesses = [
+            [access.kind, access.array.name, list(access.array.shape),
+             access.array.etype, [repr(expr) for expr in access.indices]]
+            for access in stmt.accesses
+        ]
+        guards = [repr(guard) for guard in stmt.guards]
+        stmts.append([stmt.name, stmt.flops, accesses, guards])
+    return [nodes, inner, stmts]
+
+
+def _platform_payload(platform) -> List[Any]:
+    return [
+        platform.cores, platform.freq_hz, platform.spm_bytes,
+        platform.bus_bytes_per_s, platform.burst_bytes,
+        platform.dma_line_overhead_ns,
+        sorted(platform.api_wcet_ns.items()),
+    ]
+
+
+def _exec_model_payload(exec_model) -> List[Any]:
+    return [list(exec_model.overheads), exec_model.work,
+            exec_model.intercept]
+
+
+def context_fingerprint(component, platform, exec_model,
+                        segment_cap: int,
+                        modes: Optional[Mapping[str, str]] = None) -> str:
+    """Digest of everything a makespan depends on except the solution."""
+    payload = {
+        "v": CACHE_VERSION,
+        "component": _component_payload(component),
+        "platform": _platform_payload(platform),
+        "model": _exec_model_payload(exec_model),
+        "segment_cap": segment_cap,
+        "modes": sorted(modes.items()) if modes else [],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def solution_digest(context_hash: str, key: Tuple) -> str:
+    """Full cache key: context fingerprint + solution identity."""
+    blob = json.dumps([context_hash, [list(part) if isinstance(part, tuple)
+                                      else part for part in key]],
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# the store
+
+
+class PersistentCache:
+    """Append-only JSONL store of makespan outcomes, loaded lazily.
+
+    Entries are plain dicts ``{"k": digest, "v": version, "m": makespan
+    or None, "f": feasible, "r": reason, "spm": bytes, "xfer": bytes}``;
+    an infeasible outcome stores ``m: None`` (JSON has no infinity) and
+    is mapped back to ``math.inf`` on load.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        self.directory = Path(directory) if directory is not None \
+            else default_cache_dir()
+        self.path = self.directory / CACHE_FILENAME
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._loaded = False
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- loading ----------------------------------------------------------
+
+    def _load(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        if not self.path.exists():
+            return
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue        # torn/corrupt line: treat as absent
+            if not isinstance(entry, dict) or \
+                    entry.get("v") != CACHE_VERSION:
+                continue
+            digest = entry.get("k")
+            if isinstance(digest, str):
+                self._entries[digest] = entry
+
+    def __len__(self) -> int:
+        self._load()
+        return len(self._entries)
+
+    # -- lookup / store ---------------------------------------------------
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The stored entry for *digest*, or None (counts hit/miss)."""
+        self._load()
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, digest: str, *, makespan_ns: float, feasible: bool,
+            reason: str = "", spm_bytes: int = 0,
+            transferred_bytes: int = 0) -> None:
+        """Record one outcome; duplicate digests are ignored."""
+        self._load()
+        if digest in self._entries:
+            return
+        entry = {
+            "k": digest,
+            "v": CACHE_VERSION,
+            "m": makespan_ns if math.isfinite(makespan_ns) else None,
+            "f": bool(feasible),
+            "r": reason,
+            "spm": int(spm_bytes),
+            "xfer": int(transferred_bytes),
+        }
+        self._entries[digest] = entry
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a") as handle:
+                handle.write(
+                    json.dumps(entry, sort_keys=True,
+                               separators=(",", ":")) + "\n")
+        except OSError:
+            return              # cache is best-effort; keep computing
+        self.stores += 1
+
+    @staticmethod
+    def makespan_of(entry: Mapping[str, Any]) -> float:
+        value = entry.get("m")
+        return float(value) if value is not None else math.inf
+
+    # -- maintenance ------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        self._load()
+        size = self.path.stat().st_size if self.path.exists() else 0
+        return {
+            "path": str(self.path),
+            "entries": len(self._entries),
+            "bytes": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+    def clear(self) -> int:
+        """Delete the store; returns the number of entries removed."""
+        self._load()
+        removed = len(self._entries)
+        self._entries = {}
+        if self.path.exists():
+            self.path.unlink()
+        return removed

@@ -26,6 +26,8 @@ from ..schedule.makespan import (
 )
 from ..timing.execmodel import ExecModel
 from ..timing.platform import Platform
+from .cache import PersistentCache
+from .engine import EvaluationEngine
 from .solution import Solution
 from .threadgroups import generate_nondominated_thread_groups
 from .tilesizes import select_tile_sizes
@@ -44,6 +46,7 @@ class ComponentOptResult:
     evaluations: int
     elapsed_s: float
     assignments_tried: int
+    cache_hits: int = 0
 
     @property
     def feasible(self) -> bool:
@@ -64,7 +67,8 @@ class ComponentOptimizer:
     def __init__(self, component: TilableComponent, platform: Platform,
                  exec_model: ExecModel, max_iter: int = 3, seed: int = 0,
                  segment_cap: int = DEFAULT_SEGMENT_CAP, restarts: int = 3,
-                 deadline: float | None = None, budget_s: float = 0.0):
+                 deadline: float | None = None, budget_s: float = 0.0,
+                 jobs: int = 1, cache: Optional[PersistentCache] = None):
         self.component = component
         self.platform = platform
         self.exec_model = exec_model
@@ -72,10 +76,12 @@ class ComponentOptimizer:
         self.seed = seed
         self.segment_cap = segment_cap
         self.restarts = restarts
+        self.jobs = jobs
         self.evaluator = MakespanEvaluator(
-            component, platform, exec_model, segment_cap)
+            component, platform, exec_model, segment_cap, cache=cache)
         if deadline is not None:
             self.evaluator.set_deadline(deadline, "heuristic", budget_s)
+        self._engine: Optional[EvaluationEngine] = None
 
     # -- Algorithm 1 --------------------------------------------------------
 
@@ -87,12 +93,24 @@ class ComponentOptimizer:
             cores, self.component)
 
         best: Optional[MakespanResult] = None
-        for assignment in assignments:
-            result = self._descend(assignment, rng)
-            if result is None:
-                continue
-            if best is None or result.makespan_ns < best.makespan_ns:
-                best = result
+        with EvaluationEngine(self.evaluator, jobs=self.jobs,
+                              stage="heuristic") as engine:
+            self._engine = engine
+            try:
+                for assignment in assignments:
+                    result = self._descend(assignment, rng)
+                    if result is None:
+                        continue
+                    if best is None or \
+                            result.makespan_ns < best.makespan_ns:
+                        best = result
+                # A pool- or cache-computed winner carries no plan; a
+                # freshly-evaluated one gets its plan re-attached so the
+                # result matches a serial cold run bit for bit.
+                if best is not None:
+                    best = engine.finalize(best)
+            finally:
+                self._engine = None
         elapsed = time.perf_counter() - started
         return ComponentOptResult(
             component=self.component,
@@ -100,6 +118,7 @@ class ComponentOptimizer:
             evaluations=self.evaluator.evaluations,
             elapsed_s=elapsed,
             assignments_tried=len(assignments),
+            cache_hits=self.evaluator.cache_hits,
         )
 
     def _descend(self, assignment: Sequence[int],
@@ -149,7 +168,25 @@ class ComponentOptimizer:
             return self._evaluate(probe, groups).makespan_ns
 
         if len(options) <= FULL_SCAN_LIMIT:
-            best_index = min(range(len(options)), key=value)
+            engine = self._engine
+            if engine is not None and engine.parallel:
+                # Batch the whole scan through the worker pool.  The
+                # same candidate set is evaluated as in the serial scan
+                # and ties resolve to the lowest index, so the chosen
+                # tile size (and the evaluation count) is identical.
+                requests = []
+                for index in range(len(options)):
+                    probe = list(current)
+                    probe[level] = options[index]
+                    requests.append((
+                        {node.var: k for node, k
+                         in zip(self.component.nodes, probe)}, groups))
+                values = [r.makespan_ns
+                          for r in engine.evaluate_many(requests)]
+                best_index = min(range(len(options)),
+                                 key=lambda i: (values[i], i))
+            else:
+                best_index = min(range(len(options)), key=value)
         else:
             lo, hi = 0, len(options) - 1
             scanned = False

@@ -29,7 +29,9 @@ from ..schedule.makespan import (
 )
 from ..timing.execmodel import ExecModel
 from ..timing.platform import Platform
+from .cache import PersistentCache
 from .component import ComponentOptResult
+from .engine import EngineMetrics, EvaluationEngine
 from .threadgroups import generate_nondominated_thread_groups
 from .tilesizes import select_tile_sizes
 
@@ -38,11 +40,11 @@ class SearchSpaceTooLarge(OptimizerError, RuntimeError):
     """The exhaustive space exceeds the configured evaluation budget."""
 
 
-def search_space_size(component: TilableComponent, cores: int) -> int:
-    """Number of (R, K) points Algorithm 1's candidate space contains."""
+def space_size_of(component: TilableComponent,
+                  assignments: Sequence[Tuple[int, ...]]) -> int:
+    """Candidate points of an already-generated assignment list."""
     total = 0
-    for assignment in generate_nondominated_thread_groups(
-            cores, component):
+    for assignment in assignments:
         points = 1
         for node, groups in zip(component.nodes, assignment):
             points *= len(select_tile_sizes(node.N, groups))
@@ -50,35 +52,51 @@ def search_space_size(component: TilableComponent, cores: int) -> int:
     return total
 
 
+def search_space_size(component: TilableComponent, cores: int) -> int:
+    """Number of (R, K) points Algorithm 1's candidate space contains."""
+    return space_size_of(
+        component, generate_nondominated_thread_groups(cores, component))
+
+
 class ExhaustiveOptimizer:
-    """Evaluate every candidate point and return the true optimum."""
+    """Evaluate every candidate point and return the true optimum.
+
+    With ``jobs > 1`` candidate evaluation fans out over the
+    :class:`~repro.opt.engine.EvaluationEngine` worker pool, chunked by
+    thread-group assignment; the reduction tie-breaks on the solution
+    key, so serial and parallel runs return identical results."""
 
     def __init__(self, component: TilableComponent, platform: Platform,
                  exec_model: ExecModel,
                  segment_cap: int = DEFAULT_SEGMENT_CAP,
                  max_points: int = 20_000,
-                 deadline: float | None = None, budget_s: float = 0.0):
+                 deadline: float | None = None, budget_s: float = 0.0,
+                 jobs: int = 1, cache: Optional[PersistentCache] = None):
         self.component = component
         self.platform = platform
         self.exec_model = exec_model
         self.max_points = max_points
+        self.jobs = jobs
         self.evaluator = MakespanEvaluator(
-            component, platform, exec_model, segment_cap)
+            component, platform, exec_model, segment_cap, cache=cache)
         if deadline is not None:
             self.evaluator.set_deadline(deadline, "exhaustive", budget_s)
+        self.metrics: Optional[EngineMetrics] = None
 
     def optimize(self, cores: Optional[int] = None) -> ComponentOptResult:
         cores = cores if cores is not None else self.platform.cores
-        size = search_space_size(self.component, cores)
+        started = time.perf_counter()
+        # The assignment list is generated exactly once: the space-size
+        # guard and the search loop both derive from it.
+        assignments = generate_nondominated_thread_groups(
+            cores, self.component)
+        size = space_size_of(self.component, assignments)
         if size > self.max_points:
             raise SearchSpaceTooLarge(
                 f"{size} candidate points exceed the budget of "
                 f"{self.max_points}; use the heuristic (Algorithm 1)")
 
-        started = time.perf_counter()
-        assignments = generate_nondominated_thread_groups(
-            cores, self.component)
-        best: Optional[MakespanResult] = None
+        chunks = []
         for assignment in assignments:
             groups = {
                 node.var: r
@@ -88,20 +106,24 @@ class ExhaustiveOptimizer:
                 select_tile_sizes(node.N, r)
                 for node, r in zip(self.component.nodes, assignment)
             ]
-            for sizes in product(*candidate_lists):
-                params = {
-                    node.var: k
-                    for node, k in zip(self.component.nodes, sizes)
-                }
-                result = self.evaluator.evaluate_params(params, groups)
-                if result.feasible and (
-                        best is None
-                        or result.makespan_ns < best.makespan_ns):
-                    best = result
+            chunks.append([
+                ({node.var: k
+                  for node, k in zip(self.component.nodes, sizes)}, groups)
+                for sizes in product(*candidate_lists)
+            ])
+
+        with EvaluationEngine(self.evaluator, jobs=self.jobs,
+                              stage="exhaustive") as engine:
+            evaluated = engine.evaluate_chunks(chunks)
+            best: Optional[MakespanResult] = engine.best_of(
+                result for chunk in evaluated for result in chunk)
+            best = engine.finalize(best)
+            self.metrics = engine.metrics()
         return ComponentOptResult(
             component=self.component,
             best=best,
             evaluations=self.evaluator.evaluations,
             elapsed_s=time.perf_counter() - started,
             assignments_tried=len(assignments),
+            cache_hits=self.evaluator.cache_hits,
         )

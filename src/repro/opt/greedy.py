@@ -23,7 +23,9 @@ from ..schedule.makespan import (
 )
 from ..timing.execmodel import ExecModel
 from ..timing.platform import Platform
+from .cache import PersistentCache
 from .component import ComponentOptResult
+from .tilesizes import select_tile_sizes
 
 
 class GreedyOptimizer:
@@ -32,12 +34,13 @@ class GreedyOptimizer:
     def __init__(self, component: TilableComponent, platform: Platform,
                  exec_model: ExecModel,
                  segment_cap: int = DEFAULT_SEGMENT_CAP,
-                 deadline: float | None = None, budget_s: float = 0.0):
+                 deadline: float | None = None, budget_s: float = 0.0,
+                 cache: Optional[PersistentCache] = None):
         self.component = component
         self.platform = platform
         self.exec_model = exec_model
         self.evaluator = MakespanEvaluator(
-            component, platform, exec_model, segment_cap)
+            component, platform, exec_model, segment_cap, cache=cache)
         if deadline is not None:
             self.evaluator.set_deadline(deadline, "greedy", budget_s)
 
@@ -64,6 +67,7 @@ class GreedyOptimizer:
             evaluations=self.evaluator.evaluations,
             elapsed_s=time.perf_counter() - started,
             assignments_tried=1,
+            cache_hits=self.evaluator.cache_hits,
         )
 
     # -- helpers ---------------------------------------------------------
@@ -95,7 +99,16 @@ class GreedyOptimizer:
 
     def _largest_fitting_k(self, tiled_level: int,
                            groups: Dict[str, int]) -> Optional[int]:
-        """Binary search the largest K whose plan fits the SPM."""
+        """Largest K whose plan fits the SPM.
+
+        Feasibility is *not* monotone in K: SPM pressure grows with K
+        (infeasible above some k_max) but the per-core segment count
+        shrinks with K, so the segment cap can make *tiny* K infeasible
+        too — the feasible region is an interval ``[k_min, k_max]``.
+        When ``fits(1)`` holds the lower boundary is trivial and a
+        binary search finds ``k_max``; when it fails the monotone
+        precondition is gone, so probe the candidate-size list from the
+        largest size downwards instead of giving up on the level."""
         node = self.component.nodes[tiled_level]
 
         def fits(k: int) -> bool:
@@ -104,6 +117,12 @@ class GreedyOptimizer:
 
         lo = 1
         if not fits(lo):
+            groups_here = groups.get(node.var, 1)
+            candidates = set(select_tile_sizes(node.N, groups_here))
+            candidates.add(node.N)
+            for k in sorted(candidates, reverse=True):
+                if k > 1 and fits(k):
+                    return k
             return None
         hi = node.N
         while lo < hi:

@@ -54,10 +54,20 @@ class TreeOptResult:
     choices: List[ComponentChoice]
     elapsed_s: float
     evaluations: int
+    cache_hits: int = 0
 
     @property
     def feasible(self) -> bool:
         return math.isfinite(self.makespan_ns)
+
+    @property
+    def probes(self) -> int:
+        """Fresh evaluations plus persistent-cache hits (chosen comps)."""
+        return self.evaluations + self.cache_hits
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.probes if self.probes else 0.0
 
     def describe(self) -> str:
         lines = [f"kernel {self.tree.kernel.name}: "
@@ -102,7 +112,13 @@ class TreeOptimizer:
 
     def optimize(self, platform: Platform,
                  cores: Optional[int] = None,
-                 optimize_fn: OptimizeFn | None = None) -> TreeOptResult:
+                 optimize_fn: OptimizeFn | None = None,
+                 jobs: int = 1, cache=None) -> TreeOptResult:
+        """Run Algorithm 2.
+
+        *jobs*/*cache* configure the default per-component optimizer's
+        evaluation engine (worker pool fan-out and persistent makespan
+        cache); custom *optimize_fn* callbacks configure their own."""
         cores = cores if cores is not None else platform.cores
         started = time.perf_counter()
         evaluations = 0
@@ -111,7 +127,8 @@ class TreeOptimizer:
                 optimizer = ComponentOptimizer(
                     component, platform, exec_model,
                     max_iter=self.max_iter, seed=self.seed,
-                    segment_cap=self.segment_cap)
+                    segment_cap=self.segment_cap,
+                    jobs=jobs, cache=cache)
                 return optimizer.optimize(cores)
 
         total = 0.0
@@ -127,6 +144,7 @@ class TreeOptimizer:
             choices=choices,
             elapsed_s=time.perf_counter() - started,
             evaluations=evaluations,
+            cache_hits=sum(c.result.cache_hits for c in choices),
         )
 
     def _extract(self, node: LoopTreeNode, chain: List[LoopTreeNode],

@@ -121,6 +121,23 @@ class ExperimentReport:
         return text
 
 
+def engine_note(metrics) -> str:
+    """One-line :class:`~repro.opt.engine.EngineMetrics` summary.
+
+    Formatted for :meth:`ExperimentReport.add_note`, so every archived
+    bench records how its numbers were produced (pool width, evaluation
+    throughput, cache hit rate, worker utilization)."""
+    parts = [f"engine: jobs={metrics.jobs}",
+             f"{metrics.evaluations:,} evals"]
+    if metrics.elapsed_s > 0:
+        parts.append(f"{metrics.evaluations_per_s:,.0f} evals/s")
+    parts.append(f"cache hit rate {metrics.cache_hit_rate:.1%}")
+    if metrics.jobs > 1:
+        parts.append(
+            f"worker utilization {metrics.worker_utilization:.1%}")
+    return ", ".join(parts)
+
+
 def full_grid_enabled() -> bool:
     """REPRO_FULL=1 switches benches to the paper's complete sweeps."""
     return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")

@@ -1,5 +1,6 @@
 """Test-suite configuration: a CI-friendly hypothesis profile."""
 
+import pytest
 from hypothesis import HealthCheck, settings
 
 settings.register_profile(
@@ -8,3 +9,10 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_cache(monkeypatch):
+    """Keep $REPRO_CACHE_DIR out of tests: an ambient cache directory on
+    the developer's machine must never leak hits into the suite."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)

@@ -86,6 +86,57 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "strategy" in out and "ok" in out
 
+    def test_compile_jobs(self, capsys):
+        serial = main(["compile", "lstm", "--preset", "MINI"])
+        serial_out = capsys.readouterr().out
+        parallel = main(["compile", "lstm", "--preset", "MINI",
+                         "--jobs", "4"])
+        parallel_out = capsys.readouterr().out
+        assert serial == parallel == 0
+        assert serial_out == parallel_out      # bit-identical report
+
+    def test_compile_cache_warm(self, tmp_path, capsys):
+        argv = ["compile", "lstm", "--preset", "MINI",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "cache hits" not in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache hits" in warm and "100.0% of probes" in warm
+
+    def test_compile_no_cache(self, tmp_path, capsys):
+        argv = ["compile", "lstm", "--preset", "MINI",
+                "--cache-dir", str(tmp_path), "--no-cache"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "cache hits" not in capsys.readouterr().out
+        assert not list(tmp_path.iterdir())    # nothing was written
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        assert main(["compile", "lstm", "--preset", "MINI",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "makespan-cache.jsonl" in out
+        assert main(["cache", "clear", "--cache-dir",
+                     str(tmp_path)]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir",
+                     str(tmp_path)]) == 0
+        assert "entries    : 0" in capsys.readouterr().out
+
+    def test_gantt_ignores_cache(self, tmp_path, capsys):
+        argv = ["gantt", "cnn", "--preset", "MINI", "--spm", "8",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0                 # warm run still renders
+        assert "dma" in capsys.readouterr().out
+
 
 class TestPresetValidation:
     def test_unknown_preset_rejected_by_parser(self):

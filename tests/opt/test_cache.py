@@ -1,0 +1,184 @@
+"""Persistent makespan-cache unit tests."""
+
+import json
+import math
+
+import pytest
+
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt.cache import (
+    CACHE_VERSION,
+    PersistentCache,
+    context_fingerprint,
+    solution_digest,
+)
+from repro.schedule.makespan import MakespanEvaluator
+from repro.sim.profiler import fit_component_model
+from repro.timing.platform import Platform
+
+
+@pytest.fixture(scope="module")
+def lstm_comp():
+    tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+    return component_at(tree, ["b_0"])
+
+
+@pytest.fixture(scope="module")
+def lstm_model(lstm_comp):
+    return fit_component_model(lstm_comp)
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self, lstm_comp, lstm_model):
+        a = context_fingerprint(lstm_comp, Platform(), lstm_model, 8192)
+        b = context_fingerprint(lstm_comp, Platform(), lstm_model, 8192)
+        assert a == b
+
+    def test_platform_changes_fingerprint(self, lstm_comp, lstm_model):
+        base = context_fingerprint(lstm_comp, Platform(), lstm_model, 8192)
+        slow = context_fingerprint(
+            lstm_comp, Platform().with_bus(1e9), lstm_model, 8192)
+        assert base != slow
+
+    def test_segment_cap_changes_fingerprint(self, lstm_comp, lstm_model):
+        a = context_fingerprint(lstm_comp, Platform(), lstm_model, 8192)
+        b = context_fingerprint(lstm_comp, Platform(), lstm_model, 64)
+        assert a != b
+
+    def test_component_changes_fingerprint(self, lstm_model):
+        tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+        a = context_fingerprint(
+            component_at(tree, ["b_0"]), Platform(), lstm_model, 8192)
+        b = context_fingerprint(
+            component_at(tree, ["b_1"]), Platform(), lstm_model, 8192)
+        assert a != b
+
+    def test_solution_digest_depends_on_key(self):
+        assert solution_digest("ctx", (("i", 2, 1),)) != \
+            solution_digest("ctx", (("i", 4, 1),))
+        assert solution_digest("ctx", (("i", 2, 1),)) == \
+            solution_digest("ctx", (("i", 2, 1),))
+
+
+class TestPersistentCache:
+    def test_roundtrip(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.put("abc", makespan_ns=123.0, feasible=True,
+                  spm_bytes=10, transferred_bytes=20)
+        fresh = PersistentCache(tmp_path)
+        entry = fresh.get("abc")
+        assert entry is not None
+        assert PersistentCache.makespan_of(entry) == 123.0
+        assert entry["f"] is True
+        assert entry["spm"] == 10 and entry["xfer"] == 20
+
+    def test_infeasible_roundtrips_to_inf(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.put("bad", makespan_ns=math.inf, feasible=False,
+                  reason="SPM overflow")
+        entry = PersistentCache(tmp_path).get("bad")
+        assert math.isinf(PersistentCache.makespan_of(entry))
+        assert entry["f"] is False
+        assert entry["r"] == "SPM overflow"
+
+    def test_miss_counts(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        assert cache.get("nope") is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_duplicate_put_ignored(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.put("k", makespan_ns=1.0, feasible=True)
+        cache.put("k", makespan_ns=999.0, feasible=False)
+        assert PersistentCache.makespan_of(cache.get("k")) == 1.0
+        assert len(cache.path.read_text().splitlines()) == 1
+
+    def test_corrupt_line_degrades_to_miss(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.put("good", makespan_ns=5.0, feasible=True)
+        with open(cache.path, "a") as handle:
+            handle.write("{torn json\n")
+            handle.write(json.dumps({"k": "other", "v": CACHE_VERSION,
+                                     "m": 7.0, "f": True}) + "\n")
+        fresh = PersistentCache(tmp_path)
+        assert fresh.get("good") is not None
+        assert fresh.get("other") is not None
+        assert len(fresh) == 2
+
+    def test_other_version_ignored(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        cache.path.write_text(json.dumps(
+            {"k": "old", "v": CACHE_VERSION + 1, "m": 1.0, "f": True}) + "\n")
+        assert PersistentCache(tmp_path).get("old") is None
+
+    def test_clear(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.put("a", makespan_ns=1.0, feasible=True)
+        cache.put("b", makespan_ns=2.0, feasible=True)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert not cache.path.exists()
+
+    def test_stats(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.put("a", makespan_ns=1.0, feasible=True)
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["bytes"] > 0
+
+
+class TestEvaluatorIntegration:
+    def test_persist_and_reload(self, tmp_path, lstm_comp, lstm_model):
+        platform = Platform()
+        first = MakespanEvaluator(
+            lstm_comp, platform, lstm_model,
+            cache=PersistentCache(tmp_path))
+        result = first.evaluate_params({"b_0": 10}, {"b_0": 2})
+        assert first.evaluations == 1 and first.cache_hits == 0
+
+        second = MakespanEvaluator(
+            lstm_comp, platform, lstm_model,
+            cache=PersistentCache(tmp_path))
+        warm = second.evaluate_params({"b_0": 10}, {"b_0": 2})
+        assert second.evaluations == 0 and second.cache_hits == 1
+        assert warm.from_cache and warm.plan is None
+        assert warm.makespan_ns == result.makespan_ns
+        assert warm.transferred_bytes == result.transferred_bytes
+        assert warm.spm_bytes_needed == result.spm_bytes_needed
+
+    def test_context_isolation(self, tmp_path, lstm_comp, lstm_model):
+        """Entries cached on one platform never leak onto another."""
+        cached = MakespanEvaluator(
+            lstm_comp, Platform(), lstm_model,
+            cache=PersistentCache(tmp_path))
+        cached.evaluate_params({"b_0": 10}, {"b_0": 2})
+
+        slow = MakespanEvaluator(
+            lstm_comp, Platform().with_bus(1e9), lstm_model,
+            cache=PersistentCache(tmp_path))
+        result = slow.evaluate_params({"b_0": 10}, {"b_0": 2})
+        assert slow.cache_hits == 0 and slow.evaluations == 1
+        assert not result.from_cache
+
+    def test_attach_plan_restores_plan(self, tmp_path, lstm_comp,
+                                       lstm_model):
+        platform = Platform()
+        first = MakespanEvaluator(
+            lstm_comp, platform, lstm_model,
+            cache=PersistentCache(tmp_path))
+        cold = first.evaluate_params({"b_0": 10}, {"b_0": 2})
+
+        second = MakespanEvaluator(
+            lstm_comp, platform, lstm_model,
+            cache=PersistentCache(tmp_path))
+        warm = second.evaluate_params({"b_0": 10}, {"b_0": 2})
+        replanned = second.attach_plan(warm)
+        assert replanned.plan is not None
+        assert replanned.makespan_ns == cold.makespan_ns
+        assert second.evaluations == 0    # re-planning is not an evaluation

@@ -1,0 +1,161 @@
+"""Regression tests for the optimizer bugfix round.
+
+One test class per fixed defect:
+
+* greedy's binary search assumed feasibility is monotone in K, but the
+  segment cap makes tiny K infeasible too — the search concluded "no
+  fitting tile" for levels whose feasible region starts above K = 1;
+* invalid parameter sets (failing ``Solution`` construction) were never
+  memoized nor counted, skewing reported evaluation counts;
+* ``CompilationResult.component_map`` silently dropped a component when
+  two shared a head iterator;
+* ``ExhaustiveOptimizer.optimize`` generated the non-dominated
+  thread-group list twice and broke makespan ties by enumeration order.
+"""
+
+import math
+
+import pytest
+
+from repro.compiler import CompiledComponent, PremCompiler
+from repro.errors import CompilationError
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt import exhaustive as exhaustive_module
+from repro.opt.exhaustive import ExhaustiveOptimizer
+from repro.opt.greedy import GreedyOptimizer
+from repro.schedule.makespan import MakespanEvaluator
+from repro.sim.profiler import fit_component_model
+from repro.timing.platform import Platform
+
+
+@pytest.fixture(scope="module")
+def b0_large():
+    tree = LoopTree.build(make_kernel("lstm", "LARGE"))
+    comp = component_at(tree, ["b_0"])
+    return comp, fit_component_model(comp)
+
+
+class TestGreedyNonMonotoneFeasibility:
+    def test_finds_tile_when_k1_violates_segment_cap(self, b0_large):
+        """With N = 650 over 8 cores and a cap of 16 segments per core,
+        K = 1 needs ceil(650/8) = 82 segments — infeasible — while a
+        larger K is fine.  The old binary search returned None here."""
+        comp, model = b0_large
+        greedy = GreedyOptimizer(comp, Platform(), model, segment_cap=16)
+        groups = greedy._assign_parallelism(0, 8)
+        assert not greedy.evaluator.evaluate_params(
+            greedy._tile_sizes(0, 1), groups).feasible
+        k = greedy._largest_fitting_k(0, groups)
+        assert k is not None and k > 1
+        assert greedy.evaluator.evaluate_params(
+            greedy._tile_sizes(0, k), groups).feasible
+
+    def test_optimize_feasible_under_tight_cap(self, b0_large):
+        comp, model = b0_large
+        result = GreedyOptimizer(
+            comp, Platform(), model, segment_cap=16).optimize(8)
+        assert result.feasible
+
+    def test_monotone_path_unchanged(self, b0_large):
+        """When fits(1) holds, the binary search still finds the largest
+        fitting K (feasibility upper boundary)."""
+        comp, model = b0_large
+        greedy = GreedyOptimizer(comp, Platform(), model)
+        groups = greedy._assign_parallelism(0, 8)
+        k = greedy._largest_fitting_k(0, groups)
+        assert k is not None
+        assert greedy.evaluator.evaluate_params(
+            greedy._tile_sizes(0, k), groups).feasible
+        if k < comp.nodes[0].N:
+            assert not greedy.evaluator.evaluate_params(
+                greedy._tile_sizes(0, k + 1), groups).feasible
+
+
+class TestInvalidEvaluationsCounted:
+    def test_invalid_params_count_once_then_memoize(self, b0_large):
+        comp, model = b0_large
+        n = comp.nodes[0].N
+        evaluator = MakespanEvaluator(comp, Platform(), model)
+
+        first = evaluator.evaluate_params({"b_0": n + 1}, {"b_0": 1})
+        assert not first.feasible
+        assert math.isinf(first.makespan_ns)
+        assert first.reason
+        assert evaluator.evaluations == 1 and evaluator.memo_hits == 0
+
+        second = evaluator.evaluate_params({"b_0": n + 1}, {"b_0": 1})
+        assert second is first
+        assert evaluator.evaluations == 1 and evaluator.memo_hits == 1
+
+    def test_distinct_invalid_params_counted_separately(self, b0_large):
+        comp, model = b0_large
+        n = comp.nodes[0].N
+        evaluator = MakespanEvaluator(comp, Platform(), model)
+        evaluator.evaluate_params({"b_0": n + 1}, {"b_0": 1})
+        evaluator.evaluate_params({"b_0": n + 2}, {"b_0": 1})
+        assert evaluator.evaluations == 2
+
+    def test_invalid_thread_groups_counted(self, b0_large):
+        comp, model = b0_large
+        evaluator = MakespanEvaluator(comp, Platform(), model)
+        result = evaluator.evaluate_params(
+            {"b_0": 2}, {"b_0": comp.nodes[0].N + 1})
+        assert not result.feasible
+        assert evaluator.evaluations == 1
+
+
+class TestComponentMapCollision:
+    def test_duplicate_head_iterator_raises(self):
+        result = PremCompiler(Platform()).compile(
+            make_kernel("lstm", "MINI"))
+        assert result.components
+        twin = result.components[0]
+        result.components.append(CompiledComponent(
+            component=twin.component,
+            solution=twin.solution,
+            makespan_ns=twin.makespan_ns,
+            executions=twin.executions,
+        ))
+        with pytest.raises(CompilationError, match="head"):
+            result.component_map()
+
+    def test_distinct_heads_build_full_map(self):
+        result = PremCompiler(Platform()).compile(
+            make_kernel("lstm", "MINI"))
+        mapping = result.component_map()
+        assert len(mapping) == len(result.components)
+
+
+class TestExhaustiveSingleGeneration:
+    def test_assignments_generated_exactly_once(self, b0_large,
+                                                monkeypatch):
+        comp, model = b0_large
+        calls = []
+        original = exhaustive_module.generate_nondominated_thread_groups
+
+        def counting(cores, component):
+            calls.append(cores)
+            return original(cores, component)
+
+        monkeypatch.setattr(
+            exhaustive_module,
+            "generate_nondominated_thread_groups", counting)
+        ExhaustiveOptimizer(comp, Platform(), model).optimize(8)
+        assert len(calls) == 1
+
+    def test_repeat_runs_identical(self, b0_large):
+        comp, model = b0_large
+        first = ExhaustiveOptimizer(comp, Platform(), model).optimize(8)
+        second = ExhaustiveOptimizer(comp, Platform(), model).optimize(8)
+        assert first.best.solution.key() == second.best.solution.key()
+        assert first.makespan_ns == second.makespan_ns
+        assert first.evaluations == second.evaluations
+
+    def test_evaluations_cover_whole_space(self, b0_large):
+        comp, model = b0_large
+        optimizer = ExhaustiveOptimizer(comp, Platform(), model)
+        result = optimizer.optimize(8)
+        assert result.evaluations == \
+            exhaustive_module.search_space_size(comp, 8)
