@@ -55,6 +55,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-core SPM size in KiB")
         p.add_argument("--greedy", action="store_true",
                        help="use the greedy baseline optimizer")
+        p.add_argument("--pruned", action="store_true",
+                       help="bound-driven exhaustive search (identical "
+                            "winner, far fewer segment plans)")
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for candidate evaluation "
                             "(1 = serial; results are identical)")
@@ -130,7 +133,12 @@ def _compile(args, use_cache: bool = True):
     cache = _cache(args) if use_cache else None
     compiler = PremCompiler(
         _platform(args), jobs=getattr(args, "jobs", 1), cache=cache)
-    strategy = "greedy" if args.greedy else "heuristic"
+    if getattr(args, "pruned", False):
+        strategy = "pruned"
+    elif args.greedy:
+        strategy = "greedy"
+    else:
+        strategy = "heuristic"
     return compiler.compile(kernel, cores=args.cores, strategy=strategy)
 
 
@@ -161,6 +169,12 @@ def cmd_compile(args) -> int:
     if opt.cache_hits:
         print(f"cache hits        : {opt.cache_hits:>16,} "
               f"({opt.cache_hit_rate:.1%} of probes)")
+    if opt.pruned:
+        print(f"pruned            : {opt.pruned:>16,}")
+    if opt.bound_hits:
+        print(f"bound hits        : {opt.bound_hits:>16,}")
+    if opt.chains_pruned:
+        print(f"chains pruned     : {opt.chains_pruned:>16,}")
     if args.robust:
         print(f"strategy          : {result.strategy}"
               + (" (degraded)" if result.degraded else ""))

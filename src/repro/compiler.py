@@ -31,6 +31,7 @@ from .opt.cache import PersistentCache
 from .opt.exhaustive import ExhaustiveOptimizer
 from .opt.greedy import GreedyOptimizer
 from .opt.ideal import ideal_makespan_ns
+from .opt.pruned import DEFAULT_PRUNED_MAX_POINTS, PrunedOptimizer
 from .opt.solution import Solution
 from .opt.tree import TreeOptimizer, TreeOptResult
 from .prem.codegen import CodeGenerator
@@ -152,6 +153,7 @@ class PremCompiler:
                  machine: MachineModel | None = None, max_iter: int = 3,
                  seed: int = 0, segment_cap: int = DEFAULT_SEGMENT_CAP,
                  exhaustive_max_points: int = 20_000,
+                 pruned_max_points: int = DEFAULT_PRUNED_MAX_POINTS,
                  jobs: int = 1, cache: Optional[PersistentCache] = None):
         self.platform = platform
         self.machine = machine or MachineModel()
@@ -159,6 +161,7 @@ class PremCompiler:
         self.seed = seed
         self.segment_cap = segment_cap
         self.exhaustive_max_points = exhaustive_max_points
+        self.pruned_max_points = pruned_max_points
         #: Worker-pool width for candidate evaluation (1 = serial) and
         #: the optional persistent cross-run makespan cache; both are
         #: threaded through every optimization strategy.
@@ -178,8 +181,11 @@ class PremCompiler:
 
         *strategy* is ``heuristic`` (Algorithm 1), ``greedy`` (the
         Section 6.2 baseline), ``exhaustive`` (full candidate scan,
-        guarded by ``exhaustive_max_points``), or ``sequential`` (no
-        PREM transformation at all — the whole kernel on one core).
+        guarded by ``exhaustive_max_points``), ``pruned`` (the same
+        scan driven by admissible lower bounds — identical winner,
+        far fewer plans, guarded by the much larger
+        ``pruned_max_points``), or ``sequential`` (no PREM
+        transformation at all — the whole kernel on one core).
         *deadline*/*budget_s* arm the cooperative per-stage timeout used
         by :meth:`compile_robust`.  *jobs*/*cache* override the
         compiler-level evaluation-engine settings for this call; the
@@ -209,6 +215,11 @@ class PremCompiler:
             result = optimizer.optimize(
                 self.platform, cores=cores,
                 optimize_fn=self._exhaustive_fn(
+                    cores, deadline, budget_s, jobs, cache))
+        elif strategy == "pruned":
+            result = optimizer.optimize(
+                self.platform, cores=cores,
+                optimize_fn=self._pruned_fn(
                     cores, deadline, budget_s, jobs, cache))
         else:
             raise ValueError(f"unknown strategy {strategy!r}")
@@ -359,5 +370,20 @@ class PremCompiler:
                 deadline=deadline, budget_s=budget_s,
                 jobs=jobs, cache=cache)
             return exhaustive.optimize(cores)
+
+        return optimize_fn
+
+    def _pruned_fn(self, cores: Optional[int],
+                   deadline: Optional[float], budget_s: float,
+                   jobs: int = 1,
+                   cache: Optional[PersistentCache] = None):
+        def optimize_fn(component, exec_model):
+            pruned = PrunedOptimizer(
+                component, self.platform, exec_model,
+                segment_cap=self.segment_cap,
+                max_points=self.pruned_max_points,
+                deadline=deadline, budget_s=budget_s,
+                jobs=jobs, cache=cache)
+            return pruned.optimize(cores)
 
         return optimize_fn

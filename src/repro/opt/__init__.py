@@ -1,5 +1,6 @@
 """Schedule optimization: Algorithm 1, Algorithm 2, greedy and ideal."""
 
+from .bounds import BoundCalculator, chain_lower_bound, flatten_key
 from .cache import PersistentCache, context_fingerprint, solution_digest
 from .component import ComponentOptResult, ComponentOptimizer
 from .engine import EngineMetrics, EvaluationEngine, effective_jobs
@@ -10,6 +11,7 @@ from .exhaustive import (
 )
 from .greedy import GreedyOptimizer
 from .ideal import ideal_makespan_ns
+from .pruned import DEFAULT_PRUNED_MAX_POINTS, PrunedOptimizer
 from .solution import LevelParams, Solution
 from .threadgroups import (
     dominates,
@@ -21,12 +23,14 @@ from .tilesizes import select_tile_sizes
 from .tree import ComponentChoice, TreeOptResult, TreeOptimizer
 
 __all__ = [
+    "BoundCalculator", "chain_lower_bound", "flatten_key",
     "PersistentCache", "context_fingerprint", "solution_digest",
     "ComponentOptResult", "ComponentOptimizer",
     "EngineMetrics", "EvaluationEngine", "effective_jobs",
     "ExhaustiveOptimizer", "SearchSpaceTooLarge", "search_space_size",
     "GreedyOptimizer",
     "ideal_makespan_ns",
+    "DEFAULT_PRUNED_MAX_POINTS", "PrunedOptimizer",
     "LevelParams", "Solution",
     "dominates", "generate_nondominated_thread_groups", "nondominated",
     "valid_assignments",

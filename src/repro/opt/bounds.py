@@ -1,0 +1,437 @@
+"""Admissible makespan lower bounds for branch-and-bound search.
+
+Every quantity here is a *lower bound on the true component makespan* of
+a candidate ``(R, K)`` solution, computed in closed form from the §4.2
+timing model — no :class:`~repro.prem.segments.SegmentPlanner` plan, no
+pipeline simulation (the derivation lives in DESIGN.md's bound section):
+
+- **compute path** — on every core the execution phases are serialized,
+  so ``makespan >= init_api + sum_tiles exec(tile)``.  The per-tile
+  estimate ``intercept + sum_j O_j * prod_{k<=j} w_k + W * prod_k w_k``
+  summed over a core's tile grid factorizes exactly into per-level span
+  and count products, so the sum costs O(depth) instead of a grid walk.
+- **DMA path** — all memory phases of all cores share the single DMA
+  engine, so ``makespan >= sum of every transfer``.  The planner's swap
+  events are counted exactly (the odometer rollover arithmetic), each
+  charged the cheapest canonical-range transfer it could possibly carry.
+- **exact infeasibility** — the planner's own segment-cap and SPM checks,
+  replicated bit for bit (cap, validity) or as a provable lower bound
+  (SPM): a candidate flagged here is *guaranteed* to raise
+  :class:`~repro.prem.segments.PlanError`, so skipping it cannot change
+  the winner.
+
+The bound comes in two tiers.  :meth:`BoundCalculator.quick_bound` uses
+closed-form arithmetic only and is cheap enough to rank the entire
+candidate space; :meth:`BoundCalculator.refine` adds the DMA path and
+the exact SPM test, which need (memoized, shared) range geometry, and is
+paid only for candidates that survive the quick tier.
+
+Floating-point note: the closed forms re-associate sums the simulator
+accumulates term by term, so the bounds are scaled by ``1 - 1e-9``
+before use — far larger than any accumulated rounding error, far
+smaller than any real pruning margin — keeping them admissible even in
+exact-tie corner cases.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import product
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..loopir.component import TilableComponent
+from ..prem.ranges import _stmt_guards, partial_bounds
+from ..prem.segments import RO, RW, WO, ArrayGeometry, classify_modes
+from ..schedule.makespan import DEFAULT_SEGMENT_CAP
+from ..timing.execmodel import ExecModel
+from ..timing.platform import Platform
+
+#: Safety factor absorbing re-association rounding (see module docstring).
+_SAFETY = 1.0 - 1e-9
+
+#: Masks enumerated per array when searching the cheapest event transfer;
+#: above this many remainder levels the DMA term falls back to zero
+#: (still admissible, never reached by the corpus).
+_MAX_MASK_LEVELS = 6
+
+
+def flatten_key(key: Sequence[Tuple[str, int, int]]) -> Tuple[int, ...]:
+    """``Solution.key()`` with the level names dropped: ``(K1, R1, K2,
+    R2, ...)``.  Within one component the names are identical across
+    candidates, so tuple comparison of flattened keys orders exactly
+    like the full keys — the incumbent tie-break used by the search."""
+    return tuple(x for _, k, r in key for x in (k, r))
+
+
+def chain_lower_bound(component: TilableComponent, platform: Platform,
+                      exec_model: ExecModel, cores: int) -> float:
+    """Admissible per-execution makespan floor for a whole component.
+
+    Every iteration-space tile executes on some core, so the busiest
+    core carries at least ``1/cores`` of the total execution cycles and
+    additionally pays dispatch plus two ``end_segment`` calls (one in
+    the initialisation segment, one for its first segment).  Used by
+    :class:`~repro.opt.tree.TreeOptimizer` to skip optimizing parent
+    chains that provably cannot beat their children.
+    """
+    total = float(exec_model.work)
+    for node in component.nodes:
+        total *= node.N
+    total += exec_model.intercept
+    api = platform.api_cost("dispatch") + 2 * platform.api_cost("end_segment")
+    return (api + total * platform.ns_per_cycle / max(1, cores)) * _SAFETY
+
+
+class BoundCalculator:
+    """Closed-form admissible bounds for one component's candidates.
+
+    Candidates are passed positionally: ``sizes[j]`` / ``groups[j]``
+    belong to ``component.nodes[j]``, exactly the order the search
+    enumerates.  All per-level and per-array quantities are memoized —
+    the candidate space revisits the same ``(N, K, R)`` triples and the
+    same geometry sub-keys constantly.
+    """
+
+    def __init__(self, component: TilableComponent, platform: Platform,
+                 exec_model: ExecModel,
+                 segment_cap: int = DEFAULT_SEGMENT_CAP,
+                 modes: Mapping[str, str] | None = None,
+                 geometry: ArrayGeometry | None = None):
+        self.component = component
+        self.platform = platform
+        self.exec_model = exec_model
+        self.segment_cap = segment_cap
+        self.modes = dict(modes) if modes else classify_modes(component)
+        self.geometry = geometry or ArrayGeometry(
+            component, platform, exec_model)
+        self._ns = platform.ns_per_cycle
+        self._init_api = platform.api_cost("dispatch") + \
+            platform.api_cost("end_segment")
+        self._seg_api = platform.api_cost("end_segment")
+        self._nodes = list(component.nodes)
+        self._node_by_var = {node.var: node for node in self._nodes}
+        #: (level, K, R) -> [((tiles, span), group multiplicity)]
+        self._level_opts: Dict[Tuple[int, int, int],
+                               List[Tuple[Tuple[int, int], int]]] = {}
+        self._spm_terms = self._build_spm_terms()
+        self._extent_memo: Dict[Tuple, int] = {}
+        self._min_xfer: Dict[Tuple, float] = {}
+        #: Per-array direction count: ops the DMA carries per swap event.
+        self._dirs = {
+            name: (1 if mode in (RO, RW) else 0) +
+                  (1 if mode in (WO, RW) else 0)
+            for name, mode in self.modes.items()
+        }
+
+    # -- tier 1: closed-form arithmetic only ------------------------------
+
+    def quick_bound(self, sizes: Sequence[int],
+                    groups: Sequence[int]) -> float:
+        """Compute-path bound, or ``+inf`` for provably infeasible
+        candidates (invalid parameters, segment cap, SPM floor)."""
+        segments = 1
+        for node, k, r in zip(self._nodes, sizes, groups):
+            if k < 1 or k > node.N or r < 1 or (r > 1 and not node.parallel):
+                return math.inf       # Solution() rejects these outright
+            m = -(-node.N // k)
+            if r > m:
+                return math.inf       # more thread groups than tiles
+            segments *= -(-m // r)
+        if segments > self.segment_cap:
+            return math.inf           # the planner's evaluation cap
+        if 2 * self._spm_floor(sizes) > self.platform.spm_bytes:
+            return math.inf           # cannot fit double-buffered SPM
+        return self._compute_path(sizes, groups) * _SAFETY
+
+    def exact_infeasible(self, tile_sizes: Mapping[str, int],
+                         thread_groups: Mapping[str, int] | None
+                         ) -> Optional[str]:
+        """Reason when the candidate is *guaranteed* infeasible, else
+        None.  Mapping-keyed front door for the greedy optimizer: every
+        check here is an exact implication of a ``Solution`` ValueError
+        or planner :class:`PlanError`, so skipping the evaluation cannot
+        change any optimizer decision."""
+        thread_groups = thread_groups or {}
+        segments = 1
+        for node in self._nodes:
+            k = int(tile_sizes.get(node.var, node.N))
+            r = int(thread_groups.get(node.var, 1))
+            if k < 1 or k > node.N:
+                return f"tile size {k} out of range for {node.var}"
+            if r < 1 or (r > 1 and not node.parallel):
+                return f"invalid thread-group count {r} for {node.var}"
+            m = -(-node.N // k)
+            if r > m:
+                return f"{r} thread groups exceed {m} tiles of {node.var}"
+            segments *= -(-m // r)
+        if segments > self.segment_cap:
+            return (f"{segments} segments/core exceeds "
+                    f"the evaluation cap {self.segment_cap}")
+        sizes = tuple(
+            int(tile_sizes.get(node.var, node.N)) for node in self._nodes)
+        floor = 2 * self._spm_floor(sizes)
+        if floor > self.platform.spm_bytes:
+            return (f"solution needs at least {floor} B of SPM "
+                    f"(> {self.platform.spm_bytes} B)")
+        return None
+
+    # -- tier 2: adds shared geometry --------------------------------------
+
+    def refine(self, quick: float, sizes: Sequence[int],
+               groups: Sequence[int]) -> float:
+        """Tighten *quick* with the exact SPM test and the DMA path."""
+        if not math.isfinite(quick):
+            return quick
+        sizes_map = {
+            node.var: k for node, k in zip(self._nodes, sizes)}
+        try:
+            spm = sum(
+                self.geometry.bounding_bytes(name, sizes_map)
+                for name in self.component.arrays())
+        except LookupError:
+            return quick              # planner would fail the same way
+        if 2 * spm > self.platform.spm_bytes:
+            return math.inf           # the planner's exact SPM check
+        dma = self._dma_path(sizes, groups, sizes_map) * _SAFETY
+        return dma if dma > quick else quick
+
+    # -- compute path ------------------------------------------------------
+
+    def _level_options(self, idx: int, k: int, r: int
+                       ) -> List[Tuple[Tuple[int, int], int]]:
+        """Distinct per-group ``(tiles, span)`` profiles of one level.
+
+        ``tiles`` is how many level-*idx* tiles a group owns, ``span``
+        the total iteration width they cover (the remainder tile is
+        narrower).  At most three distinct profiles exist per level —
+        full blocks, the block holding the remainder tile, and trailing
+        empty blocks when ``Z * R`` overshoots ``M``."""
+        key = (idx, k, r)
+        opts = self._level_opts.get(key)
+        if opts is None:
+            node = self._nodes[idx]
+            m = -(-node.N // k)
+            z = -(-m // r)
+            rem_w = node.N - (m - 1) * k
+            tally: Dict[Tuple[int, int], int] = {}
+            for g in range(r):
+                start = g * z
+                end = min(start + z, m)
+                cnt = max(0, end - start)
+                if cnt and end == m and rem_w != k:
+                    span = (cnt - 1) * k + rem_w
+                else:
+                    span = cnt * k
+                pair = (cnt, span)
+                tally[pair] = tally.get(pair, 0) + 1
+            opts = list(tally.items())
+            self._level_opts[key] = opts
+        return opts
+
+    def _compute_path(self, sizes: Sequence[int],
+                      groups: Sequence[int]) -> float:
+        """Max over core profiles of ``init_api + n*seg_api + exec``.
+
+        ``sum_tiles (intercept + sum_j O_j prod_{k<=j} w_k + W prod w)``
+        over a core's tile grid factorizes: each prefix product sums to
+        ``prod_{k<=j} span_k * prod_{k>j} tiles_k``.
+        """
+        model = self.exec_model
+        overheads = model.overheads
+        per_level = [
+            self._level_options(j, k, r)
+            for j, (k, r) in enumerate(zip(sizes, groups))
+        ]
+        depth = len(per_level)
+        best = 0.0
+        for combo in product(*per_level):
+            n = 1
+            for (cnt, _), _mult in combo:
+                n *= cnt
+            if n == 0:
+                continue              # a group past the end of the level
+            suffix = [1] * (depth + 1)
+            for j in range(depth - 1, -1, -1):
+                suffix[j] = suffix[j + 1] * combo[j][0][0]
+            cycles = model.intercept * n
+            prefix_span = 1.0
+            for j in range(depth):
+                prefix_span *= combo[j][0][1]
+                overhead = overheads[j]
+                if overhead:
+                    cycles += overhead * prefix_span * suffix[j + 1]
+            cycles += model.work * prefix_span
+            total = self._init_api + n * self._seg_api + cycles * self._ns
+            if total > best:
+                best = total
+        return best
+
+    # -- SPM floor (tier 1) ------------------------------------------------
+
+    def _build_spm_terms(self):
+        """Per-dimension extent descriptors for guard-free arrays.
+
+        For an array none of whose accessing statements carry guards,
+        the hull of the all-first tile is a pure interval-arithmetic
+        fold of the subscripts over the tile box — position-independent,
+        and by hull monotonicity a lower bound on the planner's
+        bounding-box shape.  Guarded arrays are skipped (contributing
+        zero keeps the floor admissible)."""
+        band = list(self.component.band_vars)
+        inner = self.component.full_inner_box()
+        terms = []
+        for name, array in self.component.arrays().items():
+            pairs = self.component.accesses(name)
+            if not pairs or any(
+                    _stmt_guards(self.component, stmt) for stmt, _ in pairs):
+                continue
+            dims = []
+            for dim in range(array.ndim):
+                exprs = [access.indices[dim] for _, access in pairs]
+                support = tuple(
+                    v for v in band
+                    if any(expr.coeff(v) for expr in exprs))
+                dims.append((dim, support, exprs, array.shape[dim]))
+            terms.append((name, array.element_size, dims))
+        self._inner_box = dict(inner)
+        return terms
+
+    def _spm_floor(self, sizes: Sequence[int]) -> int:
+        """Lower bound on ``sum_a bounding_bytes(a)`` for these tile
+        sizes, with every per-dimension extent memoized by the tile
+        sizes of that dimension's supporting band iterators."""
+        if not self._spm_terms:
+            return 0
+        sizes_by_var = {
+            node.var: k for node, k in zip(self._nodes, sizes)}
+        total = 0
+        for name, element_size, dims in self._spm_terms:
+            nbytes = element_size
+            for dim, support, exprs, full_extent in dims:
+                nbytes *= self._dim_extent(
+                    name, dim, support, exprs, full_extent, sizes_by_var)
+            total += nbytes
+        return total
+
+    def _dim_extent(self, name: str, dim: int, support: Tuple[str, ...],
+                    exprs, full_extent: int,
+                    sizes_by_var: Mapping[str, int]) -> int:
+        key = (name, dim, tuple(sizes_by_var[v] for v in support))
+        extent = self._extent_memo.get(key)
+        if extent is None:
+            box = dict(self._inner_box)
+            for var in support:
+                node = self._node_by_var[var]
+                width = min(sizes_by_var[var], node.N)
+                box[var] = (node.begin,
+                            node.begin + (width - 1) * node.S)
+            lo = hi = None
+            widened = False
+            for expr in exprs:
+                expr_lo, expr_hi = partial_bounds(expr, box)
+                if lo is None:
+                    lo, hi = expr_lo, expr_hi
+                    continue
+                if lo.coeffs != expr_lo.coeffs or hi.coeffs != expr_hi.coeffs:
+                    widened = True    # canonical_range widens to the array
+                    break
+                if expr_lo.constant < lo.constant:
+                    lo = expr_lo
+                if expr_hi.constant > hi.constant:
+                    hi = expr_hi
+            if widened:
+                extent = full_extent
+            else:
+                delta = hi - lo
+                extent = int(delta.constant) + 1 \
+                    if delta.is_constant() else full_extent
+            self._extent_memo[key] = extent
+        return extent
+
+    # -- DMA path (tier 2) -------------------------------------------------
+
+    def _min_event_transfer(self, name: str,
+                            sizes_map: Mapping[str, int]) -> float:
+        """Cheapest transfer any swap event of *name* can carry: the min
+        over every remainder-mask combination of the canonical-range
+        transfer time (transfer is *not* monotone in tile widths — a
+        wider range can coalesce into fewer DMA lines)."""
+        key_vars = self.geometry.key_vars(name)
+        memo_key = (name, tuple(sizes_map[v] for v in key_vars))
+        cached = self._min_xfer.get(memo_key)
+        if cached is not None:
+            return cached
+        rem_vars = []
+        for var in key_vars:
+            node = self._node_by_var[var]
+            k = sizes_map[var]
+            m = -(-node.N // k)
+            rem_w = node.N - (m - 1) * k
+            if rem_w != k:
+                rem_vars.append((var, rem_w))
+        if len(rem_vars) > _MAX_MASK_LEVELS:
+            self._min_xfer[memo_key] = 0.0
+            return 0.0
+        best = math.inf
+        try:
+            for choice in product((False, True), repeat=len(rem_vars)):
+                widths = dict(sizes_map)
+                for (var, rem_w), take in zip(rem_vars, choice):
+                    if take:
+                        widths[var] = rem_w
+                entry = self.geometry.range_entry(name, sizes_map, widths)
+                if entry[1] < best:
+                    best = entry[1]
+        except LookupError:
+            best = 0.0
+        if not math.isfinite(best):
+            best = 0.0
+        self._min_xfer[memo_key] = best
+        return best
+
+    def _dma_path(self, sizes: Sequence[int], groups: Sequence[int],
+                  sizes_map: Mapping[str, int]) -> float:
+        """Total DMA busy-time floor: exact per-core swap-event counts
+        (the planner's rollover rule) times the cheapest per-event
+        transfer, summed over every core — all serialized on the single
+        shared DMA engine."""
+        depth = len(sizes)
+        arrays = {}
+        for name in self.component.arrays():
+            dirs = self._dirs[name]
+            if not dirs:
+                continue
+            xfer = self._min_event_transfer(name, sizes_map)
+            if xfer <= 0.0:
+                continue
+            arrays[name] = (
+                self.geometry.relevant_levels(name, sizes_map),
+                dirs, xfer)
+        if not arrays:
+            return 0.0
+        per_level = [
+            self._level_options(j, k, r)
+            for j, (k, r) in enumerate(zip(sizes, groups))
+        ]
+        total = 0.0
+        for combo in product(*per_level):
+            mult = 1
+            for _opt, group_count in combo:
+                mult *= group_count
+            cnts = [opt[0] for opt, _ in combo]
+            prefix = 1
+            rollovers = []
+            for j in range(depth):
+                nxt = prefix * cnts[j]
+                rollovers.append(nxt - prefix)
+                prefix = nxt
+            if prefix == 0:
+                continue              # empty cores swap nothing
+            for relevant, dirs, xfer in arrays.values():
+                events = 1            # segment 1 loads every array
+                for roll in range(depth):
+                    if any(r == roll or (r > roll and cnts[r] > 1)
+                           for r in relevant):
+                        events += rollovers[roll]
+                total += mult * events * dirs * xfer
+        return total

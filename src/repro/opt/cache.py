@@ -173,12 +173,31 @@ class PersistentCache:
             self.hits += 1
         return entry
 
+    def get_result(self, digest: str) -> Optional[Dict[str, Any]]:
+        """Like :meth:`get`, but only full *result* entries count.
+
+        Bound-only entries (pruned candidates, see :meth:`put_bound`)
+        carry no makespan outcome and must read as a miss to the
+        evaluator."""
+        self._load()
+        entry = self._entries.get(digest)
+        if entry is not None and "f" in entry:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
     def put(self, digest: str, *, makespan_ns: float, feasible: bool,
             reason: str = "", spm_bytes: int = 0,
             transferred_bytes: int = 0) -> None:
-        """Record one outcome; duplicate digests are ignored."""
+        """Record one outcome; duplicate *result* digests are ignored.
+
+        A bound-only entry for the same digest is upgraded: the new
+        result line is appended and shadows it (last line wins on
+        load)."""
         self._load()
-        if digest in self._entries:
+        existing = self._entries.get(digest)
+        if existing is not None and "f" in existing:
             return
         entry = {
             "k": digest,
@@ -189,6 +208,27 @@ class PersistentCache:
             "spm": int(spm_bytes),
             "xfer": int(transferred_bytes),
         }
+        self._append(digest, entry)
+
+    def put_bound(self, digest: str, bound_ns: float) -> bool:
+        """Record an admissible lower bound for a pruned candidate.
+
+        Never overwrites anything: a digest that is already known (as a
+        result or a bound) is left alone.  Returns True when the entry
+        is new, False when the digest was already present — the caller's
+        *bound hit* signal."""
+        self._load()
+        if digest in self._entries:
+            return False
+        entry = {
+            "k": digest,
+            "v": CACHE_VERSION,
+            "b": bound_ns if math.isfinite(bound_ns) else None,
+        }
+        self._append(digest, entry)
+        return True
+
+    def _append(self, digest: str, entry: Dict[str, Any]) -> None:
         self._entries[digest] = entry
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -210,9 +250,11 @@ class PersistentCache:
     def stats(self) -> Dict[str, Any]:
         self._load()
         size = self.path.stat().st_size if self.path.exists() else 0
+        bounds = sum(1 for e in self._entries.values() if "f" not in e)
         return {
             "path": str(self.path),
             "entries": len(self._entries),
+            "bound_entries": bounds,
             "bytes": size,
             "hits": self.hits,
             "misses": self.misses,

@@ -47,6 +47,8 @@ class ComponentOptResult:
     elapsed_s: float
     assignments_tried: int
     cache_hits: int = 0
+    pruned: int = 0               # candidates discarded on an admissible bound
+    bound_hits: int = 0           # pruned candidates already in the cache
 
     @property
     def feasible(self) -> bool:

@@ -58,6 +58,22 @@ def search_space_size(component: TilableComponent, cores: int) -> int:
         component, generate_nondominated_thread_groups(cores, component))
 
 
+def assignment_candidates(component: TilableComponent,
+                          assignment: Tuple[int, ...]
+                          ) -> Tuple[dict, List[List[int]]]:
+    """One assignment's thread-group map and per-level tile-size lists.
+
+    Shared by the exhaustive and the bound-driven search so both
+    enumerate exactly the same candidate points in the same order."""
+    groups = {
+        node.var: r for node, r in zip(component.nodes, assignment)}
+    candidate_lists = [
+        select_tile_sizes(node.N, r)
+        for node, r in zip(component.nodes, assignment)
+    ]
+    return groups, candidate_lists
+
+
 class ExhaustiveOptimizer:
     """Evaluate every candidate point and return the true optimum.
 
@@ -98,14 +114,8 @@ class ExhaustiveOptimizer:
 
         chunks = []
         for assignment in assignments:
-            groups = {
-                node.var: r
-                for node, r in zip(self.component.nodes, assignment)
-            }
-            candidate_lists = [
-                select_tile_sizes(node.N, r)
-                for node, r in zip(self.component.nodes, assignment)
-            ]
+            groups, candidate_lists = assignment_candidates(
+                self.component, assignment)
             chunks.append([
                 ({node.var: k
                   for node, k in zip(self.component.nodes, sizes)}, groups)

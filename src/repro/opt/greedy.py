@@ -23,6 +23,7 @@ from ..schedule.makespan import (
 )
 from ..timing.execmodel import ExecModel
 from ..timing.platform import Platform
+from .bounds import BoundCalculator
 from .cache import PersistentCache
 from .component import ComponentOptResult
 from .tilesizes import select_tile_sizes
@@ -43,10 +44,16 @@ class GreedyOptimizer:
             component, platform, exec_model, segment_cap, cache=cache)
         if deadline is not None:
             self.evaluator.set_deadline(deadline, "greedy", budget_s)
+        self.bounds = BoundCalculator(
+            component, platform, exec_model, segment_cap,
+            modes=self.evaluator.planner.modes,
+            geometry=self.evaluator.geometry)
+        self._pruned = 0
 
     def optimize(self, cores: Optional[int] = None) -> ComponentOptResult:
         cores = cores if cores is not None else self.platform.cores
         started = time.perf_counter()
+        self._pruned = 0
         best: Optional[MakespanResult] = None
         nodes = self.component.nodes
 
@@ -68,6 +75,7 @@ class GreedyOptimizer:
             elapsed_s=time.perf_counter() - started,
             assignments_tried=1,
             cache_hits=self.evaluator.cache_hits,
+            pruned=self._pruned,
         )
 
     # -- helpers ---------------------------------------------------------
@@ -113,6 +121,12 @@ class GreedyOptimizer:
 
         def fits(k: int) -> bool:
             sizes = self._tile_sizes(tiled_level, k)
+            # Exact-implication precheck: every reason the bound tier can
+            # give is a condition the evaluator is guaranteed to reject
+            # too, so skipping the plan cannot change any greedy decision.
+            if self.bounds.exact_infeasible(sizes, groups) is not None:
+                self._pruned += 1
+                return False
             return self.evaluator.evaluate_params(sizes, groups).feasible
 
         lo = 1

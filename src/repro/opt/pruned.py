@@ -1,0 +1,307 @@
+"""Bound-driven branch-and-bound search over the Algorithm-1 space.
+
+Same candidate space, same winner as :class:`ExhaustiveOptimizer` — the
+point is what is *not* paid for.  Every candidate first gets a cheap
+closed-form admissible lower bound (``repro.opt.bounds``); the search
+then walks candidates best-bound-first with an incumbent:
+
+1. candidates whose quick bound is infinite (provably infeasible) are
+   dropped during enumeration;
+2. once the sorted walk reaches a candidate whose ``(bound, key)`` rank
+   is at or past the incumbent's ``(makespan, key)`` rank, *every*
+   remaining candidate is pruned in one step — the sort makes the tail
+   monotone;
+3. survivors are refined with the DMA-path bound and the exact SPM test
+   (tier 2, memoized geometry shared with the planner) and pruned
+   individually when the refined rank cannot beat the incumbent;
+4. only what is left pays a fresh ``SegmentPlanner.plan``.
+
+Because every bound is admissible (a true lower bound on the candidate's
+makespan) and the prune comparisons reuse the exhaustive search's
+``(makespan, solution key)`` tie-break rank, the winner is bit-identical
+to the unpruned search — including the no-feasible-candidate case.  The
+evaluation *count* is exactly what pruning reduces, so it is not part of
+the parity contract; with ``jobs > 1`` the count may additionally vary
+with worker timing (workers re-check bounds against a live incumbent),
+while the winner still cannot change.
+
+Pruned candidates are recorded in the persistent cache as bound-only
+entries; re-encountering one on a warm run counts as a *bound hit*.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from itertools import product
+from typing import Dict, List, Optional, Tuple
+
+from ..loopir.component import TilableComponent
+from ..schedule.makespan import (
+    DEFAULT_SEGMENT_CAP,
+    MakespanEvaluator,
+    MakespanResult,
+)
+from ..timing.execmodel import ExecModel
+from ..timing.platform import Platform
+from .bounds import BoundCalculator
+from .cache import PersistentCache
+from .component import ComponentOptResult
+from .engine import EngineMetrics, EvaluationEngine
+from .exhaustive import (
+    SearchSpaceTooLarge,
+    assignment_candidates,
+    space_size_of,
+)
+from .solution import Solution
+from .threadgroups import generate_nondominated_thread_groups
+
+#: The pruned path affords a far larger space than the exhaustive
+#: guard's 20k: most candidates cost one closed-form bound, not a plan.
+DEFAULT_PRUNED_MAX_POINTS = 500_000
+
+#: Candidates per worker task; small keeps the shipped incumbent fresh.
+_CHUNK_SIZE = 8
+
+#: Deadline poll stride for the bound-only phases.
+_DEADLINE_STRIDE = 512
+
+#: Candidate record: (quick bound, flat key, tile sizes, assignment idx).
+_Candidate = Tuple[float, Tuple[int, ...], Tuple[int, ...], int]
+
+
+class PrunedOptimizer:
+    """Branch-and-bound twin of :class:`ExhaustiveOptimizer`.
+
+    Returns the identical winner while planning only the candidates no
+    admissible bound could eliminate; ``result.pruned`` counts the
+    evaluations avoided and ``result.bound_hits`` how many of those the
+    persistent cache had already seen."""
+
+    def __init__(self, component: TilableComponent, platform: Platform,
+                 exec_model: ExecModel,
+                 segment_cap: int = DEFAULT_SEGMENT_CAP,
+                 max_points: int = DEFAULT_PRUNED_MAX_POINTS,
+                 deadline: float | None = None, budget_s: float = 0.0,
+                 jobs: int = 1, cache: Optional[PersistentCache] = None):
+        self.component = component
+        self.platform = platform
+        self.exec_model = exec_model
+        self.max_points = max_points
+        self.jobs = jobs
+        self.evaluator = MakespanEvaluator(
+            component, platform, exec_model, segment_cap, cache=cache)
+        if deadline is not None:
+            self.evaluator.set_deadline(deadline, "pruned", budget_s)
+        self.bounds = BoundCalculator(
+            component, platform, exec_model, segment_cap,
+            modes=self.evaluator.planner.modes,
+            geometry=self.evaluator.geometry)
+        self.metrics: Optional[EngineMetrics] = None
+        self._vars = [node.var for node in component.nodes]
+        self._assignments: List[Tuple[int, ...]] = []
+        self._pruned = 0
+        self._bound_hits = 0
+
+    # -- search ------------------------------------------------------------
+
+    def optimize(self, cores: Optional[int] = None) -> ComponentOptResult:
+        cores = cores if cores is not None else self.platform.cores
+        started = time.perf_counter()
+        self._pruned = 0
+        self._bound_hits = 0
+        self._assignments = generate_nondominated_thread_groups(
+            cores, self.component)
+        size = space_size_of(self.component, self._assignments)
+        if size > self.max_points:
+            raise SearchSpaceTooLarge(
+                f"{size} candidate points exceed the pruned-search budget "
+                f"of {self.max_points}; use the heuristic (Algorithm 1)")
+
+        candidates, groups_maps = self._enumerate()
+        with EvaluationEngine(self.evaluator, jobs=self.jobs,
+                              stage="pruned") as engine:
+            engine.note_pruned(self._pruned)   # enumeration-time drops
+            if engine.parallel:
+                best = self._search_parallel(engine, candidates, groups_maps)
+            else:
+                best = self._search_serial(engine, candidates, groups_maps)
+            best = engine.finalize(best)
+            self.metrics = engine.metrics()
+        return ComponentOptResult(
+            component=self.component,
+            best=best,
+            evaluations=self.evaluator.evaluations,
+            elapsed_s=time.perf_counter() - started,
+            assignments_tried=len(self._assignments),
+            cache_hits=self.evaluator.cache_hits,
+            pruned=self._pruned,
+            bound_hits=self._bound_hits,
+        )
+
+    # -- enumeration (tier-1 bounds) ---------------------------------------
+
+    def _enumerate(self) -> Tuple[List[_Candidate], List[Dict[str, int]]]:
+        """Bound every candidate point and sort best-bound-first.
+
+        Provably infeasible points (quick bound of +inf) never enter the
+        list: an admissible bound of infinity means the planner is
+        guaranteed to reject them, so they cannot be the winner — the
+        exhaustive search evaluates them only to learn the same thing.
+        """
+        quick_bound = self.bounds.quick_bound
+        check = self.evaluator.check_deadline
+        candidates: List[_Candidate] = []
+        groups_maps: List[Dict[str, int]] = []
+        seen = 0
+        for ai, assignment in enumerate(self._assignments):
+            groups, candidate_lists = assignment_candidates(
+                self.component, assignment)
+            groups_maps.append(groups)
+            for sizes in product(*candidate_lists):
+                seen += 1
+                if seen % _DEADLINE_STRIDE == 0:
+                    check()
+                bound = quick_bound(sizes, assignment)
+                if math.isinf(bound):
+                    self._pruned += 1
+                    continue
+                flat = tuple(
+                    x for k, r in zip(sizes, assignment) for x in (k, r))
+                candidates.append((bound, flat, sizes, ai))
+        candidates.sort()
+        return candidates, groups_maps
+
+    def _solution(self, sizes: Tuple[int, ...],
+                  groups: Dict[str, int]) -> Solution:
+        return Solution(
+            self.component, dict(zip(self._vars, sizes)), groups)
+
+    def _prune_one(self, engine: EvaluationEngine, key: tuple,
+                   bound: float) -> None:
+        self._pruned += 1
+        engine.note_pruned()
+        if self.evaluator.persist_bound(key, bound):
+            self._bound_hits += 1
+            engine.note_bound_hit()
+
+    # -- serial walk -------------------------------------------------------
+
+    def _search_serial(self, engine: EvaluationEngine,
+                       candidates: List[_Candidate],
+                       groups_maps: List[Dict[str, int]]
+                       ) -> Optional[MakespanResult]:
+        evaluator = self.evaluator
+        best: Optional[MakespanResult] = None
+        best_rank: Optional[tuple] = None
+        for pos, (bound, flat, sizes, ai) in enumerate(candidates):
+            if pos % _DEADLINE_STRIDE == 0:
+                evaluator.check_deadline()
+            if best_rank is not None and (bound, flat) >= best_rank:
+                # The list is sorted by (bound, flat): everything from
+                # here on is at or past the incumbent's rank too.
+                remaining = len(candidates) - pos
+                self._pruned += remaining
+                engine.note_pruned(remaining)
+                break
+            solution = self._solution(sizes, groups_maps[ai])
+            result = evaluator.peek(solution)
+            if result is None:
+                refined = self.bounds.refine(
+                    bound, sizes, self._assignments[ai])
+                if math.isinf(refined) or (
+                        best_rank is not None and
+                        (refined, flat) >= best_rank):
+                    self._prune_one(engine, solution.key(), refined)
+                    continue
+                result = evaluator.evaluate(solution)
+            if result.feasible:
+                rank = (result.makespan_ns, flat)
+                if best_rank is None or rank < best_rank:
+                    best, best_rank = result, rank
+        return best
+
+    # -- windowed parallel walk --------------------------------------------
+
+    def _search_parallel(self, engine: EvaluationEngine,
+                         candidates: List[_Candidate],
+                         groups_maps: List[Dict[str, int]]
+                         ) -> Optional[MakespanResult]:
+        """Sliding-window dispatch: screen candidates in sorted order,
+        keep a bounded number of chunks in flight, harvest strictly in
+        submission order.  Workers re-check each candidate's bound
+        against the freshest incumbent (shipped rank + shared cell), so
+        chunks screened against a stale incumbent still skip planning.
+        The winner matches the serial walk bit for bit; only the
+        evaluated/pruned split depends on timing."""
+        evaluator = self.evaluator
+        window = engine.jobs * 2
+        pending: deque = deque()
+        best: Optional[MakespanResult] = None
+        best_rank: Optional[tuple] = None
+        pos = 0
+        total = len(candidates)
+        exhausted = False
+
+        def adopt(result: Optional[MakespanResult],
+                  flat: Tuple[int, ...]) -> None:
+            nonlocal best, best_rank
+            if result is None or not result.feasible:
+                return
+            rank = (result.makespan_ns, flat)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = result, rank
+                engine.publish_incumbent(result.makespan_ns)
+
+        while not exhausted or pending:
+            while not exhausted and len(pending) < window:
+                requests: List[tuple] = []
+                entries: List[tuple] = []
+                while pos < total and len(requests) < _CHUNK_SIZE:
+                    bound, flat, sizes, ai = candidates[pos]
+                    if best_rank is not None and (bound, flat) >= best_rank:
+                        remaining = total - pos
+                        self._pruned += remaining
+                        engine.note_pruned(remaining)
+                        pos = total
+                        break
+                    pos += 1
+                    solution = self._solution(sizes, groups_maps[ai])
+                    hit = evaluator.peek(solution)
+                    if hit is not None:
+                        adopt(hit, flat)
+                        continue
+                    refined = self.bounds.refine(
+                        bound, sizes, self._assignments[ai])
+                    if math.isinf(refined) or (
+                            best_rank is not None and
+                            (refined, flat) >= best_rank):
+                        self._prune_one(engine, solution.key(), refined)
+                        continue
+                    requests.append((solution.tile_sizes,
+                                     solution.thread_groups, refined, flat))
+                    entries.append((solution, flat, refined))
+                if pos >= total:
+                    exhausted = True
+                if requests:
+                    evaluator.check_deadline()
+                    pending.append((
+                        engine.submit_bounded(requests, best_rank), entries))
+                elif exhausted:
+                    break
+            if pending:
+                reply, entries = pending.popleft()
+                results = engine.harvest_bounded(
+                    reply, [entry[0] for entry in entries])
+                for (solution, flat, refined), result in zip(
+                        entries, results):
+                    if result is None:
+                        # Worker-side prune; the engine counted it.
+                        self._pruned += 1
+                        if evaluator.persist_bound(solution.key(), refined):
+                            self._bound_hits += 1
+                            engine.note_bound_hit()
+                    else:
+                        adopt(result, flat)
+        return best

@@ -10,21 +10,31 @@ group: those are the most load-balanced choices.  The paper's example
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import Dict, List, Tuple
+
+#: Memoized candidate lists.  The search revisits the same (N, R) pair
+#: constantly — twice per node per assignment in the exhaustive search
+#: alone — and the O(N) scan below is pure, so a module-level cache is
+#: safe.  Values are stored as tuples; callers get a fresh list.
+_CANDIDATES: Dict[Tuple[int, int], Tuple[int, ...]] = {}
 
 
 def select_tile_sizes(n: int, groups: int) -> List[int]:
     """Candidate tile sizes for one level (ascending)."""
-    if n <= 0:
-        raise ValueError("trip count must be positive")
-    if groups <= 0:
-        raise ValueError("thread-group count must be positive")
-    candidates: List[int] = []
-    prev_z = math.inf
-    for k in range(1, n + 1):
-        m = math.ceil(n / k)
-        z = math.ceil(m / groups)
-        if z < prev_z:
-            candidates.append(k)
-            prev_z = z
-    return candidates
+    cached = _CANDIDATES.get((n, groups))
+    if cached is None:
+        if n <= 0:
+            raise ValueError("trip count must be positive")
+        if groups <= 0:
+            raise ValueError("thread-group count must be positive")
+        candidates: List[int] = []
+        prev_z = math.inf
+        for k in range(1, n + 1):
+            m = math.ceil(n / k)
+            z = math.ceil(m / groups)
+            if z < prev_z:
+                candidates.append(k)
+            prev_z = min(prev_z, z)
+        cached = tuple(candidates)
+        _CANDIDATES[(n, groups)] = cached
+    return list(cached)

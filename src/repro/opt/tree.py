@@ -27,6 +27,7 @@ from ..sim.machine import MachineModel
 from ..sim.profiler import fit_component_model
 from ..timing.execmodel import ExecModel
 from ..timing.platform import Platform
+from .bounds import chain_lower_bound
 from .component import ComponentOptResult, ComponentOptimizer
 
 
@@ -55,6 +56,9 @@ class TreeOptResult:
     elapsed_s: float
     evaluations: int
     cache_hits: int = 0
+    pruned: int = 0               # candidate points bound-pruned (all comps)
+    bound_hits: int = 0           # pruned points the persistent cache knew
+    chains_pruned: int = 0        # parent chains never optimized at all
 
     @property
     def feasible(self) -> bool:
@@ -99,6 +103,9 @@ class TreeOptimizer:
         self.seed = seed
         self.segment_cap = segment_cap
         self._models: Dict[Tuple[str, ...], ExecModel] = {}
+        self._platform: Optional[Platform] = None
+        self._cores = 0
+        self._chains_pruned = 0
 
     def exec_model_for(self, component: TilableComponent) -> ExecModel:
         key = component.band_vars
@@ -122,6 +129,9 @@ class TreeOptimizer:
         cores = cores if cores is not None else platform.cores
         started = time.perf_counter()
         evaluations = 0
+        self._platform = platform
+        self._cores = cores
+        self._chains_pruned = 0
         if optimize_fn is None:
             def optimize_fn(component, exec_model):
                 optimizer = ComponentOptimizer(
@@ -145,6 +155,9 @@ class TreeOptimizer:
             elapsed_s=time.perf_counter() - started,
             evaluations=evaluations,
             cache_hits=sum(c.result.cache_hits for c in choices),
+            pruned=sum(c.result.pruned for c in choices),
+            bound_hits=sum(c.result.bound_hits for c in choices),
+            chains_pruned=self._chains_pruned,
         )
 
     def _extract(self, node: LoopTreeNode, chain: List[LoopTreeNode],
@@ -161,9 +174,9 @@ class TreeOptimizer:
         if extendable:
             return self._extract(node.children[0], chain, optimize_fn)
 
-        parent_makespan, parent_choice = self._optimize_chain(
-            chain, optimize_fn)
-
+        # Children first: their makespan gives an incumbent the parent
+        # chain must beat, so a closed-form floor on the chain can skip
+        # Algorithm 1 on the parent entirely.
         children_makespan = 0.0
         children_choices: List[ComponentChoice] = []
         for child in node.children:
@@ -171,6 +184,23 @@ class TreeOptimizer:
             children_makespan += child_makespan
             children_choices.extend(chosen)
         children_makespan += self._stray_stmt_cost(node)
+
+        component = TilableComponent(self.tree, tuple(chain))
+        exec_model = self.exec_model_for(component)
+        floor = chain_lower_bound(
+            component, self._platform, exec_model,
+            self._cores) * component.executions
+        if floor > children_makespan:
+            # No candidate of the chain can reach children_makespan, and
+            # the tie rule prefers the parent only on *equality* — which
+            # the strict comparison excludes — so the decision matches
+            # the unpruned walk exactly.
+            self._chains_pruned += 1
+            return children_makespan, children_choices
+
+        result = optimize_fn(component, exec_model)
+        parent_makespan = result.total_makespan_ns
+        parent_choice = ComponentChoice(result)
 
         if parent_makespan <= children_makespan:
             return parent_makespan, [parent_choice]

@@ -38,7 +38,7 @@ from ..poly.dependence import shared_prefix
 from ..opt.solution import Solution
 from ..timing.execmodel import ExecModel
 from ..timing.platform import Platform
-from .ranges import bounding_box, canonical_range, tile_box
+from .ranges import _stmt_guards, bounding_box, canonical_range, tile_box
 
 RO = "RO"
 WO = "WO"
@@ -123,6 +123,150 @@ def _guards_pin_to_first(kernel, stmt) -> bool:
         if value != kernel.loop_by_var(var).begin:
             return False
     return True
+
+
+# ---------------------------------------------------------------------------
+# shared range geometry
+
+
+class ArrayGeometry:
+    """Memoized per-array range geometry, shared across candidate solutions.
+
+    Hull construction (canonical ranges, bounding boxes, relevant-level
+    detection) depends only on the tile sizes of the band iterators that
+    appear in an array's subscripts or in the guards of its accessing
+    statements — the array's *key variables*.  Keying every memo by that
+    restricted ``(array, var -> K)`` sub-key lets candidates that differ
+    only in irrelevant dimensions share geometry: most of the
+    ``product(*candidate_lists)`` search space moves one level at a time,
+    so the same hulls are requested over and over.
+
+    One instance is shared by the :class:`SegmentPlanner` and the bound
+    calculator (``repro.opt.bounds``), so geometry computed while
+    *bounding* a candidate is reused verbatim if the candidate survives
+    to full planning — and vice versa.
+    """
+
+    def __init__(self, component: TilableComponent, platform: Platform,
+                 exec_model: ExecModel):
+        self.component = component
+        self.platform = platform
+        self.exec_model = exec_model
+        self._key_vars: Dict[str, Tuple[str, ...]] = {}
+        self._relevant: Dict[Tuple, Tuple[int, ...]] = {}
+        self._bounding: Dict[Tuple, Tuple[int, ...]] = {}
+        self._range: Dict[Tuple, Tuple[Tuple[int, ...], float, int]] = {}
+        self._exec: Dict[Tuple[int, ...], float] = {}
+
+    def key_vars(self, name: str) -> Tuple[str, ...]:
+        """Band iterators that can move *name*'s hull: those appearing in
+        a subscript or in a guard of an accessing statement."""
+        cached = self._key_vars.get(name)
+        if cached is None:
+            used = set()
+            for stmt, access in self.component.accesses(name):
+                for expr in access.indices:
+                    used.update(expr.coeffs)
+                for guard in _stmt_guards(self.component, stmt):
+                    used.update(guard.variables())
+            cached = tuple(
+                v for v in self.component.band_vars if v in used)
+            self._key_vars[name] = cached
+        return cached
+
+    def _subkey(self, name: str, tile_sizes: Mapping[str, int]) -> Tuple:
+        return tuple((v, int(tile_sizes[v])) for v in self.key_vars(name))
+
+    def relevant_levels(self, name: str,
+                        tile_sizes: Mapping[str, int]) -> Tuple[int, ...]:
+        """Levels whose tile index actually moves the array's hull.
+
+        Subscript coefficients alone are not enough: a read covering the
+        whole array (e.g. the RNN in-place state update reading ``h[s3]``
+        over the full state range) pins the hull regardless of the
+        write's tile, so the range never changes and the buffer is never
+        swapped.  The test compares the symbolic hulls of adjacent tiles
+        per level.
+        """
+        key = (name, self._subkey(name, tile_sizes))
+        cached = self._relevant.get(key)
+        if cached is None:
+            relevant = []
+            for level_idx, node in enumerate(self.component.nodes):
+                m = math.ceil(node.N / tile_sizes[node.var])
+                if m <= 1:
+                    continue
+                base = {n.var: 0 for n in self.component.nodes}
+                shifted = dict(base)
+                shifted[node.var] = 1
+                range_a = canonical_range(
+                    self.component, name,
+                    tile_box(self.component, base, tile_sizes))
+                range_b = canonical_range(
+                    self.component, name,
+                    tile_box(self.component, shifted, tile_sizes))
+                if range_a is None or range_b is None:
+                    if (range_a is None) != (range_b is None):
+                        relevant.append(level_idx)
+                    continue
+                if not range_a.same_as(range_b):
+                    relevant.append(level_idx)
+            cached = tuple(relevant)
+            self._relevant[key] = cached
+        return cached
+
+    def bounding_shape(self, name: str,
+                       tile_sizes: Mapping[str, int]) -> Tuple[int, ...]:
+        """Componentwise-max canonical range over sampled tiles."""
+        key = (name, self._subkey(name, tile_sizes))
+        cached = self._bounding.get(key)
+        if cached is None:
+            cached = bounding_box(self.component, name, tile_sizes)
+            self._bounding[key] = cached
+        return cached
+
+    def bounding_bytes(self, name: str,
+                       tile_sizes: Mapping[str, int]) -> int:
+        total = self.component.arrays()[name].element_size
+        for extent in self.bounding_shape(name, tile_sizes):
+            total *= extent
+        return total
+
+    def range_entry(self, name: str, tile_sizes: Mapping[str, int],
+                    widths: Mapping[str, int]
+                    ) -> Tuple[Tuple[int, ...], float, int]:
+        """(shape, transfer_ns, bytes) of the canonical range of the tile
+        selected by *widths*: per level, a width equal to the tile size
+        selects the first tile, anything else the remainder tile."""
+        key = (name, tuple(
+            (v, int(tile_sizes[v]), int(widths.get(v, tile_sizes[v])))
+            for v in self.key_vars(name)))
+        cached = self._range.get(key)
+        if cached is None:
+            tile_indices = {}
+            for node in self.component.nodes:
+                k = int(tile_sizes[node.var])
+                width = int(widths.get(node.var, k))
+                m = math.ceil(node.N / k)
+                tile_indices[node.var] = 0 if width == k else m - 1
+            box = tile_box(self.component, tile_indices, tile_sizes)
+            crange = canonical_range(self.component, name, box)
+            if crange is None:
+                cached = ((), 0.0, 0)
+            else:
+                cached = (crange.shape, crange.transfer_ns(self.platform),
+                          crange.bytes)
+            self._range[key] = cached
+        return cached
+
+    def exec_estimate(self, widths: Tuple[int, ...]) -> float:
+        """Execution-phase estimate for one tile of the given widths, ns."""
+        cached = self._exec.get(widths)
+        if cached is None:
+            cycles = self.exec_model.estimate(widths)
+            cached = cycles * self.platform.ns_per_cycle
+            self._exec[widths] = cached
+        return cached
 
 
 # ---------------------------------------------------------------------------
@@ -212,13 +356,14 @@ class SegmentPlanner:
 
     def __init__(self, component: TilableComponent, platform: Platform,
                  exec_model: ExecModel,
-                 modes: Mapping[str, str] | None = None):
+                 modes: Mapping[str, str] | None = None,
+                 geometry: ArrayGeometry | None = None):
         self.component = component
         self.platform = platform
         self.exec_model = exec_model
         self.modes = dict(modes) if modes else classify_modes(component)
-        self._shape_cache: Dict[Tuple, Tuple[Tuple[int, ...], float, int]] = {}
-        self._exec_cache: Dict[Tuple[int, ...], float] = {}
+        self.geometry = geometry or ArrayGeometry(
+            component, platform, exec_model)
 
     # -- public -----------------------------------------------------------
 
@@ -258,48 +403,16 @@ class SegmentPlanner:
 
     def _array_plans(self, solution: Solution) -> Dict[str, ArrayPlan]:
         plans: Dict[str, ArrayPlan] = {}
+        sizes = solution.tile_sizes
         for name, array in self.component.arrays().items():
-            relevant = self._relevant_levels(name, solution)
-            bbox = bounding_box(self.component, name, solution.tile_sizes)
             plans[name] = ArrayPlan(
                 array=array,
                 mode=self.modes[name],
-                relevant_levels=relevant,
-                bounding_shape=bbox,
+                relevant_levels=self.geometry.relevant_levels(name, sizes),
+                bounding_shape=self.geometry.bounding_shape(name, sizes),
                 swap_api=swap_api_name(array.ndim),
             )
         return plans
-
-    def _relevant_levels(self, name: str,
-                         solution: Solution) -> Tuple[int, ...]:
-        """Levels whose tile index actually moves the array's hull.
-
-        Subscript coefficients alone are not enough: a read covering the
-        whole array (e.g. the RNN in-place state update reading ``h[s3]``
-        over the full state range) pins the hull regardless of the write's
-        tile, so the range never changes and the buffer is never swapped.
-        The test compares the symbolic hulls of adjacent tiles per level.
-        """
-        relevant = []
-        sizes = solution.tile_sizes
-        for level_idx, level in enumerate(solution.levels):
-            if level.M <= 1:
-                continue
-            base = {lv.var: 0 for lv in solution.levels}
-            shifted = dict(base)
-            shifted[level.var] = 1
-            range_a = canonical_range(
-                self.component, name, tile_box(self.component, base, sizes))
-            range_b = canonical_range(
-                self.component, name,
-                tile_box(self.component, shifted, sizes))
-            if range_a is None or range_b is None:
-                if (range_a is None) != (range_b is None):
-                    relevant.append(level_idx)
-                continue
-            if not range_a.same_as(range_b):
-                relevant.append(level_idx)
-        return tuple(relevant)
 
     def _check_write_disjointness(self, solution: Solution,
                                   plans: Mapping[str, ArrayPlan]) -> None:
@@ -474,31 +587,16 @@ class SegmentPlanner:
             for j, level in enumerate(solution.levels))
 
     def _exec_estimate(self, widths: Tuple[int, ...]) -> float:
-        cached = self._exec_cache.get(widths)
-        if cached is None:
-            cycles = self.exec_model.estimate(widths)
-            cached = cycles * self.platform.ns_per_cycle
-            self._exec_cache[widths] = cached
-        return cached
+        return self.geometry.exec_estimate(widths)
 
     def _range_shape(self, name: str, solution: Solution,
                      widths: Tuple[int, ...]):
-        key = (name, widths)
-        cached = self._shape_cache.get(key)
-        if cached is None:
-            tile_indices = {}
-            for level, width in zip(solution.levels, widths):
-                index = 0 if width == level.K else level.M - 1
-                tile_indices[level.var] = index
-            box = tile_box(self.component, tile_indices, solution.tile_sizes)
-            crange = canonical_range(self.component, name, box)
-            if crange is None:
-                cached = ((), 0.0, 0)
-            else:
-                cached = (crange.shape, crange.transfer_ns(self.platform),
-                          crange.bytes)
-            self._shape_cache[key] = cached
-        return cached
+        width_map = {
+            level.var: width
+            for level, width in zip(solution.levels, widths)
+        }
+        return self.geometry.range_entry(
+            name, solution.tile_sizes, width_map)
 
     # -- slot assignment (Section 3.5 rules) -----------------------------------
 

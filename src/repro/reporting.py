@@ -132,6 +132,10 @@ def engine_note(metrics) -> str:
     if metrics.elapsed_s > 0:
         parts.append(f"{metrics.evaluations_per_s:,.0f} evals/s")
     parts.append(f"cache hit rate {metrics.cache_hit_rate:.1%}")
+    if getattr(metrics, "pruned", 0):
+        parts.append(f"{metrics.pruned:,} pruned")
+    if getattr(metrics, "bound_hits", 0):
+        parts.append(f"{metrics.bound_hits:,} bound hits")
     if metrics.jobs > 1:
         parts.append(
             f"worker utilization {metrics.worker_utilization:.1%}")

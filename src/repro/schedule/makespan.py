@@ -19,7 +19,8 @@ from ..errors import OptimizerTimeout
 from ..loopir.component import TilableComponent
 from ..opt.cache import PersistentCache, context_fingerprint, solution_digest
 from ..opt.solution import Solution
-from ..prem.segments import ComponentPlan, PlanError, SegmentPlanner
+from ..prem.segments import (ArrayGeometry, ComponentPlan, PlanError,
+                             SegmentPlanner)
 from ..timing.execmodel import ExecModel
 from ..timing.platform import Platform
 from .pipeline import PipelineResult, evaluate_pipeline
@@ -77,7 +78,9 @@ class MakespanEvaluator:
         self.exec_model = exec_model
         self.segment_cap = segment_cap
         self.modes = dict(modes) if modes else None
-        self.planner = SegmentPlanner(component, platform, exec_model, modes)
+        self.geometry = ArrayGeometry(component, platform, exec_model)
+        self.planner = SegmentPlanner(
+            component, platform, exec_model, modes, geometry=self.geometry)
         self._cache: Dict[tuple, MakespanResult] = {}
         self.evaluations = 0
         self.memo_hits = 0
@@ -134,7 +137,7 @@ class MakespanEvaluator:
             self.memo_hits += 1
             return cached
         if self.cache is not None:
-            entry = self.cache.get(self._digest(key))
+            entry = self.cache.get_result(self._digest(key))
             if entry is not None:
                 result = MakespanResult(
                     component=self.component,
@@ -161,6 +164,16 @@ class MakespanEvaluator:
                 spm_bytes=result.spm_bytes_needed,
                 transferred_bytes=result.transferred_bytes,
             )
+
+    def persist_bound(self, key: tuple, bound_ns: float) -> bool:
+        """Record a pruned candidate's admissible bound in the persistent
+        cache.  Returns True when the digest was already present (a
+        *bound hit*: this candidate was pruned — or evaluated — by an
+        earlier run too); False when the entry is new or no cache is
+        attached."""
+        if self.cache is None:
+            return False
+        return not self.cache.put_bound(self._digest(key), bound_ns)
 
     def evaluate(self, solution: Solution) -> MakespanResult:
         key = solution.key()
