@@ -1,0 +1,85 @@
+"""Static fault-detection bench: the verifier vs. seeded swap faults.
+
+A 200-case campaign per kernel corrupts swap-plan mirrors (drops,
+delays, duplicates — :mod:`repro.faults.staticdet`) and scores the
+semantic analysis passes on :data:`~repro.analysis.RACE_HAZARD_CODES`.
+The acceptance bar is hard-asserted here:
+
+- detection rate >= 90% of harmful cases on every benched kernel
+  (in practice the slot-convention rules catch 100%);
+- zero false alarms on benign delays — precision is as load-bearing as
+  recall, a verifier that cries wolf gets ignored.
+
+Per-kernel rates, per-kind breakdowns and false-alarm counts merge into
+the top-level ``BENCH_analysis.json`` so CI archives them.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.faults import run_static_campaign
+
+#: Where the machine-readable bench summary lands (repo top level).
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_analysis.json"
+
+#: The acceptance bar for the static verifier.
+MIN_DETECTION_RATE = 0.90
+
+CASES = 200
+SEED = 7
+
+KERNELS = ("cnn", "lstm")
+
+
+def _merge_bench_json(section, records):
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[section] = records
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def campaigns():
+    return {
+        name: run_static_campaign(name, cases=CASES, seed=SEED)
+        for name in KERNELS
+    }
+
+
+def test_detection_rate_meets_the_bar(campaigns):
+    records = {}
+    for name, result in campaigns.items():
+        records[name] = {
+            "cases": result.total,
+            "harmful": result.harmful_total,
+            "benign": result.benign_total,
+            "detected_harmful": result.detected_harmful,
+            "detection_rate": round(result.detection_rate, 4),
+            "false_alarms": result.false_alarms,
+            "by_kind": {
+                kind: {"detected": hit, "harmful": total}
+                for kind, (hit, total) in sorted(result.by_kind().items())
+            },
+            "seed": result.seed,
+            "strategy": result.strategy,
+        }
+    _merge_bench_json("static_fault_detection", records)
+    for name, result in campaigns.items():
+        assert result.total == CASES
+        assert result.detection_rate >= MIN_DETECTION_RATE, \
+            result.describe()
+
+
+def test_no_false_alarms_on_benign_cases(campaigns):
+    # Not every kernel's plan has load slack (lstm streams with every
+    # load at its consumer slot), so benign coverage is a corpus-level
+    # requirement; false alarms are forbidden everywhere.
+    assert sum(r.benign_total for r in campaigns.values()) > 0
+    for name, result in campaigns.items():
+        assert result.false_alarms == 0, result.describe()

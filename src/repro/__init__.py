@@ -15,6 +15,11 @@ Quick start::
     print(result.opt_result.describe())
 """
 
+from .analysis import (
+    Diagnostic,
+    DiagnosticBag,
+    StaticVerifier,
+)
 from .compiler import (
     FALLBACK_CHAIN,
     CompilationResult,
@@ -25,7 +30,6 @@ from .compiler import (
 from .errors import (
     CompilationError,
     InfeasibleScheduleError,
-    InvariantViolation,
     InvariantViolationError,
     KernelConfigError,
     OptimizerError,
@@ -41,6 +45,7 @@ from .faults import (
     FaultSpec,
     PremInvariantChecker,
     run_campaign,
+    run_static_campaign,
 )
 from .kernels import make_kernel
 from .loopir import Kernel, Loop, LoopTree, Stmt, for_, kernel_, stmt_
@@ -61,14 +66,15 @@ from .timing import ExecModel, Platform, bus_speed_gb
 __version__ = "0.1.0"
 
 __all__ = [
+    "Diagnostic", "DiagnosticBag", "StaticVerifier",
     "CompilationResult", "CompiledComponent", "FALLBACK_CHAIN",
     "PremCompiler", "StageAttempt",
-    "CompilationError", "InfeasibleScheduleError", "InvariantViolation",
+    "CompilationError", "InfeasibleScheduleError",
     "InvariantViolationError", "KernelConfigError", "OptimizerError",
     "OptimizerTimeout", "PremVmError", "ReproError", "SpmAccessError",
     "TileConfigError",
     "FaultInjector", "FaultPlan", "FaultSpec", "PremInvariantChecker",
-    "run_campaign",
+    "run_campaign", "run_static_campaign",
     "make_kernel",
     "Kernel", "Loop", "LoopTree", "Stmt", "for_", "kernel_", "stmt_",
     "TilableComponent", "component_at",

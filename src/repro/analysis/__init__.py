@@ -1,0 +1,75 @@
+"""Static PREM-compliance verification (no VM execution involved).
+
+The subsystem proves schedule safety from the compiled artifacts alone:
+inter-core race freedom, double-buffer hazard freedom, SPM capacity and
+buffer lifetime, and schedule well-formedness — all reported through a
+unified diagnostics framework with stable ``PREMxxx`` codes.
+"""
+
+from .capacity import check_capacity
+from .diagnostics import (
+    CODE_TABLE,
+    ERROR,
+    INFO,
+    NAME_TO_CODE,
+    RACE_HAZARD_CODES,
+    WARNING,
+    CodeInfo,
+    Diagnostic,
+    DiagnosticBag,
+    code_info,
+)
+from .hazards import check_hazards
+from .model import (
+    LOAD,
+    UNLOAD,
+    AnalysisContext,
+    ArraySwapModel,
+    EventModel,
+    Footprint,
+    Transfer,
+    build_context,
+)
+from .races import check_races
+from .registry import (
+    DEFAULT_REGISTRY,
+    SEMANTIC_PASSES,
+    AnalysisPass,
+    PassRegistry,
+    default_registry,
+)
+from .verifier import AnalysisReport, ComponentReport, StaticVerifier
+from .wellformed import check_wellformed
+
+__all__ = [
+    "CODE_TABLE",
+    "DEFAULT_REGISTRY",
+    "ERROR",
+    "INFO",
+    "LOAD",
+    "NAME_TO_CODE",
+    "RACE_HAZARD_CODES",
+    "SEMANTIC_PASSES",
+    "UNLOAD",
+    "WARNING",
+    "AnalysisContext",
+    "AnalysisPass",
+    "AnalysisReport",
+    "ArraySwapModel",
+    "CodeInfo",
+    "ComponentReport",
+    "Diagnostic",
+    "DiagnosticBag",
+    "EventModel",
+    "Footprint",
+    "PassRegistry",
+    "StaticVerifier",
+    "Transfer",
+    "build_context",
+    "check_capacity",
+    "check_hazards",
+    "check_races",
+    "check_wellformed",
+    "code_info",
+    "default_registry",
+]

@@ -1,0 +1,102 @@
+"""SPM capacity and buffer-lifetime analysis (PREM3xx).
+
+The generated code double-buffers every streamed array: two buffers of
+the array's bounding-box size are allocated in the initialisation
+segment and deallocated by the ``dealloc_segments`` schedule (the
+second-to-last buffer as soon as its final consumer ends, the last at
+the end of the component).  This pass checks, per core:
+
+- **PREM301** — peak live allocation (all buffers are live right after
+  initialisation) must fit the SPM; the planner's own
+  ``spm_bytes_needed`` must agree with the platform too.
+- **PREM302** — the allocate/deallocate pairing: exactly one dealloc
+  per buffer, inside the segment range, and never before the buffer's
+  last consumer segment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .diagnostics import Diagnostic
+from .model import AnalysisContext, ArraySwapModel
+
+SOURCE = "capacity"
+
+
+def check_capacity(ctx: AnalysisContext) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for core in ctx.cores():
+        models = ctx.models[core]
+        live = 0
+        for name, model in sorted(models.items()):
+            if model.events:
+                live += 2 * ctx.bounding_bytes[name]
+        if live > ctx.platform.spm_bytes:
+            out.append(Diagnostic(
+                "PREM301",
+                f"core {core} allocates {live} B of SPM buffers but the "
+                f"platform provides {ctx.platform.spm_bytes} B",
+                core=core, component=ctx.label,
+                hint="shrink tile sizes or stream fewer arrays at once",
+                source=SOURCE))
+        for name, model in sorted(models.items()):
+            out.extend(_check_lifetime(
+                ctx, model, ctx.dealloc_segments[core].get(name, [])))
+    if ctx.plan is not None and \
+            ctx.plan.spm_bytes_needed > ctx.platform.spm_bytes:
+        out.append(Diagnostic(
+            "PREM301",
+            f"the plan needs {ctx.plan.spm_bytes_needed} B of SPM "
+            f"(> {ctx.platform.spm_bytes} B)",
+            component=ctx.label, source=SOURCE))
+    return out
+
+
+def _check_lifetime(ctx: AnalysisContext, model: ArraySwapModel,
+                    deallocs) -> List[Diagnostic]:
+    if not model.events:
+        return []
+    out: List[Diagnostic] = []
+    n = model.n_segments
+    last_use: Dict[int, int] = {1: 0, 2: 0}
+    for event in model.events:
+        last_use[event.buffer] = max(
+            last_use[event.buffer], model.last_use(event.index))
+    seen: Dict[int, int] = {}
+    for segment, buffer in deallocs:
+        if buffer not in (1, 2):
+            out.append(_lifetime_diag(
+                ctx, model, segment,
+                f"deallocates unknown buffer {buffer}"))
+            continue
+        if buffer in seen:
+            out.append(_lifetime_diag(
+                ctx, model, segment,
+                f"buffer {buffer} deallocated twice (segments "
+                f"{seen[buffer]} and {segment})"))
+            continue
+        seen[buffer] = segment
+        if not 1 <= segment <= n:
+            out.append(_lifetime_diag(
+                ctx, model, segment,
+                f"buffer {buffer} deallocated in segment {segment}, "
+                f"outside 1..{n}"))
+        elif segment < last_use[buffer]:
+            out.append(_lifetime_diag(
+                ctx, model, segment,
+                f"buffer {buffer} deallocated in segment {segment} but "
+                f"segment {last_use[buffer]} still uses it"))
+    for buffer in (1, 2):
+        if buffer not in seen:
+            out.append(_lifetime_diag(
+                ctx, model, None,
+                f"buffer {buffer} is allocated but never deallocated"))
+    return out
+
+
+def _lifetime_diag(ctx: AnalysisContext, model: ArraySwapModel,
+                   segment, message: str) -> Diagnostic:
+    return Diagnostic(
+        "PREM302", message, core=model.core, segment=segment,
+        array=model.array_name, component=ctx.label, source=SOURCE)

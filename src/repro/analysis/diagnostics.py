@@ -1,0 +1,305 @@
+"""The unified diagnostics framework of the static verifier.
+
+Every finding any analysis pass (or the dynamic invariant checker in
+``repro.faults``) produces is a :class:`Diagnostic`: a stable ``PREMxxx``
+code, a severity, a human message, the artifact coordinates that pin the
+finding to a core / segment / DMA slot / array / component, and an
+optional fix hint.  Codes are registered once in :data:`CODE_TABLE` so
+renderers, docs and tests agree on their meaning; the numeric bands
+group them:
+
+- ``PREM0xx`` — schedule well-formedness and artifact consistency
+- ``PREM1xx`` — inter-core races on main memory
+- ``PREM2xx`` — double-buffer / streaming hazards on the SPM
+- ``PREM3xx`` — SPM capacity and buffer lifetime
+- ``PREM4xx`` — dynamic findings (VM-trace and timing replay diffs)
+
+:class:`DiagnosticBag` collects findings across passes and renders them
+as aligned text or JSON for the ``analyze`` CLI command.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: Sort rank of each severity (most severe first).
+_SEVERITY_RANK: Mapping[str, int] = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry of one stable diagnostic code."""
+
+    code: str        # "PREM203"
+    name: str        # stable machine-readable slug ("uncovered-read")
+    severity: str    # default severity
+    summary: str     # one-line meaning, quoted by docs and --list-codes
+
+
+#: Every stable diagnostic code the toolchain can emit.
+CODE_TABLE: Dict[str, CodeInfo] = {
+    info.code: info for info in (
+        # -- PREM0xx: schedule well-formedness -------------------------
+        CodeInfo("PREM001", "swap-order", ERROR,
+                 "swap-event segments are not strictly increasing within "
+                 "1..n_segments"),
+        CodeInfo("PREM002", "missing-load", ERROR,
+                 "a segment reads an array before any load bound data to "
+                 "its buffer"),
+        CodeInfo("PREM003", "plan-shape", ERROR,
+                 "a core schedule's exec/DMA-slot arrays disagree with its "
+                 "segment count"),
+        CodeInfo("PREM004", "dep-order", ERROR,
+                 "a segment awaits a DMA slot that does not precede it"),
+        CodeInfo("PREM005", "negative-time", ERROR,
+                 "an execution phase or DMA op has negative length"),
+        CodeInfo("PREM006", "slot-range", ERROR,
+                 "a DMA transfer sits outside the round-robin slot range "
+                 "1..n_segments+2"),
+        CodeInfo("PREM007", "dangling-dep", ERROR,
+                 "a segment awaits a DMA slot that carries no transfer"),
+        CodeInfo("PREM008", "plan-consistency", ERROR,
+                 "the planned core schedule and the swap plan disagree "
+                 "(segments, slot times, transferred bytes, or deps)"),
+        CodeInfo("PREM009", "api-accounting", ERROR,
+                 "the initialisation segment's dispatch/end_segment/alloc "
+                 "API accounting does not match the swap plan"),
+        # -- PREM1xx: inter-core races ---------------------------------
+        CodeInfo("PREM101", "write-write-race", ERROR,
+                 "two concurrently schedulable segments on different cores "
+                 "write overlapping main-memory ranges"),
+        CodeInfo("PREM102", "read-write-race", ERROR,
+                 "a segment reads a main-memory range another core's "
+                 "concurrently schedulable segment writes"),
+        # -- PREM2xx: double-buffer / streaming hazards ----------------
+        CodeInfo("PREM201", "late-transfer", ERROR,
+                 "a load lands in a DMA slot after its data's first "
+                 "consumer segment"),
+        CodeInfo("PREM202", "double-buffer-clobber", ERROR,
+                 "a DMA transfer touches an SPM buffer region a "
+                 "concurrently executing segment still uses"),
+        CodeInfo("PREM203", "uncovered-read", ERROR,
+                 "a segment reads SPM locations its swap plan never "
+                 "loaded"),
+        CodeInfo("PREM204", "unload-before-last-write", ERROR,
+                 "a range is unloaded before its last writer segment "
+                 "finished"),
+        CodeInfo("PREM205", "missing-unload", ERROR,
+                 "a written range is never unloaded back to main memory"),
+        CodeInfo("PREM206", "duplicate-transfer", WARNING,
+                 "the same range is transferred more than once"),
+        CodeInfo("PREM207", "uncovered-write", ERROR,
+                 "a segment writes SPM locations outside its bound buffer "
+                 "range"),
+        CodeInfo("PREM208", "dirty-clobber", ERROR,
+                 "a load overwrites a dirty buffer before its unload "
+                 "saved the written data"),
+        CodeInfo("PREM209", "stale-unload", ERROR,
+                 "an unload runs after its buffer was rebound, writing "
+                 "the wrong range back to main memory"),
+        # -- PREM3xx: SPM capacity / lifetime --------------------------
+        CodeInfo("PREM301", "spm-overflow", ERROR,
+                 "live buffer allocation exceeds the SPM partition"),
+        CodeInfo("PREM302", "buffer-lifetime", ERROR,
+                 "allocate_buffer/deallocate pairing broken (early "
+                 "dealloc, double dealloc, or leak)"),
+        # -- PREM4xx: dynamic (VM trace / timing replay) ---------------
+        CodeInfo("PREM401", "dropped-swap", ERROR,
+                 "a planned DMA transfer never happened at run time"),
+        CodeInfo("PREM402", "duplicate-swap", ERROR,
+                 "an unplanned extra DMA transfer ran"),
+        CodeInfo("PREM403", "delayed-swap", ERROR,
+                 "a DMA transfer ran in a different slot than planned"),
+        CodeInfo("PREM404", "stale-range", ERROR,
+                 "a segment executed with a buffer bound to the wrong "
+                 "range"),
+        CodeInfo("PREM405", "poison-read", ERROR,
+                 "a segment executed on a buffer poisoned since its last "
+                 "load"),
+        CodeInfo("PREM411", "dma-order", ERROR,
+                 "a faulted DMA op overran the next op's static start "
+                 "(round-robin order broken)"),
+        CodeInfo("PREM412", "late-transfer-timing", ERROR,
+                 "a faulted transfer finished after its consumer "
+                 "segment's static start"),
+        CodeInfo("PREM413", "exec-overrun", ERROR,
+                 "a faulted execution phase overran a dependent "
+                 "operation's static start"),
+    )
+}
+
+#: Name -> code lookup (slugs are unique by construction).
+NAME_TO_CODE: Dict[str, str] = {
+    info.name: info.code for info in CODE_TABLE.values()
+}
+
+#: Codes whose findings concern the *semantics* of the swap plan — the
+#: subset the static fault campaign scores detection on (consistency
+#: cross-checks like PREM008 would otherwise trivially flag any
+#: corruption).
+RACE_HAZARD_CODES: Tuple[str, ...] = tuple(
+    code for code in CODE_TABLE
+    if code.startswith(("PREM1", "PREM2"))
+) + ("PREM001", "PREM002", "PREM006")
+
+
+def code_info(code: str) -> CodeInfo:
+    try:
+        return CODE_TABLE[code]
+    except KeyError as exc:
+        raise KeyError(f"unknown diagnostic code {code!r}") from exc
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static verifier or the dynamic checker."""
+
+    code: str
+    message: str
+    severity: str = ""            # defaults to the code's registry entry
+    core: Optional[int] = None
+    segment: Optional[int] = None
+    slot: Optional[int] = None
+    array: Optional[str] = None
+    component: Optional[str] = None
+    hint: str = ""
+    source: str = ""              # pass / checker that emitted it
+
+    def __post_init__(self):
+        info = code_info(self.code)    # unknown codes fail fast
+        if not self.severity:
+            object.__setattr__(self, "severity", info.severity)
+        if self.severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Stable machine-readable slug of the code."""
+        return code_info(self.code).name
+
+    @property
+    def kind(self) -> str:
+        """Legacy alias used by the fault-campaign scorers."""
+        return self.name
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == ERROR
+
+    # -- rendering -----------------------------------------------------
+
+    def location(self) -> str:
+        parts = [
+            f"{label}={value}"
+            for label, value in (
+                ("component", self.component), ("core", self.core),
+                ("segment", self.segment), ("slot", self.slot),
+                ("array", self.array))
+            if value is not None
+        ]
+        return ", ".join(parts)
+
+    def describe(self) -> str:
+        where = self.location()
+        text = f"{self.code} {self.severity} [{self.name}]"
+        if where:
+            text += f" {where}"
+        text += f": {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_json(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["name"] = self.name
+        return {k: v for k, v in payload.items() if v not in (None, "")}
+
+
+class DiagnosticBag:
+    """An ordered collection of diagnostics with severity bookkeeping."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()):
+        self._items: List[Diagnostic] = list(diagnostics)
+
+    # -- collection ----------------------------------------------------
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self._items.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self._items.extend(diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self._items if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self._items if d.severity == WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self._items)
+
+    def by_code(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for diagnostic in self._items:
+            counts[diagnostic.code] = counts.get(diagnostic.code, 0) + 1
+        return counts
+
+    def with_codes(self, codes: Iterable[str]) -> List[Diagnostic]:
+        wanted = set(codes)
+        return [d for d in self._items if d.code in wanted]
+
+    def sorted(self) -> List[Diagnostic]:
+        """Most severe first, then by code and coordinates."""
+        return sorted(
+            self._items,
+            key=lambda d: (_SEVERITY_RANK[d.severity], d.code,
+                           d.core if d.core is not None else -1,
+                           d.segment if d.segment is not None else -1,
+                           d.slot if d.slot is not None else -1,
+                           d.array or ""))
+
+    # -- rendering -----------------------------------------------------
+
+    def render_text(self) -> str:
+        if not self._items:
+            return "no diagnostics"
+        lines = [d.describe() for d in self.sorted()]
+        lines.append(
+            f"{len(self._items)} diagnostic(s): "
+            f"{len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)")
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        payload = {
+            "diagnostics": [d.to_json() for d in self.sorted()],
+            "counts": {
+                "total": len(self._items),
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "by_code": self.by_code(),
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)

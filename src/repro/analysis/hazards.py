@@ -1,0 +1,257 @@
+"""Double-buffer / streaming hazard analysis (PREM2xx, PREM002).
+
+The slot convention under analysis: the DMA op in slot ``s`` runs
+between the end of exec ``s-2`` and the start of exec ``s``, overlapping
+exec ``s-1``.  From it the safety rules below follow; each is checked
+per (core, array) swap model:
+
+- **coverage** — event ``x`` (first consumed by segment ``c_x``) needs a
+  binding load, and its earliest load must land in a slot ``<= c_x``;
+  otherwise the consumer races the DMA (PREM002 / PREM207 when missing,
+  PREM201 when late).
+- **binding correctness** — at both ends of an event's consumer window
+  the *last* load bound to its buffer must be the event's own; a stray
+  transfer rebinding the buffer mid-window leaves consumers on the
+  wrong range (PREM203 / PREM207).
+- **clobber windows** — a load may reuse a buffer no earlier than slot
+  ``last_use(prev) + 2``: slot ``last_use+1`` overlaps the occupant's
+  final consumer segment.  Two data-moving transfers in one slot on one
+  buffer have no defined order (both PREM202).
+- **write-back** — every written event needs an unload (PREM205), no
+  earlier than ``last_write + 2`` (PREM204: slot ``last_write+1``
+  overlaps the writer), no later than the buffer's next rebinding
+  (PREM209: the unload would save the *next* range — for RW the unload
+  may share the next load's combined slot, for WO it must precede the
+  next occupant's first writer segment), and the next load must not
+  land before the dirty data was saved (PREM208, same-slot combined
+  unload+load is the legal limit).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..prem.segments import RW, WO
+from .diagnostics import Diagnostic
+from .model import LOAD, UNLOAD, AnalysisContext, ArraySwapModel, Transfer
+
+SOURCE = "hazards"
+
+
+def check_hazards(ctx: AnalysisContext) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for core in ctx.cores():
+        for name, model in sorted(ctx.models[core].items()):
+            out.extend(_check_coverage(ctx, model))
+            out.extend(_check_buffer_bindings(ctx, model))
+            out.extend(_check_clobber_windows(ctx, model))
+            if model.mode in (WO, RW):
+                out.extend(_check_writeback(ctx, model))
+    return out
+
+
+def _diag(code: str, message: str, ctx: AnalysisContext,
+          model: ArraySwapModel, *, segment: Optional[int] = None,
+          slot: Optional[int] = None, hint: str = "") -> Diagnostic:
+    return Diagnostic(
+        code, message, core=model.core, segment=segment, slot=slot,
+        array=model.array_name, component=ctx.label, hint=hint,
+        source=SOURCE)
+
+
+def _check_coverage(ctx: AnalysisContext,
+                    model: ArraySwapModel) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    reads = model.mode != WO
+    for event in model.events:
+        binds = model.of_event(LOAD, event.index)
+        if not binds:
+            if reads:
+                out.append(_diag(
+                    "PREM002",
+                    f"segment {event.segment} consumes range "
+                    f"{event.crange!r} but no load ever binds it to "
+                    f"buffer {event.buffer}",
+                    ctx, model, segment=event.segment,
+                    hint="every swap event needs a load (or WO rebind) "
+                         "before its first consumer"))
+            else:
+                out.append(_diag(
+                    "PREM207",
+                    f"segment {event.segment} writes range "
+                    f"{event.crange!r} but buffer {event.buffer} is "
+                    f"never rebound to it",
+                    ctx, model, segment=event.segment))
+            continue
+        earliest = min(t.slot for t in binds)
+        if earliest > event.segment:
+            out.append(_diag(
+                "PREM201",
+                f"load of event {event.index} lands in DMA slot "
+                f"{earliest} but segment {event.segment} already "
+                f"consumes the range",
+                ctx, model, segment=event.segment, slot=earliest,
+                hint="a transfer in slot s completes before exec s "
+                     "starts; the load must sit in a slot <= its first "
+                     "consumer segment"))
+        if len(binds) > 1:
+            out.append(_diag(
+                "PREM206",
+                f"event {event.index} is transferred "
+                f"{len(binds)} times (slots "
+                f"{sorted(t.slot for t in binds)})",
+                ctx, model, segment=event.segment,
+                slot=max(t.slot for t in binds)))
+    return out
+
+
+def _binding_at(loads: List[Transfer], buffer: int,
+                segment: int) -> Optional[Transfer]:
+    """The load owning *buffer* when segment *segment* executes: the one
+    with the highest (slot, sequence) among loads issued in slots
+    ``<= segment``."""
+    owner: Optional[Transfer] = None
+    for t in loads:
+        if t.buffer != buffer or t.slot > segment:
+            continue
+        if owner is None or (t.slot, t.sequence) > (owner.slot,
+                                                    owner.sequence):
+            owner = t
+    return owner
+
+
+def _check_buffer_bindings(ctx: AnalysisContext,
+                           model: ArraySwapModel) -> List[Diagnostic]:
+    """The binding visible at an event's first and last consumer segment
+    must be the event's own load."""
+    out: List[Diagnostic] = []
+    loads = model.loads()
+    code = "PREM203" if model.mode != WO else "PREM207"
+    verb = "reads" if model.mode != WO else "writes"
+    for event in model.events:
+        for segment in {event.segment, model.last_use(event.index)}:
+            owner = _binding_at(loads, event.buffer, segment)
+            if owner is None or owner.event_index == event.index:
+                continue   # missing loads are PREM002/PREM207 above
+            out.append(_diag(
+                code,
+                f"segment {segment} {verb} event {event.index}'s range "
+                f"but buffer {event.buffer} was last bound to event "
+                f"{owner.event_index} (slot {owner.slot})",
+                ctx, model, segment=segment, slot=owner.slot,
+                hint="a stray transfer rebound the buffer inside the "
+                     "event's consumer window"))
+    return out
+
+
+def _check_clobber_windows(ctx: AnalysisContext,
+                           model: ArraySwapModel) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for buffer in (1, 2):
+        queue = sorted(
+            (t for t in model.loads() if t.buffer == buffer),
+            key=lambda t: (t.slot, t.sequence))
+        for prev, cur in zip(queue, queue[1:]):
+            if cur.slot == prev.slot and (cur.moves_data or
+                                          prev.moves_data):
+                out.append(_diag(
+                    "PREM202",
+                    f"loads of events {prev.event_index} and "
+                    f"{cur.event_index} share DMA slot {cur.slot} on "
+                    f"buffer {buffer}; their order is undefined",
+                    ctx, model, slot=cur.slot))
+                continue
+            if not cur.moves_data:
+                continue   # WO rebinds move no bytes
+            free_from = model.last_use(prev.event_index) + 2
+            if cur.slot < free_from:
+                out.append(_diag(
+                    "PREM202",
+                    f"load of event {cur.event_index} (slot {cur.slot}) "
+                    f"overwrites buffer {buffer} while segment "
+                    f"{model.last_use(prev.event_index)} still uses "
+                    f"event {prev.event_index}'s range",
+                    ctx, model,
+                    segment=model.last_use(prev.event_index),
+                    slot=cur.slot,
+                    hint=f"the buffer is free from slot {free_from} "
+                         f"(last consumer + 2)"))
+    return out
+
+
+def _check_writeback(ctx: AnalysisContext,
+                     model: ArraySwapModel) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    loads = model.loads()
+    for event in model.events:
+        unloads = model.of_event(UNLOAD, event.index)
+        if not unloads:
+            out.append(_diag(
+                "PREM205",
+                f"segments {event.segment}..{model.last_use(event.index)} "
+                f"write event {event.index}'s range but it is never "
+                f"unloaded to main memory",
+                ctx, model, segment=event.segment))
+            continue
+        if len(unloads) > 1:
+            out.append(_diag(
+                "PREM206",
+                f"event {event.index} is unloaded {len(unloads)} times "
+                f"(slots {sorted(t.slot for t in unloads)})",
+                ctx, model, segment=event.segment,
+                slot=max(t.slot for t in unloads)))
+        last_write = model.last_use(event.index)
+        # The buffer's next occupant bounds how late the unload may run.
+        successors = [e for e in model.events
+                      if e.buffer == event.buffer and e.index > event.index]
+        nxt = min(successors, key=lambda e: e.index) if successors else None
+        next_load = None
+        if nxt is not None:
+            nxt_binds = [t for t in loads if t.event_index == nxt.index]
+            if nxt_binds:
+                next_load = min(nxt_binds, key=lambda t: t.slot)
+        for unload in unloads:
+            if unload.slot < last_write + 2:
+                out.append(_diag(
+                    "PREM204",
+                    f"event {event.index}'s range is unloaded in slot "
+                    f"{unload.slot} while segment {last_write} still "
+                    f"writes it",
+                    ctx, model, segment=last_write, slot=unload.slot,
+                    hint=f"the unload may start in slot "
+                         f"{last_write + 2} at the earliest"))
+            if nxt is None:
+                continue
+            if model.mode == RW:
+                if next_load is not None and unload.slot > next_load.slot:
+                    out.append(_diag(
+                        "PREM209",
+                        f"event {event.index}'s unload (slot "
+                        f"{unload.slot}) runs after buffer "
+                        f"{event.buffer} is reloaded for event "
+                        f"{nxt.index} (slot {next_load.slot}); it would "
+                        f"write back the wrong range",
+                        ctx, model, slot=unload.slot,
+                        hint="the unload may at latest share the next "
+                             "load's combined DMA op"))
+                if next_load is not None and next_load.slot < unload.slot:
+                    out.append(_diag(
+                        "PREM208",
+                        f"load of event {nxt.index} (slot "
+                        f"{next_load.slot}) overwrites buffer "
+                        f"{event.buffer} before event {event.index}'s "
+                        f"dirty data is unloaded (slot {unload.slot})",
+                        ctx, model, slot=next_load.slot,
+                        hint="unload and reload must share one combined "
+                             "DMA op, or the unload must come first"))
+            else:   # WO: content is overwritten by the next writer
+                if unload.slot > nxt.segment:
+                    out.append(_diag(
+                        "PREM209",
+                        f"event {event.index}'s unload (slot "
+                        f"{unload.slot}) runs after segment "
+                        f"{nxt.segment} starts overwriting buffer "
+                        f"{event.buffer} with event {nxt.index}'s data",
+                        ctx, model, segment=nxt.segment,
+                        slot=unload.slot))
+    return out

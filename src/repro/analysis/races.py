@@ -1,0 +1,76 @@
+"""Inter-core race detection on main memory (PREM1xx).
+
+Concurrency model: the schedule orders segments *within* one core (and
+serialises DMA ops through the single round-robin engine), but it never
+synchronises execution phases **across** cores — any segment of core
+``i`` may overlap any segment of core ``j != i``.  Race freedom must
+therefore hold for the cores' *entire* footprints: the per-core,
+per-array read/write hulls from :meth:`AnalysisContext.array_footprints`
+(derived from the tiling solution, independently of the swap planner).
+
+Two cores conflict on an array when a write hull of one overlaps —
+under the conservative symbolic test of
+:func:`repro.prem.ranges.ranges_overlap` — a write hull (PREM101) or a
+read hull (PREM102) of the other.  Symbolically-offset hulls such as
+LSTM's ``c_F[t]`` written against ``c_F[t-1]`` read compare exactly:
+matching outer coefficients reduce the test to constant intervals.
+
+One diagnostic is reported per (array, core pair, kind); cores rarely
+conflict on just one tile, and a per-hull report would drown the
+signal.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List
+
+from ..prem.ranges import ranges_overlap
+from .diagnostics import Diagnostic
+from .model import AnalysisContext
+
+SOURCE = "races"
+
+
+def check_races(ctx: AnalysisContext) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    footprints = ctx.array_footprints()
+    cores = sorted(footprints)
+    names = sorted(ctx.component.arrays())
+    for name in names:
+        for a, b in combinations(cores, 2):
+            fp_a = footprints[a].get(name)
+            fp_b = footprints[b].get(name)
+            if fp_a is None or fp_b is None:
+                continue
+            conflict = _first_overlap(fp_a.writes, fp_b.writes)
+            if conflict is not None:
+                out.append(Diagnostic(
+                    "PREM101",
+                    f"cores {a} and {b} both write {conflict[0]!r} / "
+                    f"{conflict[1]!r}; their segments are not ordered "
+                    f"across cores",
+                    core=a, array=name, component=ctx.label,
+                    hint="tile boundaries must separate written ranges "
+                         "across thread groups",
+                    source=SOURCE))
+            conflict = _first_overlap(fp_a.writes, fp_b.reads) or \
+                _first_overlap(fp_b.writes, fp_a.reads)
+            if conflict is not None:
+                out.append(Diagnostic(
+                    "PREM102",
+                    f"one of cores {a}/{b} writes {conflict[0]!r} while "
+                    f"the other reads {conflict[1]!r} concurrently",
+                    core=a, array=name, component=ctx.label,
+                    hint="cross-core read-after-write needs a component "
+                         "boundary, not a segment boundary",
+                    source=SOURCE))
+    return out
+
+
+def _first_overlap(writes, others):
+    for w in writes:
+        for o in others:
+            if ranges_overlap(w, o):
+                return w, o
+    return None

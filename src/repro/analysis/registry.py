@@ -1,0 +1,113 @@
+"""The analysis pass registry.
+
+Passes are plain callables ``AnalysisContext -> List[Diagnostic]``
+registered with the codes they may emit; the registry validates the
+codes against :data:`~repro.analysis.diagnostics.CODE_TABLE` at
+registration time, runs selected subsets (the fault campaign skips the
+plan-consistency cross-checks, for instance), and stamps every emitted
+diagnostic with its pass name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from .capacity import check_capacity
+from .diagnostics import CODE_TABLE, Diagnostic, DiagnosticBag
+from .hazards import check_hazards
+from .model import AnalysisContext
+from .races import check_races
+from .wellformed import check_wellformed
+
+PassFn = Callable[[AnalysisContext], List[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class AnalysisPass:
+    """One registered static-analysis pass."""
+
+    name: str
+    title: str
+    codes: Tuple[str, ...]
+    run: PassFn
+
+
+class PassRegistry:
+    """Ordered registry of analysis passes."""
+
+    def __init__(self) -> None:
+        self._passes: Dict[str, AnalysisPass] = {}
+
+    def register(self, name: str, title: str, codes: Iterable[str],
+                 run: PassFn) -> AnalysisPass:
+        if name in self._passes:
+            raise ValueError(f"pass {name!r} registered twice")
+        codes = tuple(codes)
+        unknown = [code for code in codes if code not in CODE_TABLE]
+        if unknown:
+            raise ValueError(
+                f"pass {name!r} declares unknown codes {unknown}")
+        entry = AnalysisPass(name=name, title=title, codes=codes, run=run)
+        self._passes[name] = entry
+        return entry
+
+    def names(self) -> List[str]:
+        return list(self._passes)
+
+    def passes(self) -> List[AnalysisPass]:
+        return list(self._passes.values())
+
+    def get(self, name: str) -> AnalysisPass:
+        try:
+            return self._passes[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown analysis pass {name!r}; registered: "
+                f"{', '.join(self._passes)}") from exc
+
+    def run(self, ctx: AnalysisContext,
+            names: Optional[Iterable[str]] = None) -> DiagnosticBag:
+        selected = [self.get(n) for n in names] if names is not None \
+            else self.passes()
+        bag = DiagnosticBag()
+        for entry in selected:
+            for diagnostic in entry.run(ctx):
+                if diagnostic.code not in entry.codes:
+                    raise ValueError(
+                        f"pass {entry.name!r} emitted undeclared code "
+                        f"{diagnostic.code}")
+                bag.add(diagnostic)
+        return bag
+
+
+def default_registry() -> PassRegistry:
+    registry = PassRegistry()
+    registry.register(
+        "wellformed", "schedule well-formedness",
+        ("PREM001", "PREM003", "PREM004", "PREM005", "PREM006",
+         "PREM007", "PREM008", "PREM009"),
+        check_wellformed)
+    registry.register(
+        "hazards", "double-buffer hazards",
+        ("PREM002", "PREM201", "PREM202", "PREM203", "PREM204",
+         "PREM205", "PREM206", "PREM207", "PREM208", "PREM209"),
+        check_hazards)
+    registry.register(
+        "races", "inter-core races",
+        ("PREM101", "PREM102"),
+        check_races)
+    registry.register(
+        "capacity", "SPM capacity and buffer lifetime",
+        ("PREM301", "PREM302"),
+        check_capacity)
+    return registry
+
+
+#: The registry the verifier and the CLI use.
+DEFAULT_REGISTRY = default_registry()
+
+#: The passes that judge swap-plan *semantics* — what the static fault
+#: campaign re-runs on corrupted models (plan cross-checks excluded, they
+#: would flag any model mutation trivially).
+SEMANTIC_PASSES: Tuple[str, ...] = ("wellformed", "hazards", "capacity")

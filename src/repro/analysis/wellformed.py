@@ -1,0 +1,279 @@
+"""Schedule well-formedness checks (PREM0xx).
+
+Two layers of checks share this pass:
+
+- **Model-level** (always available): swap events must advance strictly
+  monotonically through the segment range (PREM001) and every DMA
+  transfer must sit inside the round-robin slot range ``1..n+2``
+  (PREM006).
+- **Plan-level** (when a :class:`~repro.prem.segments.ComponentPlan` is
+  attached): the planned core schedules must be shaped consistently
+  (PREM003), free of negative durations (PREM005), and their dependency
+  slots must point backwards onto slots that actually carry a transfer
+  (PREM004 / PREM007).  Finally the plan is cross-validated against the
+  independently built swap models: per-slot DMA times, transferred byte
+  totals, and dependency slots are *recomputed* from the models and
+  compared (PREM008), as is the initialisation segment's API accounting
+  (PREM009).  The planner and the macro builder derive their schedules
+  through different code paths (structural rollover walk vs. hull
+  comparison), so agreement here is a real cross-check, not a tautology.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..prem.segments import RO, RW, WO, CoreSchedule, swap_api_name
+from .diagnostics import Diagnostic
+from .model import LOAD, UNLOAD, AnalysisContext, ArraySwapModel
+
+SOURCE = "wellformed"
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=1e-6, abs_tol=1e-3)
+
+
+def check_wellformed(ctx: AnalysisContext) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for core in ctx.cores():
+        for name, model in sorted(ctx.models[core].items()):
+            out.extend(_check_events(ctx, model))
+            out.extend(_check_slot_ranges(ctx, model))
+    if ctx.plan is not None:
+        schedules = {sched.core: sched for sched in ctx.plan.cores}
+        for core in ctx.cores():
+            sched = schedules.get(core)
+            if sched is None:
+                out.append(Diagnostic(
+                    "PREM003", f"core {core} has swap models but no "
+                    "planned schedule", core=core,
+                    component=ctx.label, source=SOURCE))
+                continue
+            out.extend(_check_schedule_shape(ctx, sched))
+            out.extend(_check_plan_consistency(ctx, core, sched))
+            out.extend(_check_init_api(ctx, core, sched))
+    return out
+
+
+# -- model-level -----------------------------------------------------------
+
+
+def _check_events(ctx: AnalysisContext,
+                  model: ArraySwapModel) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    previous = 0
+    for event in model.events:
+        if event.segment <= previous or event.segment > model.n_segments:
+            out.append(Diagnostic(
+                "PREM001",
+                f"swap event {event.index} targets segment "
+                f"{event.segment} (previous event at {previous}, "
+                f"core has {model.n_segments} segments)",
+                core=model.core, segment=event.segment,
+                array=model.array_name, component=ctx.label,
+                hint="swap-event segments must increase strictly within "
+                     "1..n_segments",
+                source=SOURCE))
+        previous = event.segment
+    return out
+
+
+def _check_slot_ranges(ctx: AnalysisContext,
+                       model: ArraySwapModel) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    last_slot = model.n_segments + 2
+    for transfer in model.transfers:
+        if 1 <= transfer.slot <= last_slot:
+            continue
+        out.append(Diagnostic(
+            "PREM006",
+            f"{transfer.op} of event {transfer.event_index} sits in DMA "
+            f"slot {transfer.slot}, outside 1..{last_slot}",
+            core=model.core, slot=transfer.slot,
+            array=model.array_name, component=ctx.label,
+            hint="the round-robin DMA sequence ends two slots after the "
+                 "last segment",
+            source=SOURCE))
+    return out
+
+
+# -- plan-level ------------------------------------------------------------
+
+
+def _check_schedule_shape(ctx: AnalysisContext,
+                          sched: CoreSchedule) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    n = sched.n_segments
+
+    def shape(field: str, got: int, want: int) -> None:
+        out.append(Diagnostic(
+            "PREM003",
+            f"{field} has {got} entries for {n} segments (expected "
+            f"{want})",
+            core=sched.core, component=ctx.label, source=SOURCE))
+
+    if len(sched.exec_ns) != n:
+        shape("exec_ns", len(sched.exec_ns), n)
+    if len(sched.mem_slot_ns) != n + 2:
+        shape("mem_slot_ns", len(sched.mem_slot_ns), n + 2)
+    if len(sched.dep_slot) != n:
+        shape("dep_slot", len(sched.dep_slot), n)
+
+    if sched.init_api_ns < 0:
+        out.append(Diagnostic(
+            "PREM005", f"negative init API time {sched.init_api_ns}",
+            core=sched.core, component=ctx.label, source=SOURCE))
+    for idx, value in enumerate(sched.exec_ns):
+        if value < 0:
+            out.append(Diagnostic(
+                "PREM005",
+                f"segment {idx + 1} has negative execution time {value}",
+                core=sched.core, segment=idx + 1, component=ctx.label,
+                source=SOURCE))
+    for idx, value in enumerate(sched.mem_slot_ns):
+        if value < 0:
+            out.append(Diagnostic(
+                "PREM005",
+                f"DMA slot {idx + 1} has negative length {value}",
+                core=sched.core, slot=idx + 1, component=ctx.label,
+                source=SOURCE))
+
+    for idx, dep in enumerate(sched.dep_slot[:len(sched.mem_slot_ns)]):
+        segment = idx + 1
+        if dep == 0:
+            continue
+        if dep < 0 or dep > segment:
+            out.append(Diagnostic(
+                "PREM004",
+                f"segment {segment} awaits DMA slot {dep}, which does "
+                f"not precede it",
+                core=sched.core, segment=segment, slot=dep,
+                component=ctx.label,
+                hint="a segment may only await slots <= its own index",
+                source=SOURCE))
+        elif dep <= len(sched.mem_slot_ns) and \
+                sched.mem_slot_ns[dep - 1] <= 0:
+            out.append(Diagnostic(
+                "PREM007",
+                f"segment {segment} awaits DMA slot {dep}, which "
+                f"carries no transfer",
+                core=sched.core, segment=segment, slot=dep,
+                component=ctx.label, source=SOURCE))
+    return out
+
+
+def _check_plan_consistency(ctx: AnalysisContext, core: int,
+                            sched: CoreSchedule) -> List[Diagnostic]:
+    """Recompute the core schedule's DMA facts from the swap models."""
+    out: List[Diagnostic] = []
+    models = ctx.models[core]
+    n = max(
+        [sched.n_segments] + [m.n_segments for m in models.values()])
+
+    model_segments = {m.n_segments for m in models.values()}
+    if model_segments and model_segments != {sched.n_segments}:
+        out.append(Diagnostic(
+            "PREM008",
+            f"planned schedule has {sched.n_segments} segments but the "
+            f"swap models cover {sorted(model_segments)}",
+            core=core, component=ctx.label, source=SOURCE))
+        return out   # slot arrays are incomparable past this point
+
+    mem_slot = [0.0] * (n + 2)
+    load_bytes = 0
+    unload_bytes = 0
+    dep_slot = [0] * n
+    for name, model in sorted(models.items()):
+        for transfer in model.transfers:
+            if not transfer.moves_data:
+                continue
+            if not 1 <= transfer.slot <= n + 2:
+                continue   # PREM006 already reported
+            event = model.event(transfer.event_index)
+            if event.crange is not None:
+                mem_slot[transfer.slot - 1] += \
+                    event.crange.transfer_ns(ctx.platform)
+            if transfer.op == LOAD:
+                load_bytes += event.payload_bytes
+            else:
+                unload_bytes += event.payload_bytes
+        for transfer in model.loads():
+            if not transfer.moves_data:
+                continue
+            event = model.event(transfer.event_index)
+            if 1 <= event.segment <= n and 1 <= transfer.slot:
+                dep_slot[event.segment - 1] = max(
+                    dep_slot[event.segment - 1], transfer.slot)
+        if model.mode in (WO, RW):
+            for event in model.events:
+                if event.index < 3:
+                    continue
+                unloads = model.of_event(UNLOAD, event.index - 2)
+                if unloads and 1 <= event.segment <= n:
+                    dep_slot[event.segment - 1] = max(
+                        dep_slot[event.segment - 1],
+                        min(t.slot for t in unloads))
+
+    if sched.load_bytes != load_bytes or \
+            sched.unload_bytes != unload_bytes:
+        out.append(Diagnostic(
+            "PREM008",
+            f"planned transfer totals (load {sched.load_bytes} B, "
+            f"unload {sched.unload_bytes} B) disagree with the swap "
+            f"models (load {load_bytes} B, unload {unload_bytes} B)",
+            core=core, component=ctx.label, source=SOURCE))
+    for slot in range(1, n + 3):
+        planned = sched.mem_slot_ns[slot - 1] \
+            if slot <= len(sched.mem_slot_ns) else 0.0
+        if not _close(planned, mem_slot[slot - 1]):
+            out.append(Diagnostic(
+                "PREM008",
+                f"DMA slot {slot} planned at {planned:.1f} ns but the "
+                f"swap models transfer {mem_slot[slot - 1]:.1f} ns",
+                core=core, slot=slot, component=ctx.label,
+                source=SOURCE))
+    for idx in range(min(n, len(sched.dep_slot))):
+        if sched.dep_slot[idx] != dep_slot[idx]:
+            out.append(Diagnostic(
+                "PREM008",
+                f"segment {idx + 1} planned to await slot "
+                f"{sched.dep_slot[idx]} but the swap models require "
+                f"slot {dep_slot[idx]}",
+                core=core, segment=idx + 1, component=ctx.label,
+                source=SOURCE))
+    return out
+
+
+def _check_init_api(ctx: AnalysisContext, core: int,
+                    sched: CoreSchedule) -> List[Diagnostic]:
+    """Recompute the initialisation segment's API accounting (PREM009)."""
+    platform = ctx.platform
+    models = ctx.models[core]
+    expected = platform.api_cost("dispatch") + \
+        platform.api_cost("end_segment")
+    slot1_busy = False
+    for name, model in models.items():
+        if not model.events:
+            continue
+        expected += 2 * platform.api_cost("allocate_buffer")
+        array = ctx.component.arrays()[name]
+        swap_cost = platform.api_cost(swap_api_name(array.ndim))
+        expected += swap_cost * min(len(model.events), 2)
+        if model.mode in (RO, RW) and any(
+                t.slot == 1 and t.moves_data for t in model.loads()):
+            slot1_busy = True
+    if slot1_busy:
+        expected += platform.api_cost("DMA_int_handler")
+    if not _close(expected, sched.init_api_ns):
+        return [Diagnostic(
+            "PREM009",
+            f"initialisation segment accounts {sched.init_api_ns:.1f} ns "
+            f"of API time but the swap plan requires {expected:.1f} ns",
+            core=core, component=ctx.label,
+            hint="dispatch + end_segment + 2 allocs per streamed array "
+                 "+ the first two swap calls (+ DMA handler when slot 1 "
+                 "is busy)",
+            source=SOURCE)]
+    return []

@@ -8,15 +8,24 @@ Commands
 ``codegen``   emit the PREM-C of every compiled component
 ``gantt``     render the schedule timeline of the first component
 ``sweep``     makespan across bus speeds (mini Figure 6.1 for one kernel)
+``analyze``   static PREM-compliance verification (no VM involved)
 ``faults``    seeded fault-injection campaign; injected vs detected
 ``cache``     persistent makespan-cache statistics / clearing
+
+Exit codes: 0 success, 1 expected failure (infeasible schedule,
+error-severity diagnostics, missed faults), 2 bad invocation (unknown
+kernel, preset, or fault kind).
 
 Examples
 --------
     python -m repro compile lstm --preset LARGE --bus 1
     python -m repro compile lstm --preset MINI --jobs 4 --cache-dir .cache
+    python -m repro compile cnn --preset MINI --verify-static
     python -m repro tree cnn
     python -m repro sweep rnn --cores 8
+    python -m repro analyze cnn --preset MINI
+    python -m repro analyze cnn --preset SMALL --cores 1 --spm 8 --json
+    python -m repro analyze cnn --selftest 200 --seed 7
     python -m repro faults lstm --seed 7
     python -m repro cache stats --cache-dir .cache
 """
@@ -29,7 +38,8 @@ import sys
 from typing import List, Optional
 
 from .compiler import PremCompiler
-from .kernels import KERNELS, PRESET_NAMES, PRESETS, make_kernel
+from .errors import KernelConfigError, ReproError
+from .kernels import KERNELS, PRESET_NAMES, make_kernel
 from .loopir import LoopTree
 from .opt import ideal_makespan_ns
 from .opt.cache import CACHE_ENV, PersistentCache, default_cache_dir
@@ -46,8 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_common(p):
         p.add_argument("kernel", choices=sorted(KERNELS))
-        p.add_argument("--preset", default="LARGE", choices=PRESET_NAMES,
-                       help="problem size preset")
+        # Preset validation is deferred to make_kernel so a bad value
+        # reports the offending token (argparse's choices= would hide it
+        # behind a generic usage message).
+        p.add_argument("--preset", default="LARGE", metavar="PRESET",
+                       help="problem size preset: "
+                            + ", ".join(PRESET_NAMES))
         p.add_argument("--cores", type=int, default=None)
         p.add_argument("--bus", type=float, default=16.0,
                        help="bus bandwidth in GB/s")
@@ -75,19 +89,42 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument(
         "--stage-budget", type=float, default=10.0, metavar="S",
         help="wall-clock budget per --robust stage in seconds")
+    compile_cmd.add_argument(
+        "--verify-static", action="store_true",
+        help="gate the result on the static PREM-compliance verifier "
+             "(exit 1 on any error-severity diagnostic)")
     add_common(sub.add_parser("codegen", help="emit PREM-C"))
     add_common(sub.add_parser("trace", help="PREM API schedule trace"))
     add_common(sub.add_parser("gantt", help="schedule timeline"))
 
     tree_cmd = sub.add_parser("tree", help="print the loop tree")
     tree_cmd.add_argument("kernel", choices=sorted(KERNELS))
-    tree_cmd.add_argument("--preset", default="LARGE", choices=PRESET_NAMES)
+    tree_cmd.add_argument("--preset", default="LARGE", metavar="PRESET",
+                          help="problem size preset: "
+                               + ", ".join(PRESET_NAMES))
 
     sweep = sub.add_parser("sweep", help="makespan vs bus bandwidth")
     add_common(sweep)
     sweep.add_argument(
         "--speeds", default="0.0625,0.25,1,4,16",
         help="comma-separated bus speeds in GB/s")
+
+    analyze = sub.add_parser(
+        "analyze", help="static PREM-compliance verification")
+    add_common(analyze)
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="emit the diagnostics report as JSON")
+    analyze.add_argument(
+        "--passes", default=None, metavar="NAMES",
+        help="comma-separated analysis passes to run (default: all)")
+    analyze.add_argument(
+        "--selftest", type=int, default=0, metavar="N",
+        help="also run an N-case seeded swap-corruption campaign and "
+             "require >=90%% static detection of harmful cases")
+    analyze.add_argument(
+        "--seed", type=int, default=7,
+        help="selftest campaign seed (deterministic per seed)")
 
     faults = sub.add_parser(
         "faults", help="seeded fault-injection campaign")
@@ -180,6 +217,15 @@ def cmd_compile(args) -> int:
               + (" (degraded)" if result.degraded else ""))
         for attempt in result.attempts:
             print(f"  {attempt.describe()}")
+    if args.verify_static:
+        report = result.verify_static()
+        merged = report.merged
+        print(f"static analysis   : {len(merged.errors)} error(s), "
+              f"{len(merged.warnings)} warning(s)")
+        if merged:
+            print(report.render_text())
+        if report.has_errors:
+            return 1
     return 0 if result.feasible else 1
 
 
@@ -255,6 +301,45 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    from .analysis import DEFAULT_REGISTRY
+
+    passes = None
+    if args.passes:
+        passes = tuple(token.strip() for token in args.passes.split(","))
+        unknown = sorted(set(passes) - set(DEFAULT_REGISTRY.names()))
+        if unknown:
+            print(f"unknown analysis passes: {', '.join(unknown)} "
+                  f"(known: {', '.join(DEFAULT_REGISTRY.names())})",
+                  file=sys.stderr)
+            return 2
+    result = _compile(args, use_cache=False)
+    report = result.verify_static(passes=passes)
+    if args.json:
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    status = 1 if report.has_errors else 0
+
+    if args.selftest:
+        from .faults import run_static_campaign
+
+        strategy = "greedy" if args.greedy else "heuristic"
+        campaign = run_static_campaign(
+            args.kernel, preset=args.preset, seed=args.seed,
+            cases=args.selftest, strategy=strategy,
+            platform=_platform(args) if args.cores is None
+            else _platform(args).with_cores(args.cores))
+        print()
+        print(campaign.describe())
+        if campaign.detection_rate < 0.9:
+            print(f"selftest FAILED: detection rate "
+                  f"{campaign.detection_rate:.1%} below 90%",
+                  file=sys.stderr)
+            status = 1
+    return status
+
+
 def cmd_faults(args) -> int:
     from .faults import ALL_KINDS, run_campaign
 
@@ -301,6 +386,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "gantt": cmd_gantt,
     "sweep": cmd_sweep,
+    "analyze": cmd_analyze,
     "faults": cmd_faults,
     "cache": cmd_cache,
 }
@@ -308,7 +394,17 @@ COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except KernelConfigError as error:
+        # Bad invocation (unknown preset/kernel variant): the message
+        # names the offending value — surface it and exit 2 like
+        # argparse does for unparseable flags.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -145,6 +145,17 @@ class CompilationResult:
         SequentialInterpreter().run(self.kernel, arrays)
         return arrays
 
+    def verify_static(self, passes: Optional[Sequence[str]] = None):
+        """Run the static PREM-compliance verifier over every component.
+
+        Returns the :class:`repro.analysis.AnalysisReport`; no VM is
+        involved.  Imported lazily so the analysis subsystem stays
+        optional for callers that only compile.
+        """
+        from .analysis import StaticVerifier
+        return StaticVerifier(self.platform).verify_compilation(
+            self, passes=passes)
+
 
 class PremCompiler:
     """The full toolchain: analysis, optimization, code generation."""

@@ -13,7 +13,6 @@ pre-existing ``except``/``pytest.raises`` clauses keep working.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 
@@ -124,36 +123,13 @@ class MissingComputeError(PremVmError, ValueError):
 # structured PREM-invariant diagnostics
 
 
-@dataclass(frozen=True)
-class InvariantViolation:
-    """One detected PREM-compliance violation, with coordinates.
-
-    ``kind`` is a stable machine-readable tag (``dropped-swap``,
-    ``stale-range``, ``late-transfer``, ...); the remaining fields pin
-    the violation to a core / segment / DMA slot / array, any of which
-    may be ``None`` when not applicable.
-    """
-
-    kind: str
-    message: str
-    core: Optional[int] = None
-    segment: Optional[int] = None
-    slot: Optional[int] = None
-    array: Optional[str] = None
-
-    def describe(self) -> str:
-        coords = ", ".join(
-            f"{label}={value}"
-            for label, value in (("core", self.core),
-                                 ("segment", self.segment),
-                                 ("slot", self.slot),
-                                 ("array", self.array))
-            if value is not None)
-        return f"[{self.kind}] {coords}: {self.message}"
-
-
 class InvariantViolationError(ReproError):
-    """Raised when a caller asks the checker to fail on violations."""
+    """Raised when a caller asks a checker to fail on diagnostics.
+
+    Carries the offending :class:`repro.analysis.Diagnostic` objects
+    (duck-typed on ``describe()`` so this base module needs no analysis
+    import).
+    """
 
     def __init__(self, violations):
         self.violations = list(violations)

@@ -2,18 +2,21 @@
 
 This package owns the robustness surface of the toolchain: seeded
 :class:`FaultPlan`/:class:`FaultInjector` perturbations of the simulated
-machine, the :class:`PremInvariantChecker` that audits swap plans, core
-schedules, VM traces and static timing for PREM-compliance, and
-:func:`run_campaign`, which injects a seeded batch of faults into a
-compiled kernel and reports how many the checker caught.
+machine, the :class:`PremInvariantChecker` that audits VM traces and
+static timing for PREM-compliance, :func:`run_campaign`, which injects a
+seeded batch of faults into a compiled kernel and reports how many the
+checker caught, and :func:`run_static_campaign`, which seeds the same
+swap-fault kinds into the *static* analysis model and scores how many
+the :mod:`repro.analysis` verifier catches without running anything.
 
-Import direction is one-way: ``repro.faults`` imports from ``repro.prem``
-and ``repro.schedule``; the instrumented modules only ever see the
-injector duck-typed through an optional parameter.
+Import direction is one-way: ``repro.faults`` imports from
+``repro.analysis``, ``repro.prem`` and ``repro.schedule``; the
+instrumented modules only ever see the injector duck-typed through an
+optional parameter, and ``repro.analysis`` never imports back.
 """
 
 from .campaign import CampaignResult, FaultOutcome, run_campaign
-from .invariants import PremInvariantChecker
+from .invariants import TIMING_EPS_NS, PremInvariantChecker
 from .plan import (
     ALL_KINDS,
     DMA_JITTER,
@@ -30,6 +33,14 @@ from .plan import (
     FaultPlan,
     FaultSpec,
 )
+from .staticdet import (
+    STATIC_KINDS,
+    StaticCampaignResult,
+    StaticFaultCase,
+    StaticFaultOutcome,
+    campaign_platform,
+    run_static_campaign,
+)
 
 __all__ = [
     "ALL_KINDS",
@@ -45,9 +56,16 @@ __all__ = [
     "NULL_INJECTOR",
     "PremInvariantChecker",
     "SPM_POISON",
+    "STATIC_KINDS",
     "SWAP_DELAY",
     "SWAP_DROP",
     "SWAP_DUPLICATE",
+    "StaticCampaignResult",
+    "StaticFaultCase",
+    "StaticFaultOutcome",
+    "TIMING_EPS_NS",
     "TIMING_KINDS",
+    "campaign_platform",
     "run_campaign",
+    "run_static_campaign",
 ]

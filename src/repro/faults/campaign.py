@@ -24,8 +24,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis import Diagnostic
 from ..compiler import PremCompiler
-from ..errors import CompilationError, InvariantViolation, PremVmError
+from ..errors import CompilationError, PremVmError
 from ..kernels import make_kernel
 from ..prem.macros import MacroBuilder
 from ..prem.runtime import PremRuntime, VmTrace, init_arrays
@@ -55,7 +56,7 @@ class FaultOutcome:
     spec: FaultSpec
     affecting: bool
     detected: bool
-    violations: List[InvariantViolation] = field(default_factory=list)
+    violations: List[Diagnostic] = field(default_factory=list)
     error: str = ""
 
     @property

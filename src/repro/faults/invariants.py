@@ -1,163 +1,61 @@
-"""PREM-compliance auditing of swap plans, core schedules, and VM traces.
+"""Dynamic PREM-compliance auditing of VM traces and timing replays.
 
-A PREM schedule is correct only if every execution phase touches SPM
-data that actually arrived, double-buffered swaps never clobber a range
-still in use, the single DMA serves cores in round-robin order, and
-written ranges are unloaded only after their last write.  The
-:class:`PremInvariantChecker` verifies those rules on three surfaces:
+Static plan safety is proved by :mod:`repro.analysis` before anything
+runs; this module covers the two *dynamic* surfaces the static verifier
+cannot see:
 
-- the *static plan* (``check_swap_plan`` / ``check_core_schedule``):
-  arithmetic invariants of the slot assignment — a corrupted or
-  mis-generated plan is caught before anything runs;
 - the *VM trace* (``check_trace``): the DMA ops a run actually
   performed, diffed against the planned swap schedules — dropped,
   delayed, duplicated transfers and stale or poisoned execution-phase
-  bindings surface as structured diagnostics;
+  bindings surface as diagnostics;
 - the *timing pipeline* (``check_timing``): faulted operation durations
   replayed against the static schedule — a stalled DMA op or an
   overrunning execution phase that would cross a dependent operation's
   static start time is a correctness violation on a real PREM machine,
   where phases launch by the precomputed schedule, not by handshakes.
 
-Every violation is a :class:`repro.errors.InvariantViolation` carrying
-core / segment / slot / array coordinates.
+Every finding is a :class:`repro.analysis.Diagnostic` with a stable
+``PREM4xx`` code, the same framework the static passes report through,
+so campaign scoring and rendering are uniform across both worlds.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
-from ..errors import InvariantViolation, InvariantViolationError
+from ..analysis import Diagnostic
+from ..errors import InvariantViolationError
 from ..loopir.component import TilableComponent
 from ..opt.solution import Solution
 from ..prem.macros import ArraySwapSchedule, MacroBuilder
 from ..prem.runtime import VmTrace
 from ..prem.segments import RO, RW, WO, CoreSchedule
-from ..schedule.pipeline import PipelineOp, evaluate_pipeline
+from ..schedule.pipeline import PipelineOp, static_timeline
 
 #: Slack (ns) before a timing overlap counts as a violation.
 TIMING_EPS_NS = 1e-6
 
 
 class PremInvariantChecker:
-    """Audits PREM schedules and executions for compliance violations."""
+    """Audits PREM executions for compliance violations.
 
-    # -- static plan -----------------------------------------------------
-
-    def check_swap_plan(self, builder: MacroBuilder,
-                        core: int) -> List[InvariantViolation]:
-        """Arithmetic invariants of one core's per-array swap schedules."""
-        violations: List[InvariantViolation] = []
-        for name, schedule in builder.core_schedules(core).items():
-            violations.extend(self._check_schedule(schedule))
-        return violations
-
-    def _check_schedule(self, schedule: ArraySwapSchedule
-                        ) -> List[InvariantViolation]:
-        out: List[InvariantViolation] = []
-        events = schedule.events
-        n = schedule.n_segments
-        core = schedule.core
-        name = schedule.array_name
-
-        previous = 0
-        for event in events:
-            if not previous < event.segment <= n:
-                out.append(InvariantViolation(
-                    "swap-order",
-                    f"swap {event.index} targets segment {event.segment} "
-                    f"outside the monotone range ({previous}, {n}]",
-                    core=core, segment=event.segment, array=name))
-            previous = event.segment
-        if events and events[0].segment != 1:
-            out.append(InvariantViolation(
-                "swap-order",
-                f"first swap targets segment {events[0].segment}, "
-                f"but segment 1 needs data",
-                core=core, segment=events[0].segment, array=name))
-
-        for event in events:
-            x = event.index
-            slot = schedule.transfer_slot(x)
-            if slot > event.segment:
-                out.append(InvariantViolation(
-                    "late-transfer",
-                    f"swap {x} transfers in slot {slot} but its data is "
-                    f"first used by segment {event.segment}",
-                    core=core, segment=event.segment, slot=slot,
-                    array=name))
-            if x >= 3:
-                # The target buffer held swap x-2's range, last used by
-                # the segment before swap x-1's; slot s may start once
-                # exec(s-2) is done.
-                free_slot = events[x - 2].segment + 1
-                if slot < free_slot:
-                    out.append(InvariantViolation(
-                        "double-buffer-overlap",
-                        f"swap {x} (slot {slot}) overwrites buffer "
-                        f"{event.buffer} before slot {free_slot} frees it",
-                        core=core, slot=slot, array=name))
-            if schedule.mode in (WO, RW):
-                last_write = events[x].segment - 1 if x < len(events) else n
-                unload = schedule.unload_slot(x)
-                if unload < last_write + 2:
-                    out.append(InvariantViolation(
-                        "unload-before-last-write",
-                        f"range {x} unloads in slot {unload} but is "
-                        f"written until segment {last_write}",
-                        core=core, segment=last_write, slot=unload,
-                        array=name))
-        return out
-
-    def check_core_schedule(self, schedule: CoreSchedule
-                            ) -> List[InvariantViolation]:
-        """Structural invariants of a planned :class:`CoreSchedule`."""
-        out: List[InvariantViolation] = []
-        n = schedule.n_segments
-        core = schedule.core
-        if len(schedule.exec_ns) != n:
-            out.append(InvariantViolation(
-                "plan-shape",
-                f"{len(schedule.exec_ns)} execution phases for "
-                f"{n} segments", core=core))
-        if n and len(schedule.mem_slot_ns) != n + 2:
-            out.append(InvariantViolation(
-                "plan-shape",
-                f"{len(schedule.mem_slot_ns)} DMA slots for "
-                f"{n} segments (expected {n + 2})", core=core))
-        for idx, dep in enumerate(schedule.dep_slot):
-            if not 0 <= dep <= idx + 1:
-                out.append(InvariantViolation(
-                    "dep-order",
-                    f"segment {idx + 1} awaits slot {dep}, which does "
-                    f"not precede it", core=core, segment=idx + 1,
-                    slot=dep))
-        for idx, length in enumerate(schedule.mem_slot_ns):
-            if length < 0:
-                out.append(InvariantViolation(
-                    "negative-time",
-                    f"DMA slot {idx + 1} has negative length {length}",
-                    core=core, slot=idx + 1))
-        for idx, length in enumerate(schedule.exec_ns):
-            if length < 0:
-                out.append(InvariantViolation(
-                    "negative-time",
-                    f"segment {idx + 1} has negative execution time "
-                    f"{length}", core=core, segment=idx + 1))
-        return out
+    Static plan invariants (slot arithmetic, double-buffer windows,
+    schedule shape) live in :class:`repro.analysis.StaticVerifier`; the
+    checker only judges what a concrete run *did*.
+    """
 
     # -- VM trace --------------------------------------------------------
 
     def check_trace(self, component: TilableComponent, solution: Solution,
                     builder: MacroBuilder,
-                    trace: VmTrace) -> List[InvariantViolation]:
+                    trace: VmTrace) -> List[Diagnostic]:
         """Diff what a VM run did against what the plan prescribed."""
-        violations: List[InvariantViolation] = []
+        diagnostics: List[Diagnostic] = []
         for core in range(solution.threads):
-            violations.extend(
+            diagnostics.extend(
                 self._check_core_trace(builder, core, trace))
-        violations.extend(self._check_poison(trace))
-        return violations
+        diagnostics.extend(self._check_poison(trace))
+        return diagnostics
 
     def _planned_ops(self, builder: MacroBuilder, core: int,
                      outer: Mapping[str, int]):
@@ -180,8 +78,8 @@ class PremInvariantChecker:
         return planned
 
     def _check_core_trace(self, builder: MacroBuilder, core: int,
-                          trace: VmTrace) -> List[InvariantViolation]:
-        out: List[InvariantViolation] = []
+                          trace: VmTrace) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
         planned = self._planned_ops(builder, core, trace.outer)
         actual: Dict[tuple, List[int]] = {}
         for event in trace.events:
@@ -198,31 +96,32 @@ class PremInvariantChecker:
             want = sorted(planned.get(key, []))
             got = sorted(actual.get(key, []))
             for slot in want[len(got):]:
-                out.append(InvariantViolation(
-                    "dropped-swap",
+                out.append(Diagnostic(
+                    "PREM401",
                     f"planned {kind} of {name}_buf{buffer} range "
                     f"lo={lo} shape={shape} (slot {slot}) never happened",
-                    core=core, slot=slot, array=name))
+                    core=core, slot=slot, array=name, source="trace"))
             for slot in got[len(want):]:
-                out.append(InvariantViolation(
-                    "duplicate-swap",
+                out.append(Diagnostic(
+                    "PREM402",
                     f"unplanned extra {kind} of {name}_buf{buffer} "
                     f"range lo={lo} shape={shape} in slot {slot}",
-                    core=core, slot=slot, array=name))
+                    core=core, slot=slot, array=name, source="trace"))
             for want_slot, got_slot in zip(want, got):
                 if want_slot != got_slot:
-                    out.append(InvariantViolation(
-                        "delayed-swap",
+                    out.append(Diagnostic(
+                        "PREM403",
                         f"{kind} of {name}_buf{buffer} planned for slot "
                         f"{want_slot} ran in slot {got_slot}",
-                        core=core, slot=got_slot, array=name))
+                        core=core, slot=got_slot, array=name,
+                        source="trace"))
 
         out.extend(self._check_exec_bindings(builder, core, trace))
         return out
 
     def _check_exec_bindings(self, builder: MacroBuilder, core: int,
-                             trace: VmTrace) -> List[InvariantViolation]:
-        out: List[InvariantViolation] = []
+                             trace: VmTrace) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
         schedules = builder.core_schedules(core)
         for event in trace.events:
             if event.kind != "exec" or event.core != core:
@@ -239,15 +138,16 @@ class PremInvariantChecker:
                 expected = (current.buffer, lo, shape)
                 if bound.get(name) != expected:
                     got = bound.get(name)
-                    out.append(InvariantViolation(
-                        "stale-range",
+                    out.append(Diagnostic(
+                        "PREM404",
                         f"segment {event.segment} executed with "
                         f"{name} bound to {got}, expected {expected}",
-                        core=core, segment=event.segment, array=name))
+                        core=core, segment=event.segment, array=name,
+                        source="trace"))
         return out
 
-    def _check_poison(self, trace: VmTrace) -> List[InvariantViolation]:
-        out: List[InvariantViolation] = []
+    def _check_poison(self, trace: VmTrace) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
         dirty: Dict[tuple, int] = {}      # (core, array, buffer) -> slot
         for event in trace.events:
             key = (event.core, event.array, event.buffer)
@@ -259,18 +159,18 @@ class PremInvariantChecker:
                 for name, buffer, _lo, _shape in (event.used or ()):
                     slot = dirty.get((event.core, name, buffer))
                     if slot is not None:
-                        out.append(InvariantViolation(
-                            "poison-read",
+                        out.append(Diagnostic(
+                            "PREM405",
                             f"segment {event.segment} executed on "
                             f"{name}_buf{buffer} poisoned in slot {slot}",
                             core=event.core, segment=event.segment,
-                            slot=slot, array=name))
+                            slot=slot, array=name, source="trace"))
         return out
 
     # -- timing pipeline -------------------------------------------------
 
     def check_timing(self, cores: Sequence[CoreSchedule],
-                     injector) -> List[InvariantViolation]:
+                     injector) -> List[Diagnostic]:
         """Replay faulted durations against the static schedule.
 
         The unfaulted pipeline fixes every operation's start time (a
@@ -279,15 +179,13 @@ class PremInvariantChecker:
         start of anything depending on it breaks the schedule's
         correctness contract:
 
-        - a DMA op running into the next round-robin DMA op
-          (``dma-order``),
+        - a DMA op running into the next round-robin DMA op (PREM411),
         - a transfer finishing after its consumer segment started
-          (``late-transfer``),
+          (PREM412),
         - an execution phase overrunning into the next phase or into a
-          DMA op it gates (``exec-overrun``).
+          DMA op it gates (PREM413).
         """
-        baseline: List[PipelineOp] = []
-        evaluate_pipeline(cores, timeline=baseline)
+        baseline = static_timeline(cores)
         by_id = {core.core: core for core in cores}
 
         faulted_end: Dict[Tuple[str, int, int], float] = {}
@@ -302,19 +200,20 @@ class PremInvariantChecker:
                 exec_ops[(op.core, op.index)] = op
             faulted_end[(op.kind, op.core, op.index)] = op.start_ns + length
 
-        out: List[InvariantViolation] = []
+        out: List[Diagnostic] = []
 
         # Round-robin DMA order: the single DMA engine runs mem ops
         # back to back in baseline order.
         for current, upcoming in zip(mem_ops, mem_ops[1:]):
             end = faulted_end[("mem", current.core, current.index)]
             if end > upcoming.start_ns + TIMING_EPS_NS:
-                out.append(InvariantViolation(
-                    "dma-order",
+                out.append(Diagnostic(
+                    "PREM411",
                     f"DMA op (core {current.core}, slot {current.index}) "
                     f"ends at {end:.1f} ns, past the next DMA op's "
                     f"static start {upcoming.start_ns:.1f} ns",
-                    core=current.core, slot=current.index))
+                    core=current.core, slot=current.index,
+                    source="timing"))
 
         # Transfers must complete before their consumer segments start.
         for (core_id, segment), op in exec_ops.items():
@@ -323,45 +222,47 @@ class PremInvariantChecker:
                 continue
             end = faulted_end.get(("mem", core_id, dep))
             if end is not None and end > op.start_ns + TIMING_EPS_NS:
-                out.append(InvariantViolation(
-                    "late-transfer",
+                out.append(Diagnostic(
+                    "PREM412",
                     f"slot {dep} finishes at {end:.1f} ns, after its "
                     f"consumer segment {segment} started at "
                     f"{op.start_ns:.1f} ns",
-                    core=core_id, segment=segment, slot=dep))
+                    core=core_id, segment=segment, slot=dep,
+                    source="timing"))
 
         # Execution phases may not overrun into successors they gate.
         for (core_id, segment), op in exec_ops.items():
             end = faulted_end[("exec", core_id, segment)]
             succ = exec_ops.get((core_id, segment + 1))
             if succ is not None and end > succ.start_ns + TIMING_EPS_NS:
-                out.append(InvariantViolation(
-                    "exec-overrun",
+                out.append(Diagnostic(
+                    "PREM413",
                     f"segment {segment} runs until {end:.1f} ns, past "
                     f"segment {segment + 1}'s static start "
                     f"{succ.start_ns:.1f} ns",
-                    core=core_id, segment=segment))
+                    core=core_id, segment=segment, source="timing"))
         for op in mem_ops:
             gate = exec_ops.get((op.core, op.index - 2))
             if gate is None:
                 continue
             end = faulted_end[("exec", op.core, op.index - 2)]
             if end > op.start_ns + TIMING_EPS_NS:
-                out.append(InvariantViolation(
-                    "exec-overrun",
+                out.append(Diagnostic(
+                    "PREM413",
                     f"segment {op.index - 2} runs until {end:.1f} ns, "
                     f"past the static start {op.start_ns:.1f} ns of the "
                     f"DMA op it gates (slot {op.index})",
-                    core=op.core, segment=op.index - 2, slot=op.index))
+                    core=op.core, segment=op.index - 2, slot=op.index,
+                    source="timing"))
         return out
 
     # -- convenience -----------------------------------------------------
 
     @staticmethod
-    def ensure(violations: Sequence[InvariantViolation]) -> None:
+    def ensure(diagnostics: Sequence[Diagnostic]) -> None:
         """Raise :class:`InvariantViolationError` if any were found."""
-        if violations:
-            raise InvariantViolationError(violations)
+        if diagnostics:
+            raise InvariantViolationError(diagnostics)
 
 
 def _current_event(schedule: ArraySwapSchedule, segment: int):

@@ -29,7 +29,7 @@ from .segments import (
     classify_modes,
     swap_api_name,
 )
-from .swapgen import SwapCall, generate_swap_call
+from .swapgen import SwapCall, generate_swap_call, validate_swap_call
 
 __all__ = [
     "CodeGenerator",
@@ -40,5 +40,5 @@ __all__ = [
     "run_kernel_prem",
     "RO", "RW", "WO", "ArrayPlan", "ComponentPlan", "CoreSchedule",
     "PlanError", "SegmentPlanner", "classify_modes", "swap_api_name",
-    "SwapCall", "generate_swap_call",
+    "SwapCall", "generate_swap_call", "validate_swap_call",
 ]

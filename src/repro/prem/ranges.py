@@ -202,6 +202,22 @@ def canonical_range(component: TilableComponent, array_name: str,
     accesses disagree on outer coefficients the dimension conservatively
     widens to the full array extent.
     """
+    return access_range(component, array_name, box)
+
+
+def access_range(component: TilableComponent, array_name: str,
+                 box: Mapping[str, Tuple[int, int]], *,
+                 reads: bool = True, writes: bool = True
+                 ) -> Optional[CanonicalRange]:
+    """Hull of the selected accesses to *array_name* over one tile box.
+
+    The generalisation of :func:`canonical_range` the race detector
+    needs: restricting to ``reads`` or ``writes`` yields the tile's read
+    or write footprint instead of the combined streaming hull.  Same
+    conservatism rules: symbolic over outer iterators, widened to the
+    full extent on coefficient mismatch, None when no selected access is
+    active in the tile.
+    """
     pairs = component.accesses(array_name)
     if not pairs:
         return None
@@ -211,6 +227,8 @@ def canonical_range(component: TilableComponent, array_name: str,
     hi: List[Optional[AffineExpr]] = [None] * array.ndim
     active = False
     for stmt, access in pairs:
+        if not ((reads and access.is_read) or (writes and access.is_write)):
+            continue
         narrowed = _narrow_with_guards(
             _stmt_guards(component, stmt), dict(box))
         if narrowed is None:

@@ -148,7 +148,9 @@ class ArrayGeometry:
     """
 
     def __init__(self, component: TilableComponent, platform: Platform,
-                 exec_model: ExecModel):
+                 exec_model: "ExecModel | None"):
+        # exec_model may be None for purely geometric consumers (the
+        # static race detector); only exec_estimate needs it.
         self.component = component
         self.platform = platform
         self.exec_model = exec_model
@@ -263,6 +265,9 @@ class ArrayGeometry:
         """Execution-phase estimate for one tile of the given widths, ns."""
         cached = self._exec.get(widths)
         if cached is None:
+            if self.exec_model is None:
+                raise ValueError(
+                    "ArrayGeometry was built without an execution model")
             cycles = self.exec_model.estimate(widths)
             cached = cycles * self.platform.ns_per_cycle
             self._exec[widths] = cached

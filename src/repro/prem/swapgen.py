@@ -16,7 +16,7 @@ the range:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from ..poly.access import Array
 from ..poly.affine import AffineExpr
@@ -109,6 +109,64 @@ def generate_swap_call(crange: CanonicalRange,
         dpitch=(*tuple(bounding_shape[1:-1]),
                 bounding_shape[-1] * esize),
     )
+
+
+def validate_swap_call(call: SwapCall, crange: CanonicalRange,
+                       bounding_shape: Sequence[int]) -> List[str]:
+    """Internal-consistency audit of one generated swap call.
+
+    The static verifier builds its analysis model through the macro
+    builder, so every call passes through here; a non-empty return means
+    Algorithm 3 produced parameters that disagree with the canonical
+    range it was given — a compiler bug, not a schedule property.
+    """
+    problems: List[str] = []
+    array = call.array
+    esize = array.element_size
+    n = array.ndim
+    expected_api = ("swap_buffer" if n == 1
+                    else "swap2d_buffer" if n == 2 else "swapnd_buffer")
+    if call.api != expected_api:
+        problems.append(
+            f"{array.name}: api {call.api} for rank-{n} array "
+            f"(expected {expected_api})")
+    expected_size = (*crange.shape[:-1], crange.shape[-1] * esize)
+    if call.size != expected_size:
+        problems.append(
+            f"{array.name}: size {call.size} does not transfer the "
+            f"canonical range (expected {expected_size})")
+    if call.size and call.size[-1] % esize:
+        problems.append(
+            f"{array.name}: innermost size {call.size[-1]} not a "
+            f"multiple of the element size {esize}")
+    expected_spitch = (*array.shape[1:-1], array.shape[-1] * esize) \
+        if n > 1 else ()
+    if call.spitch != expected_spitch:
+        problems.append(
+            f"{array.name}: spitch {call.spitch} does not match the "
+            f"source array layout (expected {expected_spitch})")
+    expected_dpitch = (*tuple(bounding_shape[1:-1]),
+                       bounding_shape[-1] * esize) if n > 1 else ()
+    if call.dpitch != expected_dpitch:
+        problems.append(
+            f"{array.name}: dpitch {call.dpitch} does not match the "
+            f"SPM bounding box (expected {expected_dpitch})")
+    for dim, (extent, cap) in enumerate(
+            zip(crange.shape, bounding_shape)):
+        if extent > cap:
+            problems.append(
+                f"{array.name}: dim {dim} extent {extent} exceeds the "
+                f"bounding box {cap}")
+    if call.offset_elements.is_constant():
+        total = 1
+        for extent in array.shape:
+            total *= extent
+        offset = call.src_offset()
+        if not 0 <= offset < total:
+            problems.append(
+                f"{array.name}: constant source offset {offset} outside "
+                f"the array ({total} elements)")
+    return problems
 
 
 def _address_offset(crange: CanonicalRange) -> AffineExpr:

@@ -121,6 +121,20 @@ class ExperimentReport:
         return text
 
 
+def diagnostics_note(bag) -> str:
+    """One-line :class:`~repro.analysis.DiagnosticBag` summary.
+
+    Formatted for :meth:`ExperimentReport.add_note`, so archived benches
+    record the static-verification outcome next to their numbers."""
+    if not bag:
+        return "static analysis: clean"
+    counts = ", ".join(
+        f"{code}×{count}" for code, count in sorted(
+            bag.by_code().items()))
+    return (f"static analysis: {len(bag.errors)} error(s), "
+            f"{len(bag.warnings)} warning(s) ({counts})")
+
+
 def engine_note(metrics) -> str:
     """One-line :class:`~repro.opt.engine.EngineMetrics` summary.
 

@@ -7,13 +7,24 @@ from .makespan import (
     MakespanEvaluator,
     MakespanResult,
 )
-from .pipeline import PipelineResult, evaluate_pipeline
-from .validate import ExactExecModel, ValidationResult, validate_timing_model
+from .pipeline import (
+    PipelineOp,
+    PipelineResult,
+    evaluate_pipeline,
+    static_timeline,
+)
+from .validate import (
+    ExactExecModel,
+    ValidationResult,
+    validate_static,
+    validate_timing_model,
+)
 
 __all__ = [
     "build_phase_dag", "dag_makespan",
     "PhaseSpan", "render_gantt", "schedule_spans",
     "DEFAULT_SEGMENT_CAP", "MakespanEvaluator", "MakespanResult",
-    "PipelineResult", "evaluate_pipeline",
-    "ExactExecModel", "ValidationResult", "validate_timing_model",
+    "PipelineOp", "PipelineResult", "evaluate_pipeline", "static_timeline",
+    "ExactExecModel", "ValidationResult", "validate_static",
+    "validate_timing_model",
 ]

@@ -50,6 +50,17 @@ class PipelineOp:
         return self.end_ns - self.start_ns
 
 
+def static_timeline(cores: Sequence[CoreSchedule]) -> List[PipelineOp]:
+    """Every operation's unfaulted static placement, in issue order.
+
+    This is the schedule a real PREM deployment launches phases by; the
+    timing invariant checker replays faulted durations against it.
+    """
+    timeline: List[PipelineOp] = []
+    evaluate_pipeline(cores, timeline=timeline)
+    return timeline
+
+
 def evaluate_pipeline(cores: Sequence[CoreSchedule],
                       injector=None,
                       timeline: Optional[List[PipelineOp]] = None

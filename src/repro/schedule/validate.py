@@ -55,6 +55,19 @@ class ValidationResult:
         return (self.predicted_ns - self.simulated_ns) / self.simulated_ns
 
 
+def validate_static(component: TilableComponent, solution: Solution,
+                    platform: Platform):
+    """Static PREM-compliance check of one solution (no VM, no timing).
+
+    Complements :func:`validate_timing_model`: that function asks "is the
+    predicted makespan accurate", this one asks "is the schedule *safe*"
+    — races, double-buffer hazards, capacity, well-formedness.  Returns
+    the :class:`repro.analysis.ComponentReport`.
+    """
+    from ..analysis import StaticVerifier
+    return StaticVerifier(platform).verify_component(component, solution)
+
+
 def validate_timing_model(component: TilableComponent, solution: Solution,
                           platform: Platform, exec_model: ExecModel,
                           machine: MachineModel | None = None

@@ -1,0 +1,46 @@
+"""Shared compiled artifacts for the static-analysis tests.
+
+Two configurations cover the interesting plan shapes:
+
+- ``deep``: cnn SMALL on one core with an 8 KiB SPM — a small partition
+  forces deep double-buffered streaming (many swap events per array),
+  which is what the hazard rules need to bite on;
+- ``mini``: cnn MINI on the default multi-core platform — multiple
+  thread groups, which is what the race detector needs.
+"""
+
+import pytest
+
+from repro.analysis import StaticVerifier
+from repro.compiler import PremCompiler
+from repro.faults import campaign_platform
+from repro.kernels import make_kernel
+
+
+@pytest.fixture(scope="package")
+def deep_compiled():
+    platform = campaign_platform()
+    result = PremCompiler(platform=platform).compile(
+        make_kernel("cnn", "SMALL"))
+    return result, StaticVerifier(result.platform)
+
+
+@pytest.fixture(scope="package")
+def mini_compiled():
+    result = PremCompiler().compile(make_kernel("cnn", "MINI"))
+    return result, StaticVerifier(result.platform)
+
+
+@pytest.fixture
+def deep_ctx(deep_compiled):
+    """A fresh context per test: corruption tests mutate it freely."""
+    result, verifier = deep_compiled
+    compiled = result.components[0]
+    return verifier.build_context(compiled.component, compiled.solution)
+
+
+@pytest.fixture
+def mini_ctx(mini_compiled):
+    result, verifier = mini_compiled
+    compiled = result.components[0]
+    return verifier.build_context(compiled.component, compiled.solution)

@@ -1,0 +1,87 @@
+"""SPM capacity and buffer-lifetime checks."""
+
+import dataclasses
+
+from repro.analysis import check_capacity
+from repro.timing.platform import Platform
+
+
+def _codes(ctx):
+    return {d.code for d in check_capacity(ctx)}
+
+
+def _streamed(ctx):
+    for core in ctx.cores():
+        for name, model in sorted(ctx.models[core].items()):
+            if model.events:
+                return core, name, model
+    raise AssertionError("fixture lost its streaming plan")
+
+
+class TestClean:
+    def test_deep_plan_fits(self, deep_ctx):
+        assert check_capacity(deep_ctx) == []
+
+    def test_mini_plan_fits(self, mini_ctx):
+        assert check_capacity(mini_ctx) == []
+
+
+class TestOverflow:
+    def test_shrunken_spm_overflows(self, deep_ctx):
+        tiny = dataclasses.replace(
+            deep_ctx.platform,
+            spm_bytes=deep_ctx.plan.spm_bytes_needed // 2)
+        shrunk = dataclasses.replace(deep_ctx, platform=tiny)
+        found = check_capacity(shrunk)
+        assert {d.code for d in found} == {"PREM301"}
+        # Both views agree: the live-buffer sum and the planner's own
+        # accounting overflow together.
+        assert len(found) >= 2
+
+    def test_inflated_bounding_box_overflows(self, deep_ctx):
+        _core, name, _model = _streamed(deep_ctx)
+        deep_ctx.bounding_bytes[name] += deep_ctx.platform.spm_bytes
+        assert "PREM301" in _codes(deep_ctx)
+
+
+class TestLifetime:
+    def test_missing_dealloc_flagged(self, deep_ctx):
+        core, name, _model = _streamed(deep_ctx)
+        deep_ctx.dealloc_segments[core][name] = []
+        found = [d for d in check_capacity(deep_ctx)
+                 if d.code == "PREM302"]
+        assert len(found) == 2            # one per buffer
+        assert all(d.array == name for d in found)
+
+    def test_double_dealloc_flagged(self, deep_ctx):
+        core, name, _model = _streamed(deep_ctx)
+        deallocs = deep_ctx.dealloc_segments[core][name]
+        deallocs.append(deallocs[0])
+        assert "PREM302" in _codes(deep_ctx)
+
+    def test_early_dealloc_flagged(self, deep_ctx):
+        core, name, model = _streamed(deep_ctx)
+        deallocs = deep_ctx.dealloc_segments[core][name]
+        _segment, buffer = deallocs[0]
+        deallocs[0] = (1, buffer)         # while consumers remain
+        found = check_capacity(deep_ctx)
+        assert any(d.code == "PREM302" and "still uses it" in d.message
+                   for d in found)
+
+    def test_out_of_range_dealloc_flagged(self, deep_ctx):
+        core, name, model = _streamed(deep_ctx)
+        deallocs = deep_ctx.dealloc_segments[core][name]
+        _segment, buffer = deallocs[0]
+        deallocs[0] = (model.n_segments + 9, buffer)
+        found = check_capacity(deep_ctx)
+        assert any(d.code == "PREM302" and "outside" in d.message
+                   for d in found)
+
+    def test_unknown_buffer_flagged(self, deep_ctx):
+        core, name, _model = _streamed(deep_ctx)
+        deallocs = deep_ctx.dealloc_segments[core][name]
+        segment, _buffer = deallocs[0]
+        deallocs[0] = (segment, 7)
+        found = check_capacity(deep_ctx)
+        assert any(d.code == "PREM302" and "unknown buffer 7"
+                   in d.message for d in found)

@@ -1,0 +1,128 @@
+"""The diagnostics framework: codes, severities, bags, rendering."""
+
+import json
+import re
+
+import pytest
+
+from repro.analysis import (
+    CODE_TABLE,
+    ERROR,
+    INFO,
+    NAME_TO_CODE,
+    RACE_HAZARD_CODES,
+    WARNING,
+    Diagnostic,
+    DiagnosticBag,
+    code_info,
+)
+
+
+class TestCodeTable:
+    def test_codes_are_stable_slugs(self):
+        for code, info in CODE_TABLE.items():
+            assert re.fullmatch(r"PREM\d{3}", code)
+            assert info.code == code
+            assert re.fullmatch(r"[a-z][a-z0-9-]*", info.name)
+            assert info.severity in (ERROR, WARNING, INFO)
+            assert info.summary
+
+    def test_slugs_are_unique(self):
+        assert len(NAME_TO_CODE) == len(CODE_TABLE)
+        for name, code in NAME_TO_CODE.items():
+            assert CODE_TABLE[code].name == name
+
+    def test_scored_subset_excludes_consistency_checks(self):
+        # The fault campaign scores on semantic codes only; the
+        # plan-vs-model cross-checks would flag any mutation trivially.
+        assert "PREM008" not in RACE_HAZARD_CODES
+        assert "PREM009" not in RACE_HAZARD_CODES
+        for code in CODE_TABLE:
+            if code.startswith(("PREM1", "PREM2")):
+                assert code in RACE_HAZARD_CODES
+
+    def test_code_info_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            code_info("PREM999")
+
+
+class TestDiagnostic:
+    def test_severity_defaults_from_table(self):
+        assert Diagnostic("PREM201", "late").severity == ERROR
+        assert Diagnostic("PREM206", "dup").severity == WARNING
+
+    def test_severity_override(self):
+        d = Diagnostic("PREM206", "dup", severity=ERROR)
+        assert d.is_error
+
+    def test_unknown_code_fails_fast(self):
+        with pytest.raises(KeyError):
+            Diagnostic("PREM999", "nope")
+
+    def test_unknown_severity_fails_fast(self):
+        with pytest.raises(ValueError):
+            Diagnostic("PREM201", "late", severity="fatal")
+
+    def test_name_and_kind_are_the_slug(self):
+        d = Diagnostic("PREM203", "stale")
+        assert d.name == "uncovered-read"
+        assert d.kind == d.name
+
+    def test_describe_pins_coordinates(self):
+        d = Diagnostic("PREM202", "clobbered", core=1, segment=3, slot=5,
+                       array="A", hint="shift the load")
+        text = d.describe()
+        assert "PREM202" in text
+        assert "double-buffer-clobber" in text
+        assert "core=1" in text and "segment=3" in text
+        assert "slot=5" in text and "array=A" in text
+        assert "hint: shift the load" in text
+
+    def test_to_json_drops_empty_fields(self):
+        payload = Diagnostic("PREM101", "race", core=0).to_json()
+        assert payload["code"] == "PREM101"
+        assert payload["name"] == "write-write-race"
+        assert payload["core"] == 0
+        assert "segment" not in payload
+        assert "hint" not in payload
+
+
+class TestDiagnosticBag:
+    def _bag(self):
+        return DiagnosticBag([
+            Diagnostic("PREM206", "dup", core=1),
+            Diagnostic("PREM201", "late", core=0, slot=4),
+            Diagnostic("PREM201", "late again", core=0, slot=2),
+        ])
+
+    def test_len_bool_and_counts(self):
+        bag = self._bag()
+        assert len(bag) == 3 and bag
+        assert not DiagnosticBag()
+        assert len(bag.errors) == 2
+        assert len(bag.warnings) == 1
+        assert bag.has_errors
+        assert bag.by_code() == {"PREM201": 2, "PREM206": 1}
+
+    def test_with_codes_filters(self):
+        bag = self._bag()
+        assert all(d.code == "PREM201"
+                   for d in bag.with_codes(("PREM201",)))
+        assert bag.with_codes(("PREM101",)) == []
+
+    def test_sorted_most_severe_first(self):
+        ordered = self._bag().sorted()
+        assert [d.code for d in ordered] == \
+            ["PREM201", "PREM201", "PREM206"]
+        assert ordered[0].slot == 2          # then by coordinates
+
+    def test_render_text_has_summary_line(self):
+        text = self._bag().render_text()
+        assert "3 diagnostic(s): 2 error(s), 1 warning(s)" in text
+        assert DiagnosticBag().render_text() == "no diagnostics"
+
+    def test_render_json_parses(self):
+        payload = json.loads(self._bag().render_json())
+        assert payload["counts"]["total"] == 3
+        assert payload["counts"]["by_code"]["PREM201"] == 2
+        assert len(payload["diagnostics"]) == 3

@@ -1,0 +1,133 @@
+"""Double-buffer hazard rules against seeded swap-plan corruption."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import (
+    LOAD,
+    RACE_HAZARD_CODES,
+    SEMANTIC_PASSES,
+    UNLOAD,
+    check_hazards,
+)
+from repro.prem.segments import RW, WO
+
+
+def _codes(ctx):
+    return {d.code for d in check_hazards(ctx)}
+
+
+def _scored(ctx):
+    return {d.code for d in check_hazards(ctx)
+            if d.code in RACE_HAZARD_CODES}
+
+
+def _streamed(ctx, min_events=3, modes=None):
+    for core in ctx.cores():
+        for name, model in sorted(ctx.models[core].items()):
+            if len(model.events) < min_events:
+                continue
+            if modes is not None and model.mode not in modes:
+                continue
+            return model
+    raise AssertionError("deep fixture lost its streaming plan")
+
+
+class TestClean:
+    def test_compiled_plan_is_hazard_free(self, deep_ctx):
+        assert check_hazards(deep_ctx) == []
+
+    def test_mini_plan_is_hazard_free(self, mini_ctx):
+        assert check_hazards(mini_ctx) == []
+
+
+class TestLoadFaults:
+    def test_dropped_load_uncovers_the_segment(self, deep_ctx):
+        model = _streamed(deep_ctx)
+        model.drop_transfer(LOAD, model.events[0].index)
+        found = _scored(deep_ctx)
+        assert found & {"PREM002", "PREM207"}
+
+    def test_harmful_delay_is_late(self, deep_ctx):
+        model = _streamed(deep_ctx)
+        event = model.events[-1]
+        slot = model.of_event(LOAD, event.index)[0].slot
+        # Push the load strictly past its first consumer segment.
+        model.delay_transfer(LOAD, event.index,
+                             event.segment - slot + 1)
+        found = check_hazards(deep_ctx)
+        late = [d for d in found if d.code == "PREM201"]
+        assert late
+        assert late[0].segment == event.segment
+        assert late[0].array == model.array_name
+
+    def test_benign_delay_stays_clean(self, deep_ctx):
+        # A load with slack may slip up to its consumer segment: the
+        # transfer in slot s still completes before exec s starts.
+        for core in deep_ctx.cores():
+            for _name, model in sorted(deep_ctx.models[core].items()):
+                for event in model.events:
+                    binds = model.of_event(LOAD, event.index)
+                    if binds and binds[0].slot < event.segment:
+                        model.delay_transfer(
+                            LOAD, event.index,
+                            event.segment - binds[0].slot)
+                        assert _scored(deep_ctx) == set()
+                        return
+        pytest.skip("no load with slack in this plan")
+
+    def test_early_reload_clobbers_occupant(self, deep_ctx):
+        model = _streamed(deep_ctx)
+        # Events alternate buffers: events[2] reuses events[0]'s buffer.
+        victim, reuser = model.events[0], model.events[2]
+        assert victim.buffer == reuser.buffer
+        load = model.of_event(LOAD, reuser.index)[0]
+        target = model.last_use(victim.index) + 1   # one slot too early
+        # delay_transfer only moves later; forge the early slot directly.
+        model.transfers[model.transfers.index(load)] = replace(
+            load, slot=target)
+        found = check_hazards(deep_ctx)
+        assert any(d.code == "PREM202" and d.array == model.array_name
+                   for d in found)
+
+    def test_duplicate_load_warns(self, deep_ctx):
+        model = _streamed(deep_ctx)
+        model.duplicate_transfer(LOAD, model.events[0].index, 1)
+        assert "PREM206" in _codes(deep_ctx)
+
+
+class TestUnloadFaults:
+    def test_dropped_unload_loses_writes(self, deep_ctx):
+        model = _streamed(deep_ctx, modes=(WO, RW))
+        model.drop_transfer(UNLOAD, model.events[0].index)
+        found = _scored(deep_ctx)
+        assert "PREM205" in found
+
+    def test_delayed_unload_saves_the_wrong_range(self, deep_ctx):
+        model = _streamed(deep_ctx, modes=(WO, RW))
+        model.delay_transfer(UNLOAD, model.events[0].index, 3)
+        found = _scored(deep_ctx)
+        assert found & {"PREM208", "PREM209"}
+
+    def test_duplicate_unload_warns(self, deep_ctx):
+        model = _streamed(deep_ctx, modes=(WO, RW))
+        model.duplicate_transfer(UNLOAD, model.events[0].index, 1)
+        assert "PREM206" in _codes(deep_ctx)
+
+
+class TestVerifierIntegration:
+    def test_semantic_passes_flag_swapped_models(self, deep_compiled,
+                                                 deep_ctx):
+        _result, verifier = deep_compiled
+        models = deep_ctx.clone_models()
+        model = _streamed(deep_ctx)
+        models[model.core][model.array_name].drop_transfer(
+            LOAD, model.events[0].index)
+        report = verifier.verify_context(
+            deep_ctx.with_models(models), passes=SEMANTIC_PASSES)
+        assert report.has_errors
+        assert report.diagnostics.with_codes(RACE_HAZARD_CODES)
+        # The pristine context still verifies clean.
+        clean = verifier.verify_context(deep_ctx)
+        assert not clean.diagnostics

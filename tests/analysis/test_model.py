@@ -1,0 +1,105 @@
+"""The analysis model: schedule mirroring and the corruption surface."""
+
+import pytest
+
+from repro.analysis import LOAD, UNLOAD
+from repro.prem.macros import MacroBuilder
+from repro.prem.segments import RO, RW, WO
+
+
+def _streamed(ctx, min_events=2):
+    """(core, name, model) pairs with at least *min_events* events."""
+    return [(core, name, model)
+            for core in ctx.cores()
+            for name, model in sorted(ctx.models[core].items())
+            if len(model.events) >= min_events]
+
+
+class TestMirroring:
+    def test_deep_plan_streams(self, deep_ctx):
+        # The whole point of the deep fixture: real multi-event plans.
+        assert _streamed(deep_ctx, min_events=3)
+
+    def test_transfers_match_schedule_arithmetic(self, deep_ctx):
+        builder = MacroBuilder(deep_ctx.component, deep_ctx.solution)
+        for core in deep_ctx.cores():
+            schedules = builder.core_schedules(core)
+            for name, model in deep_ctx.models[core].items():
+                schedule = schedules[name]
+                for event in schedule.events:
+                    loads = model.of_event(LOAD, event.index)
+                    assert [t.slot for t in loads] == \
+                        [schedule.transfer_slot(event.index)]
+                    assert loads[0].moves_data == (model.mode in (RO, RW))
+                    unloads = model.of_event(UNLOAD, event.index)
+                    if model.mode in (WO, RW):
+                        assert [t.slot for t in unloads] == \
+                            [schedule.unload_slot(event.index)]
+                    else:
+                        assert unloads == []
+
+    def test_last_use_covers_to_next_event(self, deep_ctx):
+        for _core, _name, model in _streamed(deep_ctx):
+            for event, nxt in zip(model.events, model.events[1:]):
+                assert model.last_use(event.index) == nxt.segment - 1
+            assert model.last_use(model.events[-1].index) == \
+                model.n_segments
+
+    def test_context_geometry_populated(self, deep_ctx):
+        for name in deep_ctx.component.arrays():
+            assert deep_ctx.bounding_bytes[name] > 0
+        for core, name, model in _streamed(deep_ctx, min_events=1):
+            assert deep_ctx.dealloc_segments[core][name]
+
+
+class TestCorruption:
+    def _target(self, ctx):
+        return _streamed(ctx, min_events=3)[0]
+
+    def test_drop_removes_earliest(self, deep_ctx):
+        _, _, model = self._target(deep_ctx)
+        index = model.events[0].index
+        before = len(model.loads())
+        model.drop_transfer(LOAD, index)
+        assert len(model.loads()) == before - 1
+        assert model.of_event(LOAD, index) == []
+
+    def test_delay_shifts_slot(self, deep_ctx):
+        _, _, model = self._target(deep_ctx)
+        index = model.events[-1].index
+        slot = model.of_event(LOAD, index)[0].slot
+        model.delay_transfer(LOAD, index, 2)
+        assert model.of_event(LOAD, index)[0].slot == slot + 2
+
+    def test_duplicate_appends_copy(self, deep_ctx):
+        _, _, model = self._target(deep_ctx)
+        index = model.events[0].index
+        model.duplicate_transfer(LOAD, index, 1)
+        copies = model.of_event(LOAD, index)
+        assert len(copies) == 2
+        assert copies[1].slot == copies[0].slot + 1
+        assert copies[1].sequence > copies[0].sequence
+
+    def test_missing_transfer_rejected(self, deep_ctx):
+        _, _, model = self._target(deep_ctx)
+        with pytest.raises(KeyError):
+            model.drop_transfer(LOAD, 999)
+        with pytest.raises(KeyError):
+            model.delay_transfer(UNLOAD, 999, 1)
+
+    def test_clone_is_independent(self, deep_ctx):
+        core, name, model = self._target(deep_ctx)
+        index = model.events[0].index
+        clone = model.clone()
+        clone.drop_transfer(LOAD, index)
+        assert model.of_event(LOAD, index)        # original untouched
+        assert clone.of_event(LOAD, index) == []
+
+    def test_with_models_leaves_context_untouched(self, deep_ctx):
+        core, name, model = self._target(deep_ctx)
+        index = model.events[0].index
+        models = deep_ctx.clone_models()
+        models[core][name].drop_transfer(LOAD, index)
+        swapped = deep_ctx.with_models(models)
+        assert swapped.models[core][name].of_event(LOAD, index) == []
+        assert deep_ctx.models[core][name].of_event(LOAD, index)

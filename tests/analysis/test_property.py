@@ -1,0 +1,57 @@
+"""Property test: the verifier matches the slot-convention ground truth.
+
+For every corruptible transfer of the deep plan, the static campaign's
+enumeration knows whether the corruption is harmful (drop/duplicate
+always; a delayed load iff it lands past its first consumer segment).
+The semantic passes must detect every harmful case and stay silent on
+every benign one — soundness *and* precision, over randomly drawn
+cases.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import RACE_HAZARD_CODES, SEMANTIC_PASSES
+from repro.faults.staticdet import _apply_case, _enumerate_cases
+
+
+@pytest.fixture(scope="module")
+def universe(deep_compiled):
+    result, verifier = deep_compiled
+    compiled = result.components[0]
+    ctx = verifier.build_context(compiled.component, compiled.solution)
+    cases = _enumerate_cases(ctx, magnitudes=(1, 2, 3, 5))
+    assert cases
+    return verifier, ctx, cases
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.data())
+def test_verdict_matches_ground_truth(universe, data):
+    verifier, ctx, cases = universe
+    case = data.draw(st.sampled_from(cases))
+    models = ctx.clone_models()
+    _apply_case(models, case)
+    bag = verifier.verify_context(
+        ctx.with_models(models), passes=SEMANTIC_PASSES).diagnostics
+    scored = bag.with_codes(RACE_HAZARD_CODES)
+    if case.harmful:
+        assert scored, (
+            f"harmful case went undetected: {case.describe()}")
+    else:
+        assert not scored, (
+            f"benign case raised a false alarm: {case.describe()}\n"
+            + "\n".join(d.describe() for d in scored))
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.data())
+def test_corruption_never_escapes_the_clone(universe, data):
+    verifier, ctx, cases = universe
+    case = data.draw(st.sampled_from(cases))
+    models = ctx.clone_models()
+    _apply_case(models, case)
+    # The pristine context must keep verifying clean afterwards.
+    assert not verifier.verify_context(ctx).diagnostics

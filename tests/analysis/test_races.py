@@ -1,0 +1,63 @@
+"""Inter-core race detection on forged and genuine footprints."""
+
+from repro.analysis import Footprint, check_races
+
+
+def _codes(diags):
+    return {d.code for d in diags}
+
+
+class TestClean:
+    def test_multicore_plan_is_race_free(self, mini_ctx):
+        assert len(mini_ctx.cores()) > 1
+        assert check_races(mini_ctx) == []
+
+    def test_single_core_plan_is_trivially_race_free(self, deep_ctx):
+        assert check_races(deep_ctx) == []
+
+
+class TestFootprints:
+    def test_footprints_cover_every_core(self, mini_ctx):
+        footprints = mini_ctx.array_footprints()
+        assert sorted(footprints) == list(
+            range(mini_ctx.solution.threads))
+        # Every core reads something and writes something.
+        for per_core in footprints.values():
+            assert any(fp.reads for fp in per_core.values())
+            assert any(fp.writes for fp in per_core.values())
+
+    def test_footprints_are_cached(self, mini_ctx):
+        assert mini_ctx.array_footprints() is mini_ctx.array_footprints()
+
+
+class TestForgedOverlap:
+    def _forge(self, ctx, *, shared_writes):
+        """Give two cores identical hulls over one real array."""
+        name = sorted(ctx.component.arrays())[0]
+        real = ctx.array_footprints()
+        hull = next(
+            fp.reads[0] if fp.reads else fp.writes[0]
+            for per_core in real.values()
+            for fp in [per_core[name]] if fp.reads or fp.writes)
+        writer = Footprint(reads=(), writes=(hull,))
+        other = writer if shared_writes else Footprint(
+            reads=(hull,), writes=())
+        ctx.footprints = {0: {name: writer}, 1: {name: other}}
+        return name
+
+    def test_write_write_overlap_flagged(self, mini_ctx):
+        name = self._forge(mini_ctx, shared_writes=True)
+        found = check_races(mini_ctx)
+        assert "PREM101" in _codes(found)
+        assert all(d.array == name for d in found)
+
+    def test_write_read_overlap_flagged(self, mini_ctx):
+        self._forge(mini_ctx, shared_writes=False)
+        found = check_races(mini_ctx)
+        assert _codes(found) == {"PREM102"}
+
+    def test_one_diagnostic_per_pair_and_kind(self, mini_ctx):
+        self._forge(mini_ctx, shared_writes=True)
+        found = check_races(mini_ctx)
+        keys = [(d.code, d.array, d.core) for d in found]
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,61 @@
+"""The pass registry: declaration checks and selective runs."""
+
+import pytest
+
+from repro.analysis import (
+    DEFAULT_REGISTRY,
+    SEMANTIC_PASSES,
+    Diagnostic,
+    PassRegistry,
+    default_registry,
+)
+
+
+class TestRegistration:
+    def test_default_registry_passes(self):
+        assert DEFAULT_REGISTRY.names() == \
+            ["wellformed", "hazards", "races", "capacity"]
+
+    def test_semantic_subset_skips_races(self):
+        # Corrupting swap plans never changes footprints, so the fault
+        # campaign skips the race pass.
+        assert "races" not in SEMANTIC_PASSES
+        for name in SEMANTIC_PASSES:
+            assert name in DEFAULT_REGISTRY.names()
+
+    def test_duplicate_name_rejected(self):
+        registry = default_registry()
+        with pytest.raises(ValueError, match="registered twice"):
+            registry.register("hazards", "again", ("PREM201",),
+                              lambda ctx: [])
+
+    def test_unknown_code_rejected(self):
+        registry = PassRegistry()
+        with pytest.raises(ValueError, match="unknown codes"):
+            registry.register("bogus", "bogus", ("PREM999",),
+                              lambda ctx: [])
+
+    def test_get_unknown_pass_rejected(self):
+        with pytest.raises(KeyError, match="unknown analysis pass"):
+            DEFAULT_REGISTRY.get("nonexistent")
+
+
+class TestRun:
+    def test_undeclared_emission_rejected(self):
+        registry = PassRegistry()
+        registry.register(
+            "liar", "declares one code, emits another", ("PREM201",),
+            lambda ctx: [Diagnostic("PREM205", "surprise")])
+        with pytest.raises(ValueError, match="undeclared code"):
+            registry.run(ctx=None)
+
+    def test_selected_subset_runs_only_those(self):
+        ran = []
+        registry = PassRegistry()
+        registry.register("a", "a", ("PREM201",),
+                          lambda ctx: ran.append("a") or [])
+        registry.register("b", "b", ("PREM205",),
+                          lambda ctx: ran.append("b") or [])
+        bag = registry.run(ctx=None, names=("b",))
+        assert ran == ["b"]
+        assert not bag

@@ -1,0 +1,75 @@
+"""The verifier facade: reports, re-planning, and the glue APIs."""
+
+import json
+
+import pytest
+
+from repro.analysis import StaticVerifier
+from repro.prem.segments import PlanError
+from repro.reporting import diagnostics_note
+from repro.schedule import validate_static
+from repro.timing.platform import Platform
+
+
+class TestReports:
+    def test_clean_compilation_verifies(self, mini_compiled):
+        result, verifier = mini_compiled
+        report = verifier.verify_compilation(result)
+        assert not report.has_errors
+        assert not report.merged
+        assert len(report.components) == len(result.components)
+
+    def test_render_text_names_the_kernel(self, mini_compiled):
+        result, verifier = mini_compiled
+        text = verifier.verify_compilation(result).render_text()
+        assert result.kernel.name in text
+        assert "no diagnostics" in text
+
+    def test_render_json_parses(self, mini_compiled):
+        result, verifier = mini_compiled
+        payload = json.loads(
+            verifier.verify_compilation(result).render_json())
+        assert payload["kernel"] == result.kernel.name
+        assert payload["counts"]["total"] == 0
+        assert set(payload["components"]) == {
+            r.label for r in verifier.verify_compilation(result).components}
+
+    def test_pass_subset_runs_only_those(self, mini_compiled):
+        result, verifier = mini_compiled
+        report = verifier.verify_compilation(result, passes=("races",))
+        assert not report.has_errors
+
+
+class TestPlanFailure:
+    def test_unplannable_solution_reports_not_raises(self, deep_compiled):
+        result, _verifier = deep_compiled
+        compiled = result.components[0]
+        starved = StaticVerifier(Platform().with_cores(1).with_spm(64))
+        with pytest.raises(PlanError):
+            starved.build_context(compiled.component, compiled.solution)
+        report = starved.verify_component(
+            compiled.component, compiled.solution)
+        assert report.context is None
+        assert report.has_errors
+        codes = {d.code for d in report.diagnostics}
+        assert codes == {"PREM003"}
+        assert all(d.source == "verifier" for d in report.diagnostics)
+
+
+class TestGlueApis:
+    def test_compilation_result_verify_static(self, mini_compiled):
+        result, _verifier = mini_compiled
+        report = result.verify_static()
+        assert not report.has_errors
+
+    def test_schedule_validate_static(self, mini_compiled):
+        result, _verifier = mini_compiled
+        compiled = result.components[0]
+        report = validate_static(
+            compiled.component, compiled.solution, result.platform)
+        assert not report.has_errors
+
+    def test_diagnostics_note_formats(self, mini_compiled):
+        result, verifier = mini_compiled
+        bag = verifier.verify_compilation(result).merged
+        assert diagnostics_note(bag) == "static analysis: clean"

@@ -1,0 +1,111 @@
+"""Well-formedness pass: clean plans verify, corrupted ones report."""
+
+from dataclasses import replace
+
+from repro.analysis import LOAD, check_wellformed
+
+
+def _codes(ctx):
+    return {d.code for d in check_wellformed(ctx)}
+
+
+def _deep_model(ctx, min_events=3):
+    for core in ctx.cores():
+        for name, model in sorted(ctx.models[core].items()):
+            if len(model.events) >= min_events:
+                return model
+    raise AssertionError("deep fixture lost its streaming plan")
+
+
+def _sched(ctx):
+    return next(s for s in ctx.plan.cores if s.n_segments > 0)
+
+
+class TestClean:
+    def test_compiled_plan_is_wellformed(self, deep_ctx):
+        assert check_wellformed(deep_ctx) == []
+
+    def test_mini_plan_is_wellformed(self, mini_ctx):
+        assert check_wellformed(mini_ctx) == []
+
+
+class TestModelLevel:
+    def test_non_monotone_events_flagged(self, deep_ctx):
+        model = _deep_model(ctx=deep_ctx)
+        model.events.reverse()
+        assert "PREM001" in _codes(deep_ctx)
+
+    def test_segment_past_end_flagged(self, deep_ctx):
+        model = _deep_model(ctx=deep_ctx)
+        last = model.events[-1]
+        model.events[-1] = replace(
+            last, segment=model.n_segments + 5)
+        assert "PREM001" in _codes(deep_ctx)
+
+    def test_slot_out_of_range_flagged(self, deep_ctx):
+        model = _deep_model(ctx=deep_ctx)
+        model.transfers[0] = replace(model.transfers[0], slot=0)
+        model.transfers[-1] = replace(
+            model.transfers[-1], slot=model.n_segments + 99)
+        found = check_wellformed(deep_ctx)
+        assert sum(d.code == "PREM006" for d in found) >= 2
+
+
+class TestPlanLevel:
+    def test_shape_mismatch_flagged(self, deep_ctx):
+        _sched(deep_ctx).exec_ns.pop()
+        assert "PREM003" in _codes(deep_ctx)
+
+    def test_negative_time_flagged(self, deep_ctx):
+        sched = _sched(deep_ctx)
+        sched.exec_ns[0] = -1.0
+        assert "PREM005" in _codes(deep_ctx)
+
+    def test_dep_after_segment_flagged(self, deep_ctx):
+        sched = _sched(deep_ctx)
+        sched.dep_slot[0] = sched.n_segments + 2
+        assert "PREM004" in _codes(deep_ctx)
+
+    def test_dangling_dep_flagged(self, deep_ctx):
+        sched = _sched(deep_ctx)
+        # Point some segment at a slot that carries no transfer.
+        empty = next(
+            (i + 1 for i, length in enumerate(sched.mem_slot_ns)
+             if length <= 0), None)
+        target = next(
+            (i for i in range(sched.n_segments) if empty and empty <= i + 1),
+            None)
+        if target is None:
+            # Every slot is busy on this plan: zero one out instead.
+            sched.mem_slot_ns[sched.dep_slot[0] - 1] = 0.0
+        else:
+            sched.dep_slot[target] = empty
+        found = _codes(deep_ctx)
+        assert found & {"PREM007", "PREM008"}
+
+    def test_slot_time_mismatch_flagged(self, deep_ctx):
+        sched = _sched(deep_ctx)
+        busy = next(i for i, length in enumerate(sched.mem_slot_ns)
+                    if length > 0)
+        sched.mem_slot_ns[busy] *= 3.0
+        assert "PREM008" in _codes(deep_ctx)
+
+    def test_transfer_total_mismatch_flagged(self, deep_ctx):
+        _sched(deep_ctx).load_bytes += 4096
+        assert "PREM008" in _codes(deep_ctx)
+
+    def test_segment_count_mismatch_flagged(self, deep_ctx):
+        model = _deep_model(ctx=deep_ctx)
+        model.n_segments += 1
+        assert "PREM008" in _codes(deep_ctx)
+
+    def test_init_api_mismatch_flagged(self, deep_ctx):
+        _sched(deep_ctx).init_api_ns += 123.0
+        assert "PREM009" in _codes(deep_ctx)
+
+    def test_dropped_model_load_breaks_consistency(self, deep_ctx):
+        # PREM008 is why the fault campaign must exclude consistency
+        # codes from scoring: any model mutation trips the cross-check.
+        model = _deep_model(ctx=deep_ctx)
+        model.drop_transfer(LOAD, model.events[0].index)
+        assert "PREM008" in _codes(deep_ctx)

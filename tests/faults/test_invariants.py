@@ -1,7 +1,14 @@
-"""PremInvariantChecker tests: clean plans pass, corrupted ones don't."""
+"""PremInvariantChecker tests: clean runs pass, faulted ones don't.
+
+The static plan surface (slot arithmetic, double-buffer windows, core
+schedule shape) moved to ``repro.analysis`` and is covered by
+``tests/analysis/``; this file covers the dynamic checkers — VM traces
+and the timing replay — and their ``Diagnostic`` output.
+"""
 
 import pytest
 
+from repro.analysis import Diagnostic
 from repro.compiler import PremCompiler
 from repro.errors import InvariantViolationError
 from repro.faults import (
@@ -18,9 +25,8 @@ from repro.faults import (
     PremInvariantChecker,
 )
 from repro.kernels import make_kernel
-from repro.prem.macros import ArraySwapSchedule, MacroBuilder, SwapEvent
+from repro.prem.macros import MacroBuilder
 from repro.prem.runtime import PremRuntime, VmTrace, init_arrays
-from repro.prem.segments import RW, CoreSchedule
 
 
 @pytest.fixture(scope="module")
@@ -53,17 +59,7 @@ def _traced_run(kernel, compiled, injector=None):
     return trace
 
 
-class TestCleanPlansPass:
-    def test_swap_plans_clean(self, compiled, checker):
-        _, _, plan, builder = compiled
-        for core in plan.cores:
-            assert checker.check_swap_plan(builder, core.core) == []
-
-    def test_core_schedules_clean(self, compiled, checker):
-        _, _, plan, _ = compiled
-        for core in plan.cores:
-            assert checker.check_core_schedule(core) == []
-
+class TestCleanRunsPass:
     def test_unfaulted_trace_clean(self, compiled, checker):
         kernel, comp, _, builder = compiled
         trace = _traced_run(kernel, comp)
@@ -73,96 +69,6 @@ class TestCleanPlansPass:
     def test_unfaulted_timing_clean(self, compiled, checker):
         _, _, plan, _ = compiled
         assert checker.check_timing(plan.cores, NULL_INJECTOR) == []
-
-
-def _synthetic_schedule(cls=ArraySwapSchedule, segments=(1, 2, 3),
-                        n_segments=4, mode=RW):
-    events = [SwapEvent(index=i + 1, segment=s, crange=None, call=None)
-              for i, s in enumerate(segments)]
-    return cls(array_name="a", mode=mode, core=0,
-               n_segments=n_segments, events=events)
-
-
-class _LateTransfer(ArraySwapSchedule):
-    def transfer_slot(self, index):
-        return 99
-
-
-class _EarlyTransfer(ArraySwapSchedule):
-    def transfer_slot(self, index):
-        return 1
-
-
-class _EarlyUnload(ArraySwapSchedule):
-    def unload_slot(self, index):
-        return 1
-
-
-class TestCorruptedSwapPlans:
-    def test_non_monotone_segments_flagged(self, checker):
-        schedule = _synthetic_schedule(segments=(2, 1, 3))
-        kinds = {v.kind for v in checker._check_schedule(schedule)}
-        assert "swap-order" in kinds
-
-    def test_segment_past_end_flagged(self, checker):
-        schedule = _synthetic_schedule(segments=(1, 2, 9))
-        kinds = {v.kind for v in checker._check_schedule(schedule)}
-        assert "swap-order" in kinds
-
-    def test_late_transfer_flagged(self, checker):
-        schedule = _synthetic_schedule(cls=_LateTransfer)
-        kinds = {v.kind for v in checker._check_schedule(schedule)}
-        assert "late-transfer" in kinds
-
-    def test_double_buffer_overlap_flagged(self, checker):
-        schedule = _synthetic_schedule(cls=_EarlyTransfer)
-        kinds = {v.kind for v in checker._check_schedule(schedule)}
-        assert "double-buffer-overlap" in kinds
-
-    def test_unload_before_last_write_flagged(self, checker):
-        schedule = _synthetic_schedule(cls=_EarlyUnload)
-        kinds = {v.kind for v in checker._check_schedule(schedule)}
-        assert "unload-before-last-write" in kinds
-
-    def test_violations_carry_coordinates(self, checker):
-        schedule = _synthetic_schedule(segments=(2, 1, 3))
-        violation = checker._check_schedule(schedule)[0]
-        assert violation.core == 0 and violation.array == "a"
-        assert "core=0" in violation.describe()
-
-
-class TestCorruptedCoreSchedules:
-    def _clean(self):
-        return CoreSchedule(
-            core=0, n_segments=2, init_api_ns=0.0,
-            exec_ns=[10.0, 10.0], mem_slot_ns=[5.0, 5.0, 5.0, 5.0],
-            dep_slot=[1, 2])
-
-    def test_shape_mismatch_flagged(self, checker):
-        bad = self._clean()
-        bad.exec_ns = [10.0]
-        assert any(v.kind == "plan-shape"
-                   for v in checker.check_core_schedule(bad))
-        bad = self._clean()
-        bad.mem_slot_ns = [5.0]
-        assert any(v.kind == "plan-shape"
-                   for v in checker.check_core_schedule(bad))
-
-    def test_dep_slot_after_segment_flagged(self, checker):
-        bad = self._clean()
-        bad.dep_slot = [4, 2]
-        assert any(v.kind == "dep-order"
-                   for v in checker.check_core_schedule(bad))
-
-    def test_negative_times_flagged(self, checker):
-        bad = self._clean()
-        bad.exec_ns = [10.0, -1.0]
-        bad.mem_slot_ns = [5.0, -5.0, 5.0, 5.0]
-        kinds = [v.kind for v in checker.check_core_schedule(bad)]
-        assert kinds.count("negative-time") == 2
-
-    def test_clean_schedule_passes(self, checker):
-        assert checker.check_core_schedule(self._clean()) == []
 
 
 def _swap_target(builder, solution):
@@ -182,9 +88,10 @@ class TestFaultedTraces:
         injector = FaultInjector(FaultPlan.single(
             FaultSpec(SWAP_DROP, core=core, array=name, index=index)))
         trace = _traced_run(kernel, comp, injector)
-        kinds = {v.kind for v in checker.check_trace(
-            comp.component, comp.solution, builder, trace)}
-        assert "dropped-swap" in kinds
+        found = checker.check_trace(
+            comp.component, comp.solution, builder, trace)
+        assert "dropped-swap" in {v.kind for v in found}
+        assert "PREM401" in {v.code for v in found}
 
     def test_duplicate_swap_detected(self, compiled, checker):
         kernel, comp, _, builder = compiled
@@ -221,6 +128,20 @@ class TestFaultedTraces:
             comp.component, comp.solution, builder, trace)}
         assert "poison-read" in kinds
 
+    def test_trace_diagnostics_carry_coordinates(self, compiled, checker):
+        kernel, comp, _, builder = compiled
+        core, name, index = _swap_target(builder, comp.solution)
+        injector = FaultInjector(FaultPlan.single(
+            FaultSpec(SWAP_DROP, core=core, array=name, index=index)))
+        trace = _traced_run(kernel, comp, injector)
+        found = checker.check_trace(
+            comp.component, comp.solution, builder, trace)
+        dropped = next(v for v in found if v.code == "PREM401")
+        assert dropped.core == core
+        assert dropped.array == name
+        assert dropped.source == "trace"
+        assert f"core={core}" in dropped.describe()
+
 
 class TestFaultedTiming:
     def test_dma_stall_breaks_round_robin(self, compiled, checker):
@@ -232,8 +153,23 @@ class TestFaultedTiming:
         injector = FaultInjector(FaultPlan.single(
             FaultSpec(DMA_STALL, core=busy[0], slot=busy[1],
                       magnitude=1e6)))
-        kinds = {v.kind for v in checker.check_timing(plan.cores, injector)}
-        assert "dma-order" in kinds
+        found = checker.check_timing(plan.cores, injector)
+        assert "dma-order" in {v.kind for v in found}
+        assert all(v.source == "timing" for v in found)
+
+    def test_dma_stall_misses_consumer_segment(self, compiled, checker):
+        _, _, plan, _ = compiled
+        # Stall a slot some segment depends on: PREM412 must name it.
+        core, dep, segment = next(
+            (c.core, c.dep_slot[s], s + 1)
+            for c in plan.cores
+            for s in range(c.n_segments) if c.dep_slot[s])
+        injector = FaultInjector(FaultPlan.single(
+            FaultSpec(DMA_STALL, core=core, slot=dep, magnitude=1e6)))
+        found = checker.check_timing(plan.cores, injector)
+        late = [v for v in found if v.code == "PREM412"]
+        assert any(v.segment == segment and v.slot == dep for v in late)
+        assert all(v.kind == "late-transfer-timing" for v in late)
 
     def test_exec_overrun_detected(self, compiled, checker):
         _, _, plan, _ = compiled
@@ -247,10 +183,11 @@ class TestFaultedTiming:
 
 class TestEnsure:
     def test_raises_with_violations(self, checker):
-        schedule = _synthetic_schedule(segments=(2, 1, 3))
-        violations = checker._check_schedule(schedule)
-        with pytest.raises(InvariantViolationError):
-            checker.ensure(violations)
+        diagnostics = [Diagnostic(
+            "PREM401", "planned load never happened", core=0, slot=3)]
+        with pytest.raises(InvariantViolationError) as excinfo:
+            checker.ensure(diagnostics)
+        assert "PREM401" in str(excinfo.value)
 
     def test_noop_when_clean(self, checker):
         checker.ensure([])
