@@ -1,0 +1,200 @@
+"""Robust-compilation bench: CVaR-scored search under timing noise.
+
+Two properties of the scenario-based robust optimizer are measured
+(DESIGN.md section 10):
+
+- R1: on every affordable cnn/lstm corpus component, the CVaR-0.9
+  winner over 32 seeded scenarios must carry a worst-case makespan no
+  worse than the nominal winner's worst-case over the same scenario
+  set — robustifying never trades the tail away on this corpus.
+- R2: the whole robust outcome (winner, scenario vector, risk,
+  sensitivity ranking) is bit-identical across two runs at the same
+  seed.
+
+Measurements merge into the top-level ``BENCH_robust.json`` so CI
+archives per-component risk/worst/regret numbers and the
+scenario-evaluation throughput.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.loopir.validity import is_chain_extendable
+from repro.opt import RobustOptimizer, search_space_size
+from repro.reporting import ExperimentReport, robust_note
+from repro.sim.profiler import fit_component_model
+from repro.timing import Platform
+
+#: Where the machine-readable bench summary lands (repo top level).
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_robust.json"
+
+SCENARIOS = 32
+SEED = 0
+ALPHA = 0.9
+
+#: Components above this candidate-space size are skipped (and the skip
+#: is recorded) to keep the bench inside CI budgets.
+MAX_SPACE = 20_000
+
+KERNEL_PRESETS = (("cnn", "SMALL"), ("lstm", "SMALL"))
+
+
+def _leaf_chains(tree):
+    """Maximal perfectly-nested chains, as Algorithm 2 extracts them."""
+    chains = []
+
+    def walk(node, chain):
+        chain = chain + [node]
+        if not node.children:
+            chains.append(tuple(n.var for n in chain))
+            return
+        if is_chain_extendable(node.loop) and len(node.children) == 1:
+            walk(node.children[0], chain)
+            return
+        for child in node.children:
+            walk(child, [])
+
+    for root in tree.roots:
+        walk(root, [])
+    return chains
+
+
+def _merge_bench_json(section, records):
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[section] = records
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def robust_components(bank):
+    """Affordable cnn/lstm corpus components, with skips recorded."""
+    platform = Platform()
+    out, skipped = [], []
+    for name, preset in KERNEL_PRESETS:
+        tree = LoopTree.build(bank.kernel(name, preset))
+        for vars_ in _leaf_chains(tree):
+            comp = component_at(tree, list(vars_))
+            size = search_space_size(comp, platform.cores)
+            label = f"{name}/{preset}:{'.'.join(vars_)}"
+            if size > MAX_SPACE:
+                skipped.append(label)
+                continue
+            out.append((label, comp,
+                        fit_component_model(comp, bank.machine), size))
+    return out, skipped
+
+
+def _record(result):
+    """Everything R2's determinism contract covers, as one comparable."""
+    robust = result.robust
+    return (
+        result.best.solution.key(), result.best.makespan_ns,
+        robust.solution.key() if robust else None,
+        robust.scenario_ns if robust else None,
+        robust.risk_ns if robust else None,
+        tuple((e.parameter, e.makespan_ns) for e in result.sensitivity),
+    )
+
+
+@pytest.mark.benchmark(group="robust")
+def test_r1_cvar_never_trades_the_tail(robust_components, benchmark):
+    platform = Platform()
+    components, skipped = robust_components
+    report = ExperimentReport(
+        "robust_cvar_tail",
+        f"CVaR-{ALPHA:g} robust search over {SCENARIOS} timing scenarios "
+        f"(seed {SEED})",
+        ["component", "space", "finalists", "probes", "switched",
+         "risk (ns)", "worst (ns)", "nominal worst (ns)", "regret (ns)"])
+
+    def run():
+        rows = []
+        for label, comp, model, size in components:
+            started = time.perf_counter()
+            result = RobustOptimizer(
+                comp, platform, model, scenarios=SCENARIOS, seed=SEED,
+                risk="cvar", alpha=ALPHA).optimize(8)
+            rows.append((label, size, result,
+                         time.perf_counter() - started))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    records = {}
+    total_probes = 0.0
+    total_wall = 0.0
+    for label, size, result, wall_s in rows:
+        assert result.feasible, label
+        robust, nominal = result.robust, result.nominal
+        # The acceptance bar, per component: the robust winner's
+        # worst-case never exceeds the nominal winner's worst-case
+        # over the identical scenario set.
+        assert robust.worst_ns <= nominal.worst_ns, label
+        assert result.regret_ns >= 0.0, label
+        total_probes += result.scenario_probes
+        total_wall += wall_s
+        report.add_row(label, size, result.finalists,
+                       result.scenario_probes,
+                       "yes" if result.switched else "no",
+                       round(robust.risk_ns), round(robust.worst_ns),
+                       round(nominal.worst_ns), round(result.regret_ns))
+        records[label] = {
+            "space": size,
+            "finalists": result.finalists,
+            "scenario_probes": result.scenario_probes,
+            "switched": result.switched,
+            "risk_ns": robust.risk_ns,
+            "worst_ns": robust.worst_ns,
+            "nominal_worst_ns": nominal.worst_ns,
+            "regret_ns": result.regret_ns,
+            "wall_s": round(wall_s, 4),
+            "most_fragile": result.sensitivity[0].parameter
+            if result.sensitivity else None,
+        }
+        report.add_note(f"{label}: {robust_note(result)}")
+    for label in skipped:
+        report.add_note(f"skipped (space > {MAX_SPACE}): {label}")
+    scenarios_per_s = total_probes / total_wall if total_wall else 0.0
+    report.add_note(
+        f"throughput: {scenarios_per_s:,.0f} scenario evaluations/s "
+        f"({total_probes:,.0f} probes in {total_wall:.2f} s)")
+    report.emit()
+    _merge_bench_json("cvar_tail", {
+        "components": records,
+        "skipped": skipped,
+        "scenarios": SCENARIOS,
+        "seed": SEED,
+        "alpha": ALPHA,
+        "scenarios_per_s": round(scenarios_per_s, 1),
+    })
+
+
+@pytest.mark.benchmark(group="robust")
+def test_r2_same_seed_bit_identical(robust_components, benchmark):
+    platform = Platform()
+    components, _ = robust_components
+    # The largest affordable space is the one with the most ties to
+    # break and the most pruning interleavings to get wrong.
+    label, comp, model, size = max(components, key=lambda c: c[3])
+
+    def run():
+        return [RobustOptimizer(
+            comp, platform, model, scenarios=SCENARIOS, seed=SEED,
+            risk="cvar", alpha=ALPHA).optimize(8) for _ in range(2)]
+
+    first, second = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert _record(first) == _record(second), label
+    _merge_bench_json("determinism", {
+        "component": label,
+        "space": size,
+        "bit_identical": True,
+    })

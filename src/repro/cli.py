@@ -20,6 +20,8 @@ Examples
 --------
     python -m repro compile lstm --preset LARGE --bus 1
     python -m repro compile lstm --preset MINI --jobs 4 --cache-dir .cache
+    python -m repro compile lstm --preset MINI --robust-timing \
+        --scenarios 32 --risk cvar --alpha 0.9 --seed 0
     python -m repro compile cnn --preset MINI --verify-static
     python -m repro tree cnn
     python -m repro sweep rnn --cores 8
@@ -89,6 +91,27 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument(
         "--stage-budget", type=float, default=10.0, metavar="S",
         help="wall-clock budget per --robust stage in seconds")
+    compile_cmd.add_argument(
+        "--robust-timing", action="store_true",
+        help="rank candidates by a risk objective over seeded "
+             "Monte-Carlo timing scenarios instead of the nominal "
+             "makespan")
+    compile_cmd.add_argument(
+        "--scenarios", type=int, default=32, metavar="N",
+        help="timing scenarios sampled for --robust-timing "
+             "(0 = nominal winner)")
+    compile_cmd.add_argument(
+        "--risk", choices=("cvar", "worst", "mean"), default="cvar",
+        help="risk objective over the scenario makespans")
+    compile_cmd.add_argument(
+        "--alpha", type=float, default=0.9,
+        help="CVaR tail level (fraction of scenarios averaged: 1-alpha)")
+    compile_cmd.add_argument(
+        "--spread", type=float, default=0.2,
+        help="half-width of the multiplicative timing noise interval")
+    compile_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="scenario-sampling seed (same seed => identical winner)")
     compile_cmd.add_argument(
         "--verify-static", action="store_true",
         help="gate the result on the static PREM-compliance verifier "
@@ -168,6 +191,16 @@ def _cache(args) -> Optional[PersistentCache]:
 def _compile(args, use_cache: bool = True):
     kernel = make_kernel(args.kernel, args.preset)
     cache = _cache(args) if use_cache else None
+    if getattr(args, "robust_timing", False):
+        # The compiler seed doubles as the scenario-sampling seed, so
+        # --seed reaches the robust search without a second knob.
+        compiler = PremCompiler(
+            _platform(args), seed=args.seed,
+            jobs=getattr(args, "jobs", 1), cache=cache)
+        return compiler.compile(
+            kernel, cores=args.cores, strategy="robust",
+            scenarios=args.scenarios, risk=args.risk,
+            alpha=args.alpha, spread=args.spread)
     compiler = PremCompiler(
         _platform(args), jobs=getattr(args, "jobs", 1), cache=cache)
     if getattr(args, "pruned", False):
@@ -217,6 +250,13 @@ def cmd_compile(args) -> int:
               + (" (degraded)" if result.degraded else ""))
         for attempt in result.attempts:
             print(f"  {attempt.describe()}")
+    if args.robust_timing:
+        from .reporting import robust_note
+
+        for choice in result.opt_result.choices:
+            if hasattr(choice.result, "scenario_count"):
+                print(f"{choice.component.label()}: "
+                      f"{robust_note(choice.result)}")
     if args.verify_static:
         report = result.verify_static()
         merged = report.merged
@@ -255,23 +295,18 @@ def cmd_trace(args) -> int:
 
 
 def cmd_gantt(args) -> int:
-    # Rendering needs a full SegmentPlan; a warm cache would hand back a
-    # plan-less result, so the timeline always compiles fresh.
-    result = _compile(args, use_cache=False)
+    # Rendering needs a full SegmentPlan; a warm-cache winner arrives
+    # plan-less, so re-plan just the chosen solution instead of
+    # bypassing the cache for the whole compilation.
+    result = _compile(args)
     if not result.components:
         print("no feasible components", file=sys.stderr)
         return 1
     compiled = result.components[0]
-    best = None
-    for choice in result.opt_result.choices:
-        if choice.component is compiled.component:
-            best = choice.result.best
-    if best is None or best.plan is None:
-        print("no plan available", file=sys.stderr)
-        return 1
+    plan = result.plan_of(compiled)
     print(f"component {compiled.component.label()} "
           f"({compiled.solution.describe()})")
-    print(render_gantt(best.plan.cores))
+    print(render_gantt(plan.cores))
     return 0
 
 

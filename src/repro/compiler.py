@@ -32,10 +32,12 @@ from .opt.exhaustive import ExhaustiveOptimizer
 from .opt.greedy import GreedyOptimizer
 from .opt.ideal import ideal_makespan_ns
 from .opt.pruned import DEFAULT_PRUNED_MAX_POINTS, PrunedOptimizer
+from .opt.robust import RobustOptimizer
 from .opt.solution import Solution
 from .opt.tree import TreeOptimizer, TreeOptResult
 from .prem.codegen import CodeGenerator
 from .prem.runtime import SequentialInterpreter, init_arrays, run_kernel_prem
+from .prem.segments import ComponentPlan, SegmentPlanner
 from .schedule.makespan import DEFAULT_SEGMENT_CAP
 from .sim.machine import MachineModel
 from .timing.platform import DEFAULT_PLATFORM, Platform
@@ -86,6 +88,7 @@ class CompilationResult:
     opt_result: TreeOptResult
     strategy: str = "heuristic"
     attempts: List[StageAttempt] = field(default_factory=list)
+    segment_cap: int = DEFAULT_SEGMENT_CAP
 
     @property
     def degraded(self) -> bool:
@@ -128,6 +131,31 @@ class CompilationResult:
                     f"one of the loops")
             out[head] = (compiled.component, compiled.solution)
         return out
+
+    def plan_of(self, compiled: CompiledComponent) -> ComponentPlan:
+        """The full segment plan of one compiled component.
+
+        Persistent-cache winners are deliberately plan-less (a warm run
+        performs zero fresh plans), so consumers that need the actual
+        segment schedule — the gantt chart, the report's per-segment
+        table — re-plan the single chosen solution here instead of
+        bypassing the cache for the whole compilation.  The fitted
+        execution model travels with the optimizer result, so the
+        re-plan reproduces the optimizer's plan exactly."""
+        for choice in self.opt_result.choices:
+            if choice.component is not compiled.component:
+                continue
+            best = choice.result.best
+            if best is not None and best.plan is not None:
+                return best.plan
+            exec_model = choice.result.exec_model
+            if exec_model is not None:
+                planner = SegmentPlanner(
+                    compiled.component, self.platform, exec_model)
+                return planner.plan(compiled.solution, self.segment_cap)
+        raise CompilationError(
+            f"no optimizer record for component "
+            f"{compiled.component.label()}; cannot reconstruct its plan")
 
     def run_functional(self, arrays: Optional[Dict[str, np.ndarray]] = None,
                        seed: int = 7) -> Dict[str, np.ndarray]:
@@ -186,7 +214,11 @@ class PremCompiler:
                 deadline: Optional[float] = None,
                 budget_s: float = 0.0,
                 jobs: Optional[int] = None,
-                cache: Optional[PersistentCache] = None
+                cache: Optional[PersistentCache] = None,
+                scenarios: int = 32,
+                risk: str = "cvar",
+                alpha: float = 0.9,
+                spread: float = 0.2
                 ) -> CompilationResult:
         """Analyze, optimize and package one kernel.
 
@@ -195,13 +227,17 @@ class PremCompiler:
         guarded by ``exhaustive_max_points``), ``pruned`` (the same
         scan driven by admissible lower bounds — identical winner,
         far fewer plans, guarded by the much larger
-        ``pruned_max_points``), or ``sequential`` (no PREM
-        transformation at all — the whole kernel on one core).
-        *deadline*/*budget_s* arm the cooperative per-stage timeout used
-        by :meth:`compile_robust`.  *jobs*/*cache* override the
-        compiler-level evaluation-engine settings for this call; the
-        deadline stays armed inside worker processes, and parallel runs
-        are guaranteed to pick the same solutions as serial ones.
+        ``pruned_max_points``), ``robust`` (the pruned scan re-ranked
+        by *risk* — ``worst``/``cvar``/``mean`` — over *scenarios*
+        seeded Monte-Carlo timing perturbations of half-width *spread*;
+        ``scenarios=0`` degrades to the nominal pruned winner), or
+        ``sequential`` (no PREM transformation at all — the whole
+        kernel on one core).  *deadline*/*budget_s* arm the cooperative
+        per-stage timeout used by :meth:`compile_robust`.  *jobs*/
+        *cache* override the compiler-level evaluation-engine settings
+        for this call; the deadline stays armed inside worker
+        processes, and parallel runs are guaranteed to pick the same
+        solutions as serial ones.
         """
         jobs = self.jobs if jobs is None else jobs
         cache = self.cache if cache is None else cache
@@ -232,6 +268,13 @@ class PremCompiler:
                 self.platform, cores=cores,
                 optimize_fn=self._pruned_fn(
                     cores, deadline, budget_s, jobs, cache))
+        elif strategy == "robust":
+            result = optimizer.optimize(
+                self.platform, cores=cores,
+                optimize_fn=self._robust_fn(
+                    cores, deadline, budget_s, jobs, cache,
+                    scenarios=scenarios, risk=risk, alpha=alpha,
+                    spread=spread))
         else:
             raise ValueError(f"unknown strategy {strategy!r}")
 
@@ -255,6 +298,7 @@ class PremCompiler:
             ideal_ns=ideal_makespan_ns(kernel, self.platform, self.machine),
             opt_result=result,
             strategy=strategy,
+            segment_cap=self.segment_cap,
         )
 
     def compile_robust(self, kernel: Kernel, cores: Optional[int] = None,
@@ -335,6 +379,7 @@ class PremCompiler:
             ideal_ns=ideal_makespan_ns(kernel, self.platform, self.machine),
             opt_result=result,
             strategy="sequential",
+            segment_cap=self.segment_cap,
         )
 
     def _heuristic_fn(self, cores: Optional[int],
@@ -396,5 +441,24 @@ class PremCompiler:
                 deadline=deadline, budget_s=budget_s,
                 jobs=jobs, cache=cache)
             return pruned.optimize(cores)
+
+        return optimize_fn
+
+    def _robust_fn(self, cores: Optional[int],
+                   deadline: Optional[float], budget_s: float,
+                   jobs: int = 1,
+                   cache: Optional[PersistentCache] = None,
+                   scenarios: int = 32, risk: str = "cvar",
+                   alpha: float = 0.9, spread: float = 0.2):
+        def optimize_fn(component, exec_model):
+            robust = RobustOptimizer(
+                component, self.platform, exec_model,
+                segment_cap=self.segment_cap,
+                scenarios=scenarios, seed=self.seed, spread=spread,
+                risk=risk, alpha=alpha,
+                max_points=self.pruned_max_points,
+                deadline=deadline, budget_s=budget_s,
+                jobs=jobs, cache=cache)
+            return robust.optimize(cores)
 
         return optimize_fn

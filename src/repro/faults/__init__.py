@@ -5,18 +5,21 @@ This package owns the robustness surface of the toolchain: seeded
 machine, the :class:`PremInvariantChecker` that audits VM traces and
 static timing for PREM-compliance, :func:`run_campaign`, which injects a
 seeded batch of faults into a compiled kernel and reports how many the
-checker caught, and :func:`run_static_campaign`, which seeds the same
+checker caught, :func:`run_static_campaign`, which seeds the same
 swap-fault kinds into the *static* analysis model and scores how many
-the :mod:`repro.analysis` verifier catches without running anything.
+the :mod:`repro.analysis` verifier catches without running anything,
+and the :mod:`repro.faults.scenarios` Monte-Carlo timing scenarios the
+robust optimizer scores candidates against.
 
 Import direction is one-way: ``repro.faults`` imports from
 ``repro.analysis``, ``repro.prem`` and ``repro.schedule``; the
 instrumented modules only ever see the injector duck-typed through an
-optional parameter, and ``repro.analysis`` never imports back.
+optional parameter, and ``repro.analysis`` never imports back.  The
+campaign/static-campaign symbols are loaded lazily (PEP 562) because
+they pull in :mod:`repro.compiler`, which itself imports
+``repro.faults.scenarios`` — eager re-export would close that cycle.
 """
 
-from .campaign import CampaignResult, FaultOutcome, run_campaign
-from .invariants import TIMING_EPS_NS, PremInvariantChecker
 from .plan import (
     ALL_KINDS,
     DMA_JITTER,
@@ -33,18 +36,35 @@ from .plan import (
     FaultPlan,
     FaultSpec,
 )
-from .staticdet import (
-    STATIC_KINDS,
-    StaticCampaignResult,
-    StaticFaultCase,
-    StaticFaultOutcome,
-    campaign_platform,
-    run_static_campaign,
+from .scenarios import (
+    DEFAULT_SPREAD,
+    NOMINAL_SCENARIO,
+    PARAMETERS,
+    TimingScenario,
+    adverse_scenario,
+    envelope_scenario,
+    sample_scenarios,
 )
+
+#: Lazily re-exported symbols and the submodule each one lives in.
+_LAZY = {
+    "CampaignResult": "campaign",
+    "FaultOutcome": "campaign",
+    "run_campaign": "campaign",
+    "TIMING_EPS_NS": "invariants",
+    "PremInvariantChecker": "invariants",
+    "STATIC_KINDS": "staticdet",
+    "StaticCampaignResult": "staticdet",
+    "StaticFaultCase": "staticdet",
+    "StaticFaultOutcome": "staticdet",
+    "campaign_platform": "staticdet",
+    "run_static_campaign": "staticdet",
+}
 
 __all__ = [
     "ALL_KINDS",
     "CampaignResult",
+    "DEFAULT_SPREAD",
     "DMA_JITTER",
     "DMA_STALL",
     "EXEC_OVERRUN",
@@ -53,7 +73,9 @@ __all__ = [
     "FaultOutcome",
     "FaultPlan",
     "FaultSpec",
+    "NOMINAL_SCENARIO",
     "NULL_INJECTOR",
+    "PARAMETERS",
     "PremInvariantChecker",
     "SPM_POISON",
     "STATIC_KINDS",
@@ -65,7 +87,28 @@ __all__ = [
     "StaticFaultOutcome",
     "TIMING_EPS_NS",
     "TIMING_KINDS",
+    "TimingScenario",
+    "adverse_scenario",
     "campaign_platform",
+    "envelope_scenario",
     "run_campaign",
     "run_static_campaign",
+    "sample_scenarios",
 ]
+
+
+def __getattr__(name):
+    try:
+        module_name = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    from importlib import import_module
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,182 @@
+"""Seeded Monte-Carlo timing scenarios for robust compilation.
+
+The §4.2 execution model is a constrained least-squares fit and the
+platform's DMA/bus/API parameters are measurements, so every makespan
+the optimizers rank candidates by carries model error: a schedule that
+wins by 1% at the nominal parameters can lose badly when
+``T_DMA_overhead`` or the bus bandwidth drifts.  A
+:class:`TimingScenario` is one multiplicative perturbation of those
+parameters; :mod:`repro.opt.robust` scores candidates by a risk
+objective (worst-case, CVaR, mean) over the per-scenario makespans
+instead of the nominal point estimate.
+
+Sampling follows the seeded-``random.Random`` discipline of the fault
+campaigns in this package: a ``(count, seed, spread)`` triple fully
+determines the scenario set, so robust compilations are bit-identical
+across re-runs, worker counts and hosts.
+
+Only *timing* parameters are perturbed — never cores, SPM capacity or
+burst granularity — so a solution's feasibility (SPM fit, segment cap,
+range validity) is invariant across scenarios; only its makespan moves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..timing.execmodel import ExecModel
+from ..timing.platform import Platform
+
+#: The perturbed parameter groups, in sampling order.  Each scenario
+#: draws one multiplicative scale per group; the sensitivity ranking of
+#: the robust optimizer reports per-group makespan deltas under the
+#: same names.
+PARAMETERS: Tuple[str, ...] = (
+    "exec-overhead",    # ExecModel per-level overheads + intercept
+    "exec-work",        # ExecModel innermost-iteration cost W
+    "bus",              # Platform bus bandwidth (scale < 1: slower bus)
+    "dma",              # Platform per-line DMA overhead
+    "api",              # Platform PREM API worst-case costs
+)
+
+#: Default half-width of the uniform multiplicative noise interval.
+DEFAULT_SPREAD = 0.2
+
+
+@dataclass(frozen=True)
+class TimingScenario:
+    """One multiplicative perturbation of the timing parameters.
+
+    Every scale is relative to nominal (1.0).  ``bus`` scales the
+    *bandwidth*, so values below one model a slower bus; all other
+    scales multiply a cost, so values above one model a slower machine.
+    """
+
+    index: int
+    exec_overhead: float = 1.0
+    exec_work: float = 1.0
+    bus: float = 1.0
+    dma: float = 1.0
+    api: float = 1.0
+
+    def __post_init__(self):
+        for name, value in zip(PARAMETERS, self.scales()):
+            if value <= 0:
+                raise ValueError(f"{name} scale must be positive")
+
+    def scales(self) -> Tuple[float, ...]:
+        """The scale factors, ordered like :data:`PARAMETERS`."""
+        return (self.exec_overhead, self.exec_work, self.bus, self.dma,
+                self.api)
+
+    @property
+    def is_nominal(self) -> bool:
+        return all(scale == 1.0 for scale in self.scales())
+
+    def apply_platform(self, platform: Platform) -> Platform:
+        """The platform with this scenario's bus/DMA/API noise applied."""
+        return platform.with_timing_scales(
+            bus=self.bus, dma=self.dma, api=self.api)
+
+    def apply_exec_model(self, model: ExecModel) -> ExecModel:
+        """The execution model with this scenario's coefficient noise."""
+        return model.scaled(
+            overheads=self.exec_overhead, work=self.exec_work)
+
+    def digest(self) -> str:
+        """Stable short digest of the scale factors.
+
+        Mixed into persistent-cache context fingerprints so scenario
+        outcomes can never collide with nominal ones, even if a
+        perturbed parameter rounds back onto its nominal value.
+        """
+        blob = repr((self.index,) + self.scales())
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{name}×{scale:.4f}"
+            for name, scale in zip(PARAMETERS, self.scales())
+            if scale != 1.0)
+        return f"scenario {self.index}: {parts or 'nominal'}"
+
+
+#: The unperturbed scenario (index -1 marks it as synthetic).
+NOMINAL_SCENARIO = TimingScenario(index=-1)
+
+
+def sample_scenarios(count: int, seed: int = 0,
+                     spread: float = DEFAULT_SPREAD
+                     ) -> Tuple[TimingScenario, ...]:
+    """*count* seeded scenarios with uniform multiplicative noise.
+
+    Each parameter group's scale is drawn independently from
+    ``[1 - spread, 1 + spread]`` in the fixed :data:`PARAMETERS` order,
+    so the whole set is a pure function of ``(count, seed, spread)``.
+    """
+    if count < 0:
+        raise ValueError("scenario count must be non-negative")
+    if not 0 < spread < 1:
+        raise ValueError("spread must lie in (0, 1)")
+    rng = random.Random(seed)
+    scenarios = []
+    for index in range(count):
+        draws = [rng.uniform(1.0 - spread, 1.0 + spread)
+                 for _ in PARAMETERS]
+        scenarios.append(TimingScenario(index, *draws))
+    return tuple(scenarios)
+
+
+def envelope_scenario(scenarios: Sequence[TimingScenario]
+                      ) -> TimingScenario:
+    """The componentwise *optimistic* envelope of a scenario set.
+
+    Every parameter takes the value that makes schedules cheapest
+    across the whole set: the fastest bus, the smallest cost scales.
+    A makespan lower bound computed at the envelope parameters is a
+    lower bound on the candidate's makespan under *every* scenario —
+    the closed-form bounds of :mod:`repro.opt.bounds` are sums of
+    nonnegative terms, each linear in one perturbed parameter — and
+    therefore on any coordinatewise-monotone risk objective (worst,
+    CVaR, mean) over the scenario makespans.  That is what keeps
+    bound-driven pruning admissible in the robust search (DESIGN §10).
+    """
+    if not scenarios:
+        return NOMINAL_SCENARIO
+    return TimingScenario(
+        index=-1,
+        exec_overhead=min(s.exec_overhead for s in scenarios),
+        exec_work=min(s.exec_work for s in scenarios),
+        bus=max(s.bus for s in scenarios),
+        dma=min(s.dma for s in scenarios),
+        api=min(s.api for s in scenarios),
+    )
+
+
+def adverse_scenario(parameter: str, spread: float = DEFAULT_SPREAD
+                     ) -> TimingScenario:
+    """One-at-a-time adverse perturbation of a single parameter group.
+
+    Used by the sensitivity ranking: all groups stay nominal except
+    *parameter*, which moves to its costly extreme of the sampling
+    interval (``1 + spread`` for cost scales, ``1 - spread`` for the
+    bus bandwidth).
+    """
+    if parameter not in PARAMETERS:
+        raise ValueError(
+            f"unknown parameter {parameter!r} (known: {PARAMETERS})")
+    if not 0 < spread < 1:
+        raise ValueError("spread must lie in (0, 1)")
+    scales = {name: 1.0 for name in PARAMETERS}
+    scales[parameter] = 1.0 - spread if parameter == "bus" else 1.0 + spread
+    return TimingScenario(
+        index=-2,
+        exec_overhead=scales["exec-overhead"],
+        exec_work=scales["exec-work"],
+        bus=scales["bus"],
+        dma=scales["dma"],
+        api=scales["api"],
+    )

@@ -12,6 +12,15 @@ from .exhaustive import (
 from .greedy import GreedyOptimizer
 from .ideal import ideal_makespan_ns
 from .pruned import DEFAULT_PRUNED_MAX_POINTS, PrunedOptimizer
+from .robust import (
+    RISK_OBJECTIVES,
+    CandidateRisk,
+    RobustComponentResult,
+    RobustOptimizer,
+    SensitivityEntry,
+    cvar_tail_count,
+    risk_value,
+)
 from .solution import LevelParams, Solution
 from .threadgroups import (
     dominates,
@@ -31,6 +40,8 @@ __all__ = [
     "GreedyOptimizer",
     "ideal_makespan_ns",
     "DEFAULT_PRUNED_MAX_POINTS", "PrunedOptimizer",
+    "RISK_OBJECTIVES", "CandidateRisk", "RobustComponentResult",
+    "RobustOptimizer", "SensitivityEntry", "cvar_tail_count", "risk_value",
     "LevelParams", "Solution",
     "dominates", "generate_nondominated_thread_groups", "nondominated",
     "valid_assignments",

@@ -24,14 +24,24 @@ import hashlib
 import json
 import math
 import os
+import warnings
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:                          # pragma: no cover - non-POSIX
+    fcntl = None
 
 #: Environment override for the default cache directory.
 CACHE_ENV = "REPRO_CACHE_DIR"
 
 #: File holding the append-only entry log inside the cache directory.
 CACHE_FILENAME = "makespan-cache.jsonl"
+
+#: Sibling lockfile serialising appends across concurrent writers.
+LOCK_FILENAME = "makespan-cache.lock"
 
 #: Bumped whenever the entry layout or fingerprint recipe changes;
 #: entries from other versions are ignored on load.
@@ -85,8 +95,17 @@ def _exec_model_payload(exec_model) -> List[Any]:
 
 def context_fingerprint(component, platform, exec_model,
                         segment_cap: int,
-                        modes: Optional[Mapping[str, str]] = None) -> str:
-    """Digest of everything a makespan depends on except the solution."""
+                        modes: Optional[Mapping[str, str]] = None,
+                        scenario: Optional[str] = None) -> str:
+    """Digest of everything a makespan depends on except the solution.
+
+    *scenario* is the :meth:`TimingScenario.digest` of the timing
+    scenario the platform/model were perturbed under, when any; it is
+    folded into the fingerprint so robust-search outcomes can never
+    alias nominal ones, even where a perturbed parameter happens to
+    round back onto its nominal value.  Nominal contexts omit the key
+    entirely, keeping their fingerprints identical to pre-robust runs.
+    """
     payload = {
         "v": CACHE_VERSION,
         "component": _component_payload(component),
@@ -95,6 +114,8 @@ def context_fingerprint(component, platform, exec_model,
         "segment_cap": segment_cap,
         "modes": sorted(modes.items()) if modes else [],
     }
+    if scenario is not None:
+        payload["scenario"] = scenario
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -124,11 +145,13 @@ class PersistentCache:
         self.directory = Path(directory) if directory is not None \
             else default_cache_dir()
         self.path = self.directory / CACHE_FILENAME
+        self.lock_path = self.directory / LOCK_FILENAME
         self._entries: Dict[str, Dict[str, Any]] = {}
         self._loaded = False
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt_lines = 0
 
     # -- loading ----------------------------------------------------------
 
@@ -149,13 +172,21 @@ class PersistentCache:
             try:
                 entry = json.loads(line)
             except ValueError:
-                continue        # torn/corrupt line: treat as absent
+                # Torn line from a crash-interrupted writer: degrade to
+                # a miss for that entry, keep everything else.
+                self.corrupt_lines += 1
+                continue
             if not isinstance(entry, dict) or \
                     entry.get("v") != CACHE_VERSION:
                 continue
             digest = entry.get("k")
             if isinstance(digest, str):
                 self._entries[digest] = entry
+        if self.corrupt_lines:
+            warnings.warn(
+                f"persistent cache {self.path} contained "
+                f"{self.corrupt_lines} corrupt line(s); skipped",
+                RuntimeWarning, stacklevel=2)
 
     def __len__(self) -> int:
         self._load()
@@ -228,14 +259,34 @@ class PersistentCache:
         self._append(digest, entry)
         return True
 
+    @contextmanager
+    def _locked(self):
+        """Hold the sibling lockfile for the duration of one append.
+
+        Serialises concurrent writers (parallel benches, CI shards on a
+        shared cache dir) so partial lines can never interleave.  On
+        platforms without ``fcntl`` the append falls back to unlocked
+        single-``write`` mode, which POSIX appends keep atomic for the
+        short lines written here."""
+        if fcntl is None:
+            yield
+            return
+        with open(self.lock_path, "a") as lock:
+            fcntl.flock(lock, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock, fcntl.LOCK_UN)
+
     def _append(self, digest: str, entry: Dict[str, Any]) -> None:
         self._entries[digest] = entry
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "a") as handle:
-                handle.write(
-                    json.dumps(entry, sort_keys=True,
-                               separators=(",", ":")) + "\n")
+            with self._locked():
+                with open(self.path, "a") as handle:
+                    handle.write(
+                        json.dumps(entry, sort_keys=True,
+                                   separators=(",", ":")) + "\n")
         except OSError:
             return              # cache is best-effort; keep computing
         self.stores += 1

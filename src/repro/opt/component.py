@@ -49,6 +49,10 @@ class ComponentOptResult:
     cache_hits: int = 0
     pruned: int = 0               # candidates discarded on an admissible bound
     bound_hits: int = 0           # pruned candidates already in the cache
+    #: The fitted model the search ranked candidates under; lets late
+    #: consumers (gantt/report on a cache-hit winner) re-plan the best
+    #: solution without re-deriving the model.
+    exec_model: Optional[ExecModel] = None
 
     @property
     def feasible(self) -> bool:
@@ -121,6 +125,7 @@ class ComponentOptimizer:
             elapsed_s=elapsed,
             assignments_tried=len(assignments),
             cache_hits=self.evaluator.cache_hits,
+            exec_model=self.exec_model,
         )
 
     def _descend(self, assignment: Sequence[int],

@@ -136,4 +136,5 @@ class ExhaustiveOptimizer:
             elapsed_s=time.perf_counter() - started,
             assignments_tried=len(assignments),
             cache_hits=self.evaluator.cache_hits,
+            exec_model=self.exec_model,
         )

@@ -76,6 +76,7 @@ class GreedyOptimizer:
             assignments_tried=1,
             cache_hits=self.evaluator.cache_hits,
             pruned=self._pruned,
+            exec_model=self.exec_model,
         )
 
     # -- helpers ---------------------------------------------------------

@@ -138,6 +138,7 @@ class PrunedOptimizer:
             cache_hits=self.evaluator.cache_hits,
             pruned=self._pruned,
             bound_hits=self._bound_hits,
+            exec_model=self.exec_model,
         )
 
     # -- enumeration (tier-1 bounds) ---------------------------------------

@@ -156,6 +156,37 @@ def engine_note(metrics) -> str:
     return ", ".join(parts)
 
 
+def robust_note(result) -> str:
+    """One-line robust-search summary for one component result.
+
+    Accepts a :class:`~repro.opt.robust.RobustComponentResult`; shows
+    the risk objective, nominal vs robust winner, the regret the nominal
+    winner would have carried, and the most fragile timing parameter —
+    the line archived next to robust-compile bench numbers and printed
+    by ``compile --robust-timing``."""
+    label = result.risk if result.risk != "cvar" \
+        else f"cvar-{result.alpha:g}"
+    if not result.scenario_count or result.robust is None:
+        return f"robust: {label}, 0 scenarios (nominal winner kept)"
+    parts = [f"robust: {label} over {result.scenario_count} scenarios "
+             f"(seed {result.seed}, spread ±{result.spread:g})"]
+    if result.switched:
+        parts.append(
+            f"winner switched {result.nominal.solution.describe()} -> "
+            f"{result.robust.solution.describe()}, regret "
+            f"{result.regret_ns:,.0f} ns "
+            f"({result.regret_ns / result.robust.risk_ns:.2%})")
+    else:
+        parts.append("nominal winner already robust")
+    parts.append(f"risk {result.robust.risk_ns:,.0f} ns, worst "
+                 f"{result.robust.worst_ns:,.0f} ns")
+    if result.sensitivity:
+        top = result.sensitivity[0]
+        parts.append(f"most fragile: {top.parameter} "
+                     f"(+{top.delta_ns:,.0f} ns adverse)")
+    return ", ".join(parts)
+
+
 def full_grid_enabled() -> bool:
     """REPRO_FULL=1 switches benches to the paper's complete sweeps."""
     return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")

@@ -72,12 +72,16 @@ class MakespanEvaluator:
                  exec_model: ExecModel,
                  segment_cap: int = DEFAULT_SEGMENT_CAP,
                  modes: Mapping[str, str] | None = None,
-                 cache: Optional[PersistentCache] = None):
+                 cache: Optional[PersistentCache] = None,
+                 scenario: Optional[str] = None):
         self.component = component
         self.platform = platform
         self.exec_model = exec_model
         self.segment_cap = segment_cap
         self.modes = dict(modes) if modes else None
+        #: Timing-scenario digest when platform/model carry Monte-Carlo
+        #: perturbations; folded into persistent-cache fingerprints.
+        self.scenario = scenario
         self.geometry = ArrayGeometry(component, platform, exec_model)
         self.planner = SegmentPlanner(
             component, platform, exec_model, modes, geometry=self.geometry)
@@ -99,7 +103,7 @@ class MakespanEvaluator:
         if cache is not None:
             self._context_hash = context_fingerprint(
                 self.component, self.platform, self.exec_model,
-                self.segment_cap, self.modes)
+                self.segment_cap, self.modes, scenario=self.scenario)
         else:
             self._context_hash = None
 

@@ -54,6 +54,26 @@ class ExecModel:
         total += self.work * prefix
         return total
 
+    def scaled(self, overheads: float = 1.0, work: float = 1.0
+               ) -> "ExecModel":
+        """A copy with multiplicative noise on the fitted coefficients.
+
+        *overheads* scales every per-level overhead and the intercept
+        (the tile-grain costs), *work* the innermost-iteration cost.
+        Scales must be positive so estimates stay nonnegative; the
+        robust optimizer's timing scenarios perturb models through this
+        helper.
+        """
+        if overheads <= 0 or work <= 0:
+            raise ValueError("coefficient scales must be positive")
+        if overheads == 1.0 and work == 1.0:
+            return self
+        return ExecModel(
+            overheads=tuple(o * overheads for o in self.overheads),
+            work=self.work * work,
+            intercept=self.intercept * overheads,
+        )
+
     def __repr__(self) -> str:
         o = ", ".join(f"{v:.2f}" for v in self.overheads)
         return f"ExecModel(O=[{o}], W={self.work:.3f}, O0={self.intercept:.1f})"

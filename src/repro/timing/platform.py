@@ -109,6 +109,37 @@ class Platform:
         """A copy with a different core count."""
         return replace(self, cores=cores)
 
+    def with_dma_overhead(self, overhead_ns: float) -> "Platform":
+        """A copy at a different per-line DMA overhead."""
+        if overhead_ns < 0:
+            raise ValueError("DMA overhead must be non-negative")
+        return replace(self, dma_line_overhead_ns=overhead_ns)
+
+    def with_timing_scales(self, bus: float = 1.0, dma: float = 1.0,
+                           api: float = 1.0) -> "Platform":
+        """A copy with multiplicative noise on the timing parameters.
+
+        *bus* scales the bus bandwidth (``bus < 1`` is a slower bus),
+        *dma* the per-line DMA overhead and *api* every PREM API
+        worst-case cost.  Scales must be positive; the no-argument call
+        is the identity.  This is the perturbation surface the robust
+        optimizer's Monte-Carlo timing scenarios act through — the
+        structural parameters (cores, SPM, burst size) are deliberately
+        not scalable here, so feasibility of a solution is invariant
+        across scenarios.
+        """
+        if bus <= 0 or dma <= 0 or api <= 0:
+            raise ValueError("timing scales must be positive")
+        if bus == 1.0 and dma == 1.0 and api == 1.0:
+            return self
+        return replace(
+            self,
+            bus_bytes_per_s=self.bus_bytes_per_s * bus,
+            dma_line_overhead_ns=self.dma_line_overhead_ns * dma,
+            api_wcet_ns={name: cost * api
+                         for name, cost in self.api_wcet_ns.items()},
+        )
+
 
 DEFAULT_PLATFORM = Platform()
 

@@ -129,13 +129,43 @@ class TestCommands:
                      str(tmp_path)]) == 0
         assert "entries    : 0" in capsys.readouterr().out
 
-    def test_gantt_ignores_cache(self, tmp_path, capsys):
+    def test_gantt_replans_from_warm_cache(self, tmp_path, capsys):
+        # A warm cache hands the winner back plan-less; gantt must
+        # re-plan it (not bypass the cache, not fail) and render the
+        # identical timeline.
         argv = ["gantt", "cnn", "--preset", "MINI", "--spm", "8",
                 "--cache-dir", str(tmp_path)]
         assert main(argv) == 0
-        capsys.readouterr()
+        cold = capsys.readouterr().out
+        assert (tmp_path / "makespan-cache.jsonl").exists()
         assert main(argv) == 0                 # warm run still renders
-        assert "dma" in capsys.readouterr().out
+        warm = capsys.readouterr().out
+        assert "dma" in warm
+        assert warm == cold
+
+    def test_compile_robust_timing(self, capsys):
+        code = main(["compile", "lstm", "--preset", "MINI", "--spm", "8",
+                     "--robust-timing", "--scenarios", "4", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "robust: cvar-0.9 over 4 scenarios" in out
+
+    def test_compile_robust_timing_zero_scenarios_matches_pruned(
+            self, capsys):
+        base = ["lstm", "--preset", "MINI", "--spm", "8"]
+        assert main(["compile"] + base + ["--pruned"]) == 0
+        pruned_out = capsys.readouterr().out
+        assert main(["compile"] + base + ["--robust-timing",
+                                          "--scenarios", "0"]) == 0
+        robust_out = capsys.readouterr().out
+
+        def makespan_line(text):
+            return next(l for l in text.splitlines()
+                        if l.startswith("makespan"))
+
+        # Identical makespan; only the robust note differs.
+        assert makespan_line(pruned_out) == makespan_line(robust_out)
+        assert "0 scenarios (nominal winner kept)" in robust_out
 
 
 class TestAnalyze:

@@ -2,6 +2,8 @@
 
 import json
 import math
+import multiprocessing
+import warnings
 
 import pytest
 
@@ -12,6 +14,7 @@ from repro.opt.cache import (
     CACHE_VERSION,
     PersistentCache,
     context_fingerprint,
+    fcntl,
     solution_digest,
 )
 from repro.schedule.makespan import MakespanEvaluator
@@ -54,6 +57,23 @@ class TestFingerprint:
         b = context_fingerprint(
             component_at(tree, ["b_1"]), Platform(), lstm_model, 8192)
         assert a != b
+
+    def test_scenario_changes_fingerprint(self, lstm_comp, lstm_model):
+        base = context_fingerprint(lstm_comp, Platform(), lstm_model, 8192)
+        scen = context_fingerprint(
+            lstm_comp, Platform(), lstm_model, 8192, scenario="abcd1234")
+        other = context_fingerprint(
+            lstm_comp, Platform(), lstm_model, 8192, scenario="ffff0000")
+        assert base != scen and scen != other
+
+    def test_no_scenario_matches_legacy_fingerprint(self, lstm_comp,
+                                                    lstm_model):
+        # scenario=None omits the key entirely, so nominal fingerprints
+        # (and every pre-robust cache entry) stay valid.
+        assert context_fingerprint(
+            lstm_comp, Platform(), lstm_model, 8192) == \
+            context_fingerprint(
+                lstm_comp, Platform(), lstm_model, 8192, scenario=None)
 
     def test_solution_digest_depends_on_key(self):
         assert solution_digest("ctx", (("i", 2, 1),)) != \
@@ -103,9 +123,63 @@ class TestPersistentCache:
             handle.write(json.dumps({"k": "other", "v": CACHE_VERSION,
                                      "m": 7.0, "f": True}) + "\n")
         fresh = PersistentCache(tmp_path)
-        assert fresh.get("good") is not None
+        with pytest.warns(RuntimeWarning, match="1 corrupt line"):
+            assert fresh.get("good") is not None
         assert fresh.get("other") is not None
         assert len(fresh) == 2
+        assert fresh.corrupt_lines == 1
+
+    def test_truncated_trailing_line_skipped(self, tmp_path):
+        # A crash mid-append leaves a prefix of the last line; every
+        # complete entry before it must survive the reload.
+        cache = PersistentCache(tmp_path)
+        cache.put("a", makespan_ns=1.0, feasible=True)
+        cache.put("b", makespan_ns=2.0, feasible=True)
+        text = cache.path.read_text()
+        cache.path.write_text(text[:-9])       # tear the final line
+        fresh = PersistentCache(tmp_path)
+        with pytest.warns(RuntimeWarning):
+            assert fresh.get("a") is not None
+        assert fresh.get("b") is None
+        assert fresh.corrupt_lines == 1
+
+    def test_clean_load_emits_no_warning(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.put("a", makespan_ns=1.0, feasible=True)
+        fresh = PersistentCache(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert fresh.get("a") is not None
+        assert fresh.corrupt_lines == 0
+
+    def test_append_creates_lockfile(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.put("a", makespan_ns=1.0, feasible=True)
+        if fcntl is not None:
+            assert cache.lock_path.exists()
+
+    def test_concurrent_appends_never_tear_lines(self, tmp_path):
+        # Two writer processes interleave appends through the lockfile;
+        # the merged log must parse line by line with no corruption.
+        if fcntl is None:
+            pytest.skip("no fcntl on this platform")
+
+        def writer(tag):
+            cache = PersistentCache(tmp_path)
+            for index in range(50):
+                cache.put(f"{tag}-{index}", makespan_ns=float(index),
+                          feasible=True, reason="x" * 64)
+
+        procs = [multiprocessing.Process(target=writer, args=(tag,))
+                 for tag in ("p", "q")]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join()
+        assert all(proc.exitcode == 0 for proc in procs)
+        fresh = PersistentCache(tmp_path)
+        assert len(fresh) == 100
+        assert fresh.corrupt_lines == 0
 
     def test_other_version_ignored(self, tmp_path):
         cache = PersistentCache(tmp_path)

@@ -1,0 +1,262 @@
+"""Robust (risk-objective) search over timing scenarios.
+
+The contracts under test: ``scenarios == 0`` makes the robust search a
+bit-identical wrapper around ``PrunedOptimizer``; the same seed always
+reproduces the same scenario set, winner, risk and sensitivity ranking;
+under ``risk="worst"`` the robust winner's worst-case is never beaten by
+the nominal winner's worst-case (minimax optimality over the candidate
+space); and the risk helpers themselves are exact on hand-computable
+inputs.
+"""
+
+import math
+import multiprocessing
+
+import pytest
+
+from repro.compiler import PremCompiler
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.opt.cache import PersistentCache
+from repro.opt.pruned import PrunedOptimizer
+from repro.opt.robust import (
+    CandidateRisk,
+    RobustOptimizer,
+    cvar_tail_count,
+    risk_value,
+)
+from repro.sim.profiler import fit_component_model
+from repro.timing.platform import Platform
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+needs_fork = pytest.mark.skipif(
+    not HAS_FORK, reason="worker pool requires the fork start method")
+
+
+def _component(kernel_name, preset, vars_):
+    tree = LoopTree.build(make_kernel(kernel_name, preset))
+    comp = component_at(tree, vars_)
+    return comp, fit_component_model(comp)
+
+
+@pytest.fixture(scope="module")
+def lstm_small():
+    return _component("lstm", "SMALL", ["s1_0", "p"])
+
+
+@pytest.fixture(scope="module")
+def rnn_small():
+    return _component("rnn", "SMALL", ["s1", "p"])
+
+
+def _record(result):
+    """Everything the determinism contract covers, as one comparable."""
+    robust = result.robust
+    return (
+        result.best.solution.key(), result.best.makespan_ns,
+        robust.solution.key() if robust else None,
+        robust.scenario_ns if robust else None,
+        robust.risk_ns if robust else None,
+        tuple((e.parameter, e.makespan_ns) for e in result.sensitivity),
+    )
+
+
+class TestRiskHelpers:
+    def test_cvar_tail_count(self):
+        assert cvar_tail_count(32, 0.9) == 4      # ceil(0.1 * 32)
+        assert cvar_tail_count(32, 0.0) == 32     # mean
+        assert cvar_tail_count(32, 0.99) == 1     # never empty
+        assert cvar_tail_count(10, 0.75) == 3
+
+    def test_worst_and_mean(self):
+        values = [3.0, 1.0, 2.0]
+        assert risk_value(values, "worst", 0.9) == 3.0
+        assert risk_value(values, "mean", 0.9) == 2.0
+
+    def test_cvar_interpolates(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert risk_value(values, "cvar", 0.75) == 40.0      # tail of 1
+        assert risk_value(values, "cvar", 0.5) == 35.0       # tail of 2
+        assert risk_value(values, "cvar", 0.0) == 25.0       # == mean
+        assert risk_value(values, "cvar", 0.0) == \
+            risk_value(values, "mean", 0.0)
+
+    def test_empty_is_infinite(self):
+        assert math.isinf(risk_value([], "worst", 0.9))
+
+    def test_unknown_risk_rejected(self):
+        with pytest.raises(ValueError):
+            risk_value([1.0], "median", 0.9)
+
+    def test_candidate_risk_properties(self):
+        record = CandidateRisk(solution=None, nominal_ns=5.0,
+                               scenario_ns=(4.0, 8.0, 6.0), risk_ns=8.0)
+        assert record.worst_ns == 8.0
+        assert record.mean_ns == 6.0
+        empty = CandidateRisk(solution=None, nominal_ns=5.0,
+                              scenario_ns=(), risk_ns=5.0)
+        assert empty.worst_ns == empty.mean_ns == 5.0
+
+
+class TestValidation:
+    def test_unknown_risk(self, rnn_small):
+        comp, model = rnn_small
+        with pytest.raises(ValueError):
+            RobustOptimizer(comp, Platform(), model, risk="median")
+
+    def test_alpha_out_of_range(self, rnn_small):
+        comp, model = rnn_small
+        with pytest.raises(ValueError):
+            RobustOptimizer(comp, Platform(), model, alpha=1.0)
+        with pytest.raises(ValueError):
+            RobustOptimizer(comp, Platform(), model, alpha=-0.1)
+
+
+class TestNominalDegradation:
+    def test_zero_scenarios_matches_pruned_exactly(self, lstm_small):
+        comp, model = lstm_small
+        pruned = PrunedOptimizer(comp, Platform(), model).optimize(8)
+        robust = RobustOptimizer(
+            comp, Platform(), model, scenarios=0).optimize(8)
+        assert robust.best.solution.key() == pruned.best.solution.key()
+        assert robust.best.makespan_ns == pruned.best.makespan_ns
+        assert robust.evaluations == pruned.evaluations
+        assert robust.scenario_count == 0
+        assert robust.robust is None and robust.nominal is None
+        assert robust.sensitivity == ()
+        assert robust.regret_ns == 0.0 and not robust.switched
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self, rnn_small):
+        comp, model = rnn_small
+        runs = [RobustOptimizer(comp, Platform(), model, scenarios=8,
+                                seed=0).optimize(8)
+                for _ in range(2)]
+        assert _record(runs[0]) == _record(runs[1])
+
+    def test_different_seed_changes_scenarios(self, rnn_small):
+        comp, model = rnn_small
+        a = RobustOptimizer(comp, Platform(), model, scenarios=8, seed=0)
+        b = RobustOptimizer(comp, Platform(), model, scenarios=8, seed=1)
+        assert a.scenarios != b.scenarios
+
+    @needs_fork
+    def test_jobs_do_not_change_the_winner(self, rnn_small):
+        comp, model = rnn_small
+        serial = RobustOptimizer(
+            comp, Platform(), model, scenarios=6, seed=0).optimize(8)
+        parallel = RobustOptimizer(
+            comp, Platform(), model, scenarios=6, seed=0,
+            jobs=2).optimize(8)
+        assert _record(serial) == _record(parallel)
+
+
+class TestRobustWinner:
+    @pytest.mark.parametrize("fixture", ["lstm_small", "rnn_small"])
+    def test_worst_case_winner_is_minimax(self, fixture, request):
+        comp, model = request.getfixturevalue(fixture)
+        result = RobustOptimizer(comp, Platform(), model, scenarios=8,
+                                 seed=0, risk="worst").optimize(8)
+        assert result.robust is not None and result.nominal is not None
+        assert len(result.robust.scenario_ns) == 8
+        # Minimax optimality over the whole candidate space implies in
+        # particular: never worse than keeping the nominal winner.
+        assert result.robust.worst_ns <= result.nominal.worst_ns
+        assert result.regret_ns >= 0.0
+
+    def test_cvar_winner_never_regresses_the_objective(self, rnn_small):
+        comp, model = rnn_small
+        result = RobustOptimizer(comp, Platform(), model, scenarios=8,
+                                 seed=0, risk="cvar",
+                                 alpha=0.9).optimize(8)
+        assert result.robust.risk_ns <= result.nominal.risk_ns
+        assert result.robust.risk_ns == risk_value(
+            list(result.robust.scenario_ns), "cvar", 0.9)
+
+    def test_best_is_the_nominal_outcome_of_the_robust_winner(
+            self, rnn_small):
+        comp, model = rnn_small
+        result = RobustOptimizer(comp, Platform(), model, scenarios=8,
+                                 seed=0).optimize(8)
+        assert result.best.solution.key() == \
+            result.robust.solution.key()
+        assert result.best.makespan_ns == result.robust.nominal_ns
+        assert result.best.plan is not None       # codegen-ready
+
+    def test_sensitivity_ranked_by_impact(self, rnn_small):
+        comp, model = rnn_small
+        result = RobustOptimizer(comp, Platform(), model, scenarios=4,
+                                 seed=0).optimize(8)
+        deltas = [entry.delta_ns for entry in result.sensitivity]
+        assert len(deltas) == 5
+        assert deltas == sorted(deltas, reverse=True)
+        # Adverse perturbations only ever add cost.
+        assert all(delta >= 0.0 for delta in deltas)
+
+    def test_infeasible_component_skips_scenario_phase(self):
+        comp, model = _component("rnn", "SMALL", ["s1", "p"])
+        # 16-byte SPM: nothing fits, so there is nothing to robustify.
+        result = RobustOptimizer(
+            comp, Platform(spm_bytes=16), model, scenarios=4).optimize(8)
+        assert not result.feasible
+        assert result.robust is None
+        assert result.scenario_probes == 0
+
+
+class TestPersistentCacheIntegration:
+    def test_warm_run_replays_without_planning(self, tmp_path, rnn_small):
+        comp, model = rnn_small
+
+        def run():
+            return RobustOptimizer(
+                comp, Platform(), model, scenarios=6, seed=0,
+                cache=PersistentCache(tmp_path)).optimize(8)
+
+        cold = run()
+        warm = run()
+        assert _record(cold) == _record(warm)
+        assert warm.evaluations == 0          # every probe was a hit
+        assert warm.cache_hits > 0
+        # Warm hits carry no plan by design; consumers that need one
+        # re-plan the single winner (CompilationResult.plan_of).
+        assert warm.best.from_cache
+
+    def test_scenario_entries_do_not_alias_nominal(self, tmp_path,
+                                                   rnn_small):
+        comp, model = rnn_small
+        RobustOptimizer(comp, Platform(), model, scenarios=4, seed=0,
+                        cache=PersistentCache(tmp_path)).optimize(8)
+        # A plain nominal search against the same cache dir must only
+        # hit nominal entries — a scenario entry surfacing here would
+        # corrupt the nominal winner.
+        nominal = PrunedOptimizer(comp, Platform(), model).optimize(8)
+        warm = PrunedOptimizer(
+            comp, Platform(), model,
+            cache=PersistentCache(tmp_path)).optimize(8)
+        assert warm.best.solution.key() == nominal.best.solution.key()
+        assert warm.best.makespan_ns == nominal.best.makespan_ns
+
+
+class TestCompilerStrategy:
+    def test_robust_strategy_end_to_end(self):
+        kernel = make_kernel("lstm", "MINI")
+        result = PremCompiler(seed=0).compile(
+            kernel, strategy="robust", scenarios=4)
+        assert result.feasible
+        for choice in result.opt_result.choices:
+            assert choice.result.scenario_count == 4
+            assert choice.result.robust is not None
+        # The functional VM still validates the chosen schedules.
+        result.run_functional(seed=7)
+
+    def test_zero_scenarios_reproduces_pruned_strategy(self):
+        kernel = make_kernel("lstm", "MINI")
+        pruned = PremCompiler().compile(kernel, strategy="pruned")
+        robust = PremCompiler(seed=0).compile(
+            kernel, strategy="robust", scenarios=0)
+        assert robust.makespan_ns == pruned.makespan_ns
+        assert [c.solution.key() for c in robust.components] == \
+            [c.solution.key() for c in pruned.components]
