@@ -19,6 +19,7 @@ fresh plans, wall time and the chosen makespan per component.
 """
 
 import json
+import tempfile
 import time
 from pathlib import Path
 from unittest import mock
@@ -30,6 +31,7 @@ from repro.loopir.component import component_at
 from repro.loopir.validity import is_chain_extendable
 from repro.opt import (
     ExhaustiveOptimizer,
+    PersistentCache,
     PrunedOptimizer,
     SearchSpaceTooLarge,
     search_space_size,
@@ -128,25 +130,42 @@ def test_b1_pruning_parity(parity_components, benchmark):
     def run():
         rows = []
         for label, comp, model, size in parity_components:
+            # Both arms run unvectorized: the plan-count ratio measures
+            # what *bounds* avoid, and the batch engine would zero out
+            # the pruned arm's plans for an unrelated reason.
             patch, counter = _counting_plans()
             with patch:
                 exhaustive = ExhaustiveOptimizer(
                     comp, platform, model, max_points=10**9).optimize(8)
                 exhaustive_plans = counter["plans"]
                 counter["plans"] = 0
-                optimizer = PrunedOptimizer(comp, platform, model)
+                optimizer = PrunedOptimizer(
+                    comp, platform, model, vectorize=False)
                 started = time.perf_counter()
                 pruned = optimizer.optimize(8)
                 wall_s = time.perf_counter() - started
                 pruned_plans = counter["plans"]
+            # Warm phase: re-run against the persisted entries so the
+            # cache's bound-only tier is actually exercised — a warm
+            # prune of a persisted candidate is a *bound hit*.
+            with tempfile.TemporaryDirectory() as directory:
+                seed_cache = PersistentCache(directory)
+                PrunedOptimizer(comp, platform, model, cache=seed_cache,
+                                vectorize=False).optimize(8)
+                bound_entries = seed_cache.stats()["bound_entries"]
+                warm = PrunedOptimizer(
+                    comp, platform, model,
+                    cache=PersistentCache(directory),
+                    vectorize=False).optimize(8)
             rows.append((label, size, exhaustive, exhaustive_plans,
-                         pruned, pruned_plans, wall_s, optimizer.metrics))
+                         pruned, pruned_plans, wall_s, optimizer.metrics,
+                         warm, bound_entries))
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     records = {}
     for label, size, exhaustive, ex_plans, pruned, pr_plans, wall_s, \
-            metrics in rows:
+            metrics, warm, bound_entries in rows:
         # Winner identity, bit for bit, on every component.
         assert exhaustive.feasible == pruned.feasible, label
         if exhaustive.feasible:
@@ -154,6 +173,9 @@ def test_b1_pruning_parity(parity_components, benchmark):
                 pruned.best.makespan_ns, label
             assert exhaustive.best.solution.key() == \
                 pruned.best.solution.key(), label
+        # The warm run replays the cold trajectory: every persisted
+        # bound-only entry is re-pruned and counted as a bound hit.
+        assert warm.bound_hits == bound_entries, label
         ratio = ex_plans / pr_plans if pr_plans else float("inf")
         report.add_row(label, size, ex_plans, pr_plans,
                        round(ratio, 1), pruned.pruned,
@@ -163,6 +185,9 @@ def test_b1_pruning_parity(parity_components, benchmark):
             "evaluations": pruned.evaluations,
             "pruned": pruned.pruned,
             "bound_hits": pruned.bound_hits,
+            "bound_entries": bound_entries,
+            "warm_bound_hits": warm.bound_hits,
+            "warm_evaluations": warm.evaluations,
             "fresh_plans": pr_plans,
             "exhaustive_plans": ex_plans,
             "wall_s": round(wall_s, 4),
@@ -173,9 +198,15 @@ def test_b1_pruning_parity(parity_components, benchmark):
     report.emit()
     _merge_bench_json("parity", records)
 
+    # The bound tier must actually persist and re-hit entries somewhere
+    # in the corpus — a sweep where both totals are zero measures
+    # nothing (this was the warm-run `bound_hits: 0` bug).
+    assert sum(row[9] for row in rows) > 0, "no bound entries persisted"
+    assert sum(row[8].bound_hits for row in rows) > 0, "no warm bound hits"
+
     # The acceptance bar: >= 3x fewer fresh plans on the largest space.
     largest = max(rows, key=lambda row: row[1])
-    label, size, _, ex_plans, _, pr_plans, _, _ = largest
+    label, size, _, ex_plans, _, pr_plans, _, _, _, _ = largest
     assert pr_plans * 3 <= ex_plans, \
         f"{label} ({size} points): {ex_plans} vs {pr_plans} plans"
 
@@ -232,6 +263,8 @@ def test_b2_search_beyond_the_guard(bank, benchmark):
             "evaluations": result.evaluations,
             "pruned": result.pruned,
             "bound_hits": result.bound_hits,
+            "batched": result.batched,
+            "batch_fallbacks": result.batch_fallbacks,
             "fresh_plans": plans,
             "wall_s": round(elapsed, 4),
             "makespan_ns": result.makespan_ns,

@@ -30,6 +30,7 @@ from .threadgroups import (
 )
 from .tilesizes import select_tile_sizes
 from .tree import ComponentChoice, TreeOptResult, TreeOptimizer
+from .vectorized import DEFAULT_MAX_CELLS, BatchEvaluator
 
 __all__ = [
     "BoundCalculator", "chain_lower_bound", "flatten_key",
@@ -47,4 +48,5 @@ __all__ = [
     "valid_assignments",
     "select_tile_sizes",
     "ComponentChoice", "TreeOptResult", "TreeOptimizer",
+    "DEFAULT_MAX_CELLS", "BatchEvaluator",
 ]

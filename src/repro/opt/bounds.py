@@ -39,6 +39,8 @@ import math
 from itertools import product
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..loopir.component import TilableComponent
 from ..prem.ranges import _stmt_guards, partial_bounds
 from ..prem.segments import RO, RW, WO, ArrayGeometry, classify_modes
@@ -174,6 +176,145 @@ class BoundCalculator:
             return (f"solution needs at least {floor} B of SPM "
                     f"(> {self.platform.spm_bytes} B)")
         return None
+
+    def quick_bound_array(self, candidate_lists: Sequence[Sequence[int]],
+                          groups: Sequence[int]) -> np.ndarray:
+        """Vectorized :meth:`quick_bound` over one assignment's grid.
+
+        *candidate_lists* holds each level's tile-size options under one
+        thread-group assignment; the result is a float64 array over
+        ``itertools.product(*candidate_lists)`` in enumeration order,
+        elementwise bit-identical to calling :meth:`quick_bound` on each
+        point.  The closed forms are evaluated once per *distinct*
+        per-level value (the level-profile and dimension-extent memos are
+        shared with the scalar path) and broadcast across the grid, so
+        screening a whole assignment costs a handful of array passes
+        instead of one Python call per candidate.
+        """
+        depth = len(self._nodes)
+        shape = tuple(len(lst) for lst in candidate_lists)
+        count = 1
+        for extent in shape:
+            count *= extent
+        if count == 0:
+            return np.empty(0, dtype=np.float64)
+
+        def bcast(arr, j):
+            view = [1] * depth
+            view[j] = shape[j]
+            return arr.reshape(view)
+
+        invalid = np.zeros(shape, dtype=bool)
+        segments = np.ones(shape, dtype=np.int64)
+        ks_levels = []
+        for j, (node, lst, r) in enumerate(
+                zip(self._nodes, candidate_lists, groups)):
+            ks = np.asarray(lst, dtype=np.int64)
+            ks_levels.append(ks)
+            if r < 1 or (r > 1 and not node.parallel):
+                return np.full(count, math.inf, dtype=np.float64)
+            bad = (ks < 1) | (ks > node.N)
+            m = -(-node.N // np.maximum(ks, 1))
+            bad |= r > m
+            invalid |= bcast(bad, j)
+            segments *= bcast(-(-m // r), j)
+        invalid |= segments > self.segment_cap
+
+        # SPM floor: per-dimension extent lookup tables over each
+        # dimension's support subgrid (scalar extents stay memoized in
+        # _extent_memo), broadcast and multiplied in integer arithmetic
+        # exactly like _spm_floor.
+        if self._spm_terms:
+            var_axis = {node.var: j for j, node in enumerate(self._nodes)}
+            floor = np.zeros(shape, dtype=np.int64)
+            for name, element_size, dims in self._spm_terms:
+                nbytes = np.asarray(element_size, dtype=np.int64)
+                for dim, support, exprs, full_extent in dims:
+                    axes = [var_axis[v] for v in support]
+                    sub_shape = tuple(shape[a] for a in axes)
+                    lut = np.empty(sub_shape, dtype=np.int64)
+                    for idx in np.ndindex(*sub_shape):
+                        sizes_by_var = {
+                            v: int(candidate_lists[a][i])
+                            for v, a, i in zip(support, axes, idx)}
+                        lut[idx] = self._dim_extent(
+                            name, dim, support, exprs, full_extent,
+                            sizes_by_var)
+                    if axes != sorted(axes):
+                        perm = sorted(range(len(axes)),
+                                      key=lambda i: axes[i])
+                        lut = lut.transpose(perm)
+                        axes = sorted(axes)
+                    view = [1] * depth
+                    for a in axes:
+                        view[a] = shape[a]
+                    nbytes = nbytes * lut.reshape(view)
+                floor = floor + nbytes
+            invalid |= 2 * floor > self.platform.spm_bytes
+
+        # Compute path: pad each level's (tiles, span) profiles to a
+        # fixed slot count (at most three exist per level) and take the
+        # max total over the slot cross-product, replicating
+        # _compute_path's floating-point operation order so the result
+        # is bitwise the serial one.
+        level_cnt, level_span, level_ok = [], [], []
+        for j, (node, ks, r) in enumerate(
+                zip(self._nodes, ks_levels, groups)):
+            opts_per_k = []
+            width = 1
+            for k in ks:
+                k = int(k)
+                if 1 <= k <= node.N:
+                    opts = self._level_options(j, k, r)
+                else:
+                    opts = [((0, 0), r)]   # masked out via `invalid`
+                opts_per_k.append(opts)
+                width = max(width, len(opts))
+            cnt = np.zeros((len(ks), width), dtype=np.int64)
+            span = np.zeros((len(ks), width), dtype=np.int64)
+            ok = np.zeros((len(ks), width), dtype=bool)
+            for i, opts in enumerate(opts_per_k):
+                for s, ((c, sp), _mult) in enumerate(opts):
+                    cnt[i, s] = c
+                    span[i, s] = sp
+                    ok[i, s] = True
+            level_cnt.append(cnt)
+            level_span.append(span)
+            level_ok.append(ok)
+
+        model = self.exec_model
+        overheads = model.overheads
+        best = np.zeros(shape, dtype=np.float64)
+        for combo in product(*(range(c.shape[1]) for c in level_cnt)):
+            contrib = np.ones(shape, dtype=bool)
+            for j, s in enumerate(combo):
+                contrib &= bcast(level_ok[j][:, s], j)
+            if not contrib.any():
+                continue
+            cnts = [bcast(level_cnt[j][:, s], j)
+                    for j, s in enumerate(combo)]
+            spans = [bcast(level_span[j][:, s], j)
+                     for j, s in enumerate(combo)]
+            suffix = [None] * (depth + 1)
+            suffix[depth] = np.ones((), dtype=np.int64)
+            for j in range(depth - 1, -1, -1):
+                suffix[j] = suffix[j + 1] * cnts[j]
+            n = suffix[0]
+            contrib &= n > 0
+            if not contrib.any():
+                continue
+            cycles = model.intercept * n
+            prefix_span = np.float64(1.0)
+            for j in range(depth):
+                prefix_span = prefix_span * spans[j]
+                overhead = overheads[j]
+                if overhead:
+                    cycles = cycles + (overhead * prefix_span) * suffix[j + 1]
+            cycles = cycles + model.work * prefix_span
+            total = self._init_api + n * self._seg_api + cycles * self._ns
+            best = np.where(contrib & (total > best), total, best)
+
+        return np.where(invalid, np.inf, best * _SAFETY).reshape(-1)
 
     # -- tier 2: adds shared geometry --------------------------------------
 

@@ -146,7 +146,12 @@ class PersistentCache:
             else default_cache_dir()
         self.path = self.directory / CACHE_FILENAME
         self.lock_path = self.directory / LOCK_FILENAME
+        #: In-memory fingerprint index: digest -> last entry.  Built by
+        #: parsing the JSONL exactly once, on the first lookup or store;
+        #: every later ``get``/``put``/``stats`` is a dict operation —
+        #: the log file is never re-scanned per lookup.
         self._entries: Dict[str, Dict[str, Any]] = {}
+        self._bound_count = 0
         self._loaded = False
         self.hits = 0
         self.misses = 0
@@ -182,6 +187,10 @@ class PersistentCache:
             digest = entry.get("k")
             if isinstance(digest, str):
                 self._entries[digest] = entry
+        # Last line wins above, so the bound tally must come after the
+        # whole log is folded — an upgraded digest counts as a result.
+        self._bound_count = sum(
+            1 for entry in self._entries.values() if "f" not in entry)
         if self.corrupt_lines:
             warnings.warn(
                 f"persistent cache {self.path} contained "
@@ -279,6 +288,14 @@ class PersistentCache:
                 fcntl.flock(lock, fcntl.LOCK_UN)
 
     def _append(self, digest: str, entry: Dict[str, Any]) -> None:
+        # Keep the index (and its bound tally) coherent before touching
+        # the disk: a result entry shadowing a bound-only one is the
+        # ``put``-after-``put_bound`` upgrade path.
+        prev = self._entries.get(digest)
+        if prev is not None and "f" not in prev:
+            self._bound_count -= 1
+        if "f" not in entry:
+            self._bound_count += 1
         self._entries[digest] = entry
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -299,13 +316,14 @@ class PersistentCache:
     # -- maintenance ------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
+        """O(1) snapshot — the bound tally is maintained incrementally
+        by the index, not recounted per call."""
         self._load()
         size = self.path.stat().st_size if self.path.exists() else 0
-        bounds = sum(1 for e in self._entries.values() if "f" not in e)
         return {
             "path": str(self.path),
             "entries": len(self._entries),
-            "bound_entries": bounds,
+            "bound_entries": self._bound_count,
             "bytes": size,
             "hits": self.hits,
             "misses": self.misses,
@@ -317,6 +335,7 @@ class PersistentCache:
         self._load()
         removed = len(self._entries)
         self._entries = {}
+        self._bound_count = 0
         if self.path.exists():
             self.path.unlink()
         return removed

@@ -49,6 +49,8 @@ class ComponentOptResult:
     cache_hits: int = 0
     pruned: int = 0               # candidates discarded on an admissible bound
     bound_hits: int = 0           # pruned candidates already in the cache
+    batched: int = 0              # candidates decided by the vector engine
+    batch_fallbacks: int = 0      # batch candidates routed to the simulator
     #: The fitted model the search ranked candidates under; lets late
     #: consumers (gantt/report on a cache-hit winner) re-plan the best
     #: solution without re-deriving the model.

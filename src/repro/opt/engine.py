@@ -35,9 +35,14 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from ..errors import OptimizerTimeout
 from ..schedule.makespan import MakespanEvaluator, MakespanResult
 from .solution import Solution
+from .vectorized import BatchEvaluator
 
 #: One evaluation request: (tile_sizes, thread_groups or None).
 Request = Tuple[Mapping[str, int], Optional[Mapping[str, int]]]
+
+#: Candidates per worker-side vector batch: big enough to amortize the
+#: tensor setup, small enough that a deadline still fires promptly.
+_WORKER_SUBBATCH = 48
 
 # ---------------------------------------------------------------------------
 # worker side
@@ -46,7 +51,8 @@ _WORKER: Dict[str, object] = {}
 
 
 def _init_worker(component, platform, exec_model, segment_cap, modes,
-                 deadline, stage, budget_s, incumbent=None) -> None:
+                 deadline, stage, budget_s, incumbent=None,
+                 vectorize=False) -> None:
     """Pool initializer: build this process's evaluator once.
 
     Under the fork start method the arguments are inherited by memory
@@ -55,37 +61,79 @@ def _init_worker(component, platform, exec_model, segment_cap, modes,
     comparable across the fork, which keeps the parent's deadline
     meaningful inside workers.  *incumbent* is a shared double holding
     the parent's best makespan so far (inf when none), read by the
-    bounded-evaluation path."""
+    bounded-evaluation path.  With *vectorize* the worker scores its
+    chunks through a :class:`BatchEvaluator` (bit-identical outcomes,
+    one tensor program per sub-batch instead of one plan per
+    candidate)."""
     evaluator = MakespanEvaluator(
         component, platform, exec_model, segment_cap, modes)
     if deadline is not None:
         evaluator.set_deadline(deadline, stage, budget_s)
     _WORKER["evaluator"] = evaluator
     _WORKER["incumbent"] = incumbent
+    _WORKER["batch"] = BatchEvaluator(evaluator) if vectorize else None
+
+
+def _slim(result: MakespanResult) -> Tuple[float, bool, str, int, int]:
+    return (result.makespan_ns, result.feasible, result.reason,
+            result.spm_bytes_needed, result.transferred_bytes)
 
 
 def _eval_chunk(requests: Sequence[Request]) -> Dict:
     """Evaluate one chunk of fresh candidates; return slim outcomes."""
     evaluator = _WORKER["evaluator"]
+    batch = _WORKER.get("batch")
     started = time.perf_counter()
     outcomes: List[Tuple[float, bool, str, int, int]] = []
     timeout: Optional[Tuple[str, float]] = None
-    for tile_sizes, thread_groups in requests:
-        try:
-            result = evaluator.evaluate_params(tile_sizes, thread_groups)
-        except OptimizerTimeout as error:
-            # OptimizerTimeout's two-argument constructor does not
-            # survive pickling across the pool; ship a sentinel instead.
-            timeout = (error.stage, error.budget_s)
-            break
-        outcomes.append((
-            result.makespan_ns, result.feasible, result.reason,
-            result.spm_bytes_needed, result.transferred_bytes,
-        ))
+    batched = fallbacks = 0
+
+    solutions: Optional[List[Solution]] = None
+    if batch is not None:
+        solutions = []
+        for tile_sizes, thread_groups in requests:
+            try:
+                solutions.append(Solution(
+                    evaluator.component, tile_sizes, thread_groups))
+            except ValueError:
+                solutions = None      # invalid probe: per-candidate path
+                break
+
+    if solutions is not None:
+        # Sub-batches keep the deadline responsive: each one is preceded
+        # by a clock check, and a timeout ships the completed outcomes
+        # so no finished tensor program is wasted.
+        for start in range(0, len(solutions), _WORKER_SUBBATCH):
+            sub = solutions[start:start + _WORKER_SUBBATCH]
+            try:
+                evaluator.check_deadline()
+                results = batch.evaluate_batch(sub)
+            except OptimizerTimeout as error:
+                timeout = (error.stage, error.budget_s)
+                break
+            for result, exact in zip(results, batch.exactness_mask):
+                outcomes.append(_slim(result))
+                if exact:
+                    batched += 1
+                else:
+                    fallbacks += 1
+    else:
+        for tile_sizes, thread_groups in requests:
+            try:
+                result = evaluator.evaluate_params(tile_sizes, thread_groups)
+            except OptimizerTimeout as error:
+                # OptimizerTimeout's two-argument constructor does not
+                # survive pickling across the pool; ship a sentinel
+                # instead.
+                timeout = (error.stage, error.budget_s)
+                break
+            outcomes.append(_slim(result))
     return {
         "outcomes": outcomes,
         "busy_s": time.perf_counter() - started,
         "timeout": timeout,
+        "batched": batched,
+        "batch_fallbacks": fallbacks,
     }
 
 
@@ -151,6 +199,8 @@ class EngineMetrics:
     busy_s: float = 0.0           # summed worker compute time
     pruned: int = 0               # candidates discarded on a bound
     bound_hits: int = 0           # pruned candidates already in the cache
+    batched: int = 0              # candidates decided by the vector engine
+    batch_fallbacks: int = 0      # batch candidates simulator-scored
 
     @property
     def probes(self) -> int:
@@ -184,6 +234,8 @@ class EngineMetrics:
             "worker utilization": round(self.worker_utilization, 4),
             "pruned": self.pruned,
             "bound hits": self.bound_hits,
+            "batched": self.batched,
+            "batch fallbacks": self.batch_fallbacks,
         }
 
 
@@ -204,11 +256,12 @@ class EvaluationEngine:
     be dropped into any optimizer without changing its accounting."""
 
     def __init__(self, evaluator: MakespanEvaluator, jobs: int = 1,
-                 stage: str = "engine"):
+                 stage: str = "engine", vectorize: bool = False):
         self.evaluator = evaluator
         self.requested_jobs = jobs
         self.jobs = effective_jobs(jobs)
         self.stage = stage
+        self.vectorize = vectorize
         self._pool = None
         self._dispatched = 0
         self._chunks = 0
@@ -217,6 +270,9 @@ class EvaluationEngine:
         self._invalid = 0
         self._pruned = 0
         self._bound_hits = 0
+        self._batched = 0
+        self._batch_fallbacks = 0
+        self._batch: Optional[BatchEvaluator] = None   # serial vector path
         self._incumbent_cell = None   # shared double for bounded dispatch
 
     # -- lifecycle --------------------------------------------------------
@@ -237,7 +293,7 @@ class EvaluationEngine:
                           evaluator.exec_model, evaluator.segment_cap,
                           evaluator.modes, evaluator.deadline,
                           evaluator.stage, evaluator.budget_s,
-                          self._incumbent_cell),
+                          self._incumbent_cell, self.vectorize),
             )
         return self._pool
 
@@ -305,6 +361,20 @@ class EvaluationEngine:
             self.evaluator.check_deadline()
             if self.parallel:
                 self._dispatch(fresh, fresh_solutions, results)
+            elif self.vectorize:
+                if self._batch is None:
+                    self._batch = BatchEvaluator(self.evaluator)
+                keys = list(fresh.keys())
+                scored = self._batch.evaluate_batch(
+                    [fresh_solutions[key] for key in keys])
+                for key, result, exact in zip(
+                        keys, scored, self._batch.exactness_mask):
+                    if exact:
+                        self._batched += 1
+                    else:
+                        self._batch_fallbacks += 1
+                    for ci, ri in fresh[key]:
+                        results[ci][ri] = result
             else:
                 for key, places in fresh.items():
                     result = self.evaluator.evaluate(fresh_solutions[key])
@@ -351,6 +421,8 @@ class EvaluationEngine:
         timeout: Optional[Tuple[str, float]] = None
         for group, reply in zip(task_keys, pool.imap(_eval_chunk, tasks)):
             self._busy_s += reply["busy_s"]
+            self._batched += reply.get("batched", 0)
+            self._batch_fallbacks += reply.get("batch_fallbacks", 0)
             for key, outcome in zip(group, reply["outcomes"]):
                 makespan_ns, feasible, reason, spm, transferred = outcome
                 result = self.evaluator.record_remote(
@@ -462,4 +534,6 @@ class EvaluationEngine:
             busy_s=self._busy_s,
             pruned=self._pruned,
             bound_hits=self._bound_hits,
+            batched=self._batched,
+            batch_fallbacks=self._batch_fallbacks,
         )

@@ -87,12 +87,18 @@ class ExhaustiveOptimizer:
                  segment_cap: int = DEFAULT_SEGMENT_CAP,
                  max_points: int = 20_000,
                  deadline: float | None = None, budget_s: float = 0.0,
-                 jobs: int = 1, cache: Optional[PersistentCache] = None):
+                 jobs: int = 1, cache: Optional[PersistentCache] = None,
+                 vectorize: bool = False):
         self.component = component
         self.platform = platform
         self.exec_model = exec_model
         self.max_points = max_points
         self.jobs = jobs
+        #: Batch-exact scoring through the evaluation engine.  Off by
+        #: default: the exhaustive search is the *reference* arm of the
+        #: parity benches, whose plan-count accounting assumes one
+        #: ``SegmentPlanner.plan`` per fresh candidate.
+        self.vectorize = vectorize
         self.evaluator = MakespanEvaluator(
             component, platform, exec_model, segment_cap, cache=cache)
         if deadline is not None:
@@ -123,7 +129,8 @@ class ExhaustiveOptimizer:
             ])
 
         with EvaluationEngine(self.evaluator, jobs=self.jobs,
-                              stage="exhaustive") as engine:
+                              stage="exhaustive",
+                              vectorize=self.vectorize) as engine:
             evaluated = engine.evaluate_chunks(chunks)
             best: Optional[MakespanResult] = engine.best_of(
                 result for chunk in evaluated for result in chunk)
@@ -136,5 +143,7 @@ class ExhaustiveOptimizer:
             elapsed_s=time.perf_counter() - started,
             assignments_tried=len(assignments),
             cache_hits=self.evaluator.cache_hits,
+            batched=self.metrics.batched,
+            batch_fallbacks=self.metrics.batch_fallbacks,
             exec_model=self.exec_model,
         )

@@ -35,7 +35,9 @@ import math
 import time
 from collections import deque
 from itertools import product
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..loopir.component import TilableComponent
 from ..schedule.makespan import (
@@ -56,6 +58,7 @@ from .exhaustive import (
 )
 from .solution import Solution
 from .threadgroups import generate_nondominated_thread_groups
+from .vectorized import BatchEvaluator
 
 #: The pruned path affords a far larger space than the exhaustive
 #: guard's 20k: most candidates cost one closed-form bound, not a plan.
@@ -67,8 +70,79 @@ _CHUNK_SIZE = 8
 #: Deadline poll stride for the bound-only phases.
 _DEADLINE_STRIDE = 512
 
+#: Candidates per batch-exact window of the vectorized serial walk.  The
+#: incumbent advances only at window boundaries, so the window bounds how
+#: many candidates can be batch-scored that a per-candidate walk would
+#: have pruned against a fresher incumbent.
+_BATCH_WINDOW = 256
+
+#: Size of the *first* window; windows double up to ``_BATCH_WINDOW``.
+#: Candidates are sorted best-bound-first, so a small opening window
+#: usually lands a near-optimal incumbent immediately and lets the bound
+#: tier prune even spaces smaller than one full window.
+_FIRST_WINDOW = 16
+
 #: Candidate record: (quick bound, flat key, tile sizes, assignment idx).
 _Candidate = Tuple[float, Tuple[int, ...], Tuple[int, ...], int]
+
+
+def enumerate_candidates(component: TilableComponent,
+                         assignments: Sequence[Tuple[int, ...]],
+                         bounds: BoundCalculator,
+                         check: Callable[[], None],
+                         vectorize: bool = True
+                         ) -> Tuple[List[_Candidate],
+                                    List[Dict[str, int]], int]:
+    """Quick-bound every candidate point; sort survivors best-bound-first.
+
+    Returns ``(candidates, groups_maps, pruned)`` where *pruned* counts
+    the provably infeasible points (quick bound of +inf) that never
+    entered the list.  The vectorized path screens each assignment's
+    whole tile-size grid through :meth:`BoundCalculator.
+    quick_bound_array` — bitwise the same bounds, so the same candidate
+    list and the same pruned count as the scalar loop.  Shared by the
+    nominal and the robust (envelope-bound) searches."""
+    candidates: List[_Candidate] = []
+    groups_maps: List[Dict[str, int]] = []
+    pruned = 0
+    seen = 0
+    for ai, assignment in enumerate(assignments):
+        groups, candidate_lists = assignment_candidates(
+            component, assignment)
+        groups_maps.append(groups)
+        if vectorize:
+            check()
+            bound_arr = bounds.quick_bound_array(candidate_lists, assignment)
+            finite = np.flatnonzero(np.isfinite(bound_arr))
+            pruned += len(bound_arr) - len(finite)
+            if not len(finite):
+                continue
+            shape = tuple(len(lst) for lst in candidate_lists)
+            multi = np.unravel_index(finite, shape)
+            for t in range(len(finite)):
+                if t % _DEADLINE_STRIDE == 0:
+                    check()
+                sizes = tuple(
+                    lst[axis[t]]
+                    for lst, axis in zip(candidate_lists, multi))
+                flat = tuple(
+                    x for k, r in zip(sizes, assignment) for x in (k, r))
+                candidates.append(
+                    (float(bound_arr[finite[t]]), flat, sizes, ai))
+        else:
+            for sizes in product(*candidate_lists):
+                seen += 1
+                if seen % _DEADLINE_STRIDE == 0:
+                    check()
+                bound = bounds.quick_bound(sizes, assignment)
+                if math.isinf(bound):
+                    pruned += 1
+                    continue
+                flat = tuple(
+                    x for k, r in zip(sizes, assignment) for x in (k, r))
+                candidates.append((bound, flat, sizes, ai))
+    candidates.sort()
+    return candidates, groups_maps, pruned
 
 
 class PrunedOptimizer:
@@ -84,12 +158,14 @@ class PrunedOptimizer:
                  segment_cap: int = DEFAULT_SEGMENT_CAP,
                  max_points: int = DEFAULT_PRUNED_MAX_POINTS,
                  deadline: float | None = None, budget_s: float = 0.0,
-                 jobs: int = 1, cache: Optional[PersistentCache] = None):
+                 jobs: int = 1, cache: Optional[PersistentCache] = None,
+                 vectorize: bool = True):
         self.component = component
         self.platform = platform
         self.exec_model = exec_model
         self.max_points = max_points
         self.jobs = jobs
+        self.vectorize = vectorize
         self.evaluator = MakespanEvaluator(
             component, platform, exec_model, segment_cap, cache=cache)
         if deadline is not None:
@@ -98,6 +174,7 @@ class PrunedOptimizer:
             component, platform, exec_model, segment_cap,
             modes=self.evaluator.planner.modes,
             geometry=self.evaluator.geometry)
+        self.batch = BatchEvaluator(self.evaluator) if vectorize else None
         self.metrics: Optional[EngineMetrics] = None
         self._vars = [node.var for node in component.nodes]
         self._assignments: List[Tuple[int, ...]] = []
@@ -119,6 +196,8 @@ class PrunedOptimizer:
                 f"{size} candidate points exceed the pruned-search budget "
                 f"of {self.max_points}; use the heuristic (Algorithm 1)")
 
+        batch_scored0 = self.batch.scored if self.batch else 0
+        batch_fell0 = self.batch.fallbacks if self.batch else 0
         candidates, groups_maps = self._enumerate()
         with EvaluationEngine(self.evaluator, jobs=self.jobs,
                               stage="pruned") as engine:
@@ -138,6 +217,10 @@ class PrunedOptimizer:
             cache_hits=self.evaluator.cache_hits,
             pruned=self._pruned,
             bound_hits=self._bound_hits,
+            batched=(self.batch.scored - batch_scored0
+                     if self.batch else 0),
+            batch_fallbacks=(self.batch.fallbacks - batch_fell0
+                             if self.batch else 0),
             exec_model=self.exec_model,
         )
 
@@ -150,28 +233,13 @@ class PrunedOptimizer:
         list: an admissible bound of infinity means the planner is
         guaranteed to reject them, so they cannot be the winner — the
         exhaustive search evaluates them only to learn the same thing.
-        """
-        quick_bound = self.bounds.quick_bound
-        check = self.evaluator.check_deadline
-        candidates: List[_Candidate] = []
-        groups_maps: List[Dict[str, int]] = []
-        seen = 0
-        for ai, assignment in enumerate(self._assignments):
-            groups, candidate_lists = assignment_candidates(
-                self.component, assignment)
-            groups_maps.append(groups)
-            for sizes in product(*candidate_lists):
-                seen += 1
-                if seen % _DEADLINE_STRIDE == 0:
-                    check()
-                bound = quick_bound(sizes, assignment)
-                if math.isinf(bound):
-                    self._pruned += 1
-                    continue
-                flat = tuple(
-                    x for k, r in zip(sizes, assignment) for x in (k, r))
-                candidates.append((bound, flat, sizes, ai))
-        candidates.sort()
+        With vectorization the bounds come out of
+        :meth:`BoundCalculator.quick_bound_array` (bitwise the scalar
+        values, so the same list and the same pruned count)."""
+        candidates, groups_maps, pruned = enumerate_candidates(
+            self.component, self._assignments, self.bounds,
+            self.evaluator.check_deadline, vectorize=self.vectorize)
+        self._pruned += pruned
         return candidates, groups_maps
 
     def _solution(self, sizes: Tuple[int, ...],
@@ -193,6 +261,9 @@ class PrunedOptimizer:
                        candidates: List[_Candidate],
                        groups_maps: List[Dict[str, int]]
                        ) -> Optional[MakespanResult]:
+        if self.batch is not None:
+            return self._search_serial_batched(
+                engine, candidates, groups_maps)
         evaluator = self.evaluator
         best: Optional[MakespanResult] = None
         best_rank: Optional[tuple] = None
@@ -221,6 +292,70 @@ class PrunedOptimizer:
                 rank = (result.makespan_ns, flat)
                 if best_rank is None or rank < best_rank:
                     best, best_rank = result, rank
+        return best
+
+    def _search_serial_batched(self, engine: EvaluationEngine,
+                               candidates: List[_Candidate],
+                               groups_maps: List[Dict[str, int]]
+                               ) -> Optional[MakespanResult]:
+        """The serial walk with batch-exact scoring per window.
+
+        Candidates are collected into windows (``_FIRST_WINDOW`` slots,
+        doubling to ``_BATCH_WINDOW``); every window
+        is scored by one :class:`BatchEvaluator` tensor program and the
+        incumbent advances only at window boundaries.  Memo/cache hits
+        occupy window slots and adopt at the boundary too, so a warm
+        re-run sees the *identical* incumbent trajectory as the cold run
+        — the same candidates are pruned, the same bounds persisted
+        (the warm-bound-hits accounting relies on this).  Versus the
+        per-candidate walk, the winner is bit-identical (every prune is
+        still admissible); only the evaluated/pruned split can differ,
+        bounded by the window size."""
+        evaluator = self.evaluator
+        batch = self.batch
+        best: Optional[MakespanResult] = None
+        best_rank: Optional[tuple] = None
+        pos = 0
+        total = len(candidates)
+        limit = _FIRST_WINDOW
+        while pos < total:
+            evaluator.check_deadline()
+            #: (flat key, cached result or None, fresh solution or None)
+            window: List[tuple] = []
+            while pos < total and len(window) < limit:
+                bound, flat, sizes, ai = candidates[pos]
+                if best_rank is not None and (bound, flat) >= best_rank:
+                    remaining = total - pos
+                    self._pruned += remaining
+                    engine.note_pruned(remaining)
+                    pos = total
+                    break
+                pos += 1
+                solution = self._solution(sizes, groups_maps[ai])
+                hit = evaluator.peek(solution)
+                if hit is not None:
+                    window.append((flat, hit, None))
+                    continue
+                refined = self.bounds.refine(
+                    bound, sizes, self._assignments[ai])
+                if math.isinf(refined) or (
+                        best_rank is not None and
+                        (refined, flat) >= best_rank):
+                    self._prune_one(engine, solution.key(), refined)
+                    continue
+                window.append((flat, None, solution))
+            limit = min(limit * 2, _BATCH_WINDOW)
+            if not window:
+                continue
+            scored = iter(batch.evaluate_batch(
+                [solution for _, hit, solution in window
+                 if hit is None]))
+            for flat, hit, _solution in window:
+                result = hit if hit is not None else next(scored)
+                if result.feasible:
+                    rank = (result.makespan_ns, flat)
+                    if best_rank is None or rank < best_rank:
+                        best, best_rank = result, rank
         return best
 
     # -- windowed parallel walk --------------------------------------------

@@ -45,7 +45,6 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from itertools import product
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..faults.scenarios import (
@@ -63,11 +62,15 @@ from ..timing.platform import Platform
 from .bounds import BoundCalculator, flatten_key
 from .cache import PersistentCache
 from .component import ComponentOptResult
-from .engine import EvaluationEngine
-from .exhaustive import assignment_candidates
-from .pruned import DEFAULT_PRUNED_MAX_POINTS, PrunedOptimizer
+from .engine import EvaluationEngine, effective_jobs
+from .pruned import (
+    DEFAULT_PRUNED_MAX_POINTS,
+    PrunedOptimizer,
+    enumerate_candidates,
+)
 from .solution import Solution
 from .threadgroups import generate_nondominated_thread_groups
+from .vectorized import BatchEvaluator
 
 #: The supported risk objectives.
 RISK_OBJECTIVES: Tuple[str, ...] = ("worst", "cvar", "mean")
@@ -194,7 +197,8 @@ class RobustOptimizer:
                  risk: str = "cvar", alpha: float = 0.9,
                  max_points: int = DEFAULT_PRUNED_MAX_POINTS,
                  deadline: float | None = None, budget_s: float = 0.0,
-                 jobs: int = 1, cache: Optional[PersistentCache] = None):
+                 jobs: int = 1, cache: Optional[PersistentCache] = None,
+                 vectorize: bool = True):
         if risk not in RISK_OBJECTIVES:
             raise ValueError(
                 f"unknown risk objective {risk!r} "
@@ -213,16 +217,19 @@ class RobustOptimizer:
         self.cache = cache
         self.deadline = deadline
         self.budget_s = budget_s
+        self.vectorize = vectorize
         self.scenarios: Tuple[TimingScenario, ...] = \
             sample_scenarios(scenarios, seed, spread) if scenarios else ()
         #: Phase A — the nominal search, shared guard and counters.
         self._nominal_search = PrunedOptimizer(
             component, platform, exec_model, segment_cap=segment_cap,
             max_points=max_points, deadline=deadline, budget_s=budget_s,
-            jobs=jobs, cache=cache)
+            jobs=jobs, cache=cache, vectorize=vectorize)
         self._scenario_evaluators: List[MakespanEvaluator] = []
         self._pruned = 0
         self._probes = 0
+        self._batched = 0
+        self._batch_fallbacks = 0
 
     # -- scenario plumbing -------------------------------------------------
 
@@ -258,6 +265,8 @@ class RobustOptimizer:
         started = time.perf_counter()
         self._pruned = 0
         self._probes = 0
+        self._batched = 0
+        self._batch_fallbacks = 0
         self._scenario_evaluators = []
         nominal = self._nominal_search.optimize(cores)
 
@@ -327,26 +336,10 @@ class RobustOptimizer:
             cores, self.component)
         nodes = self.component.nodes
 
-        candidates: List[Tuple[float, Tuple[int, ...],
-                               Tuple[int, ...], int]] = []
-        groups_maps: List[Dict[str, int]] = []
-        seen = 0
-        for ai, assignment in enumerate(assignments):
-            groups, candidate_lists = assignment_candidates(
-                self.component, assignment)
-            groups_maps.append(groups)
-            for sizes in product(*candidate_lists):
-                seen += 1
-                if seen % _DEADLINE_STRIDE == 0:
-                    check()
-                bound = bounds.quick_bound(sizes, assignment)
-                if math.isinf(bound):
-                    self._pruned += 1
-                    continue
-                flat = tuple(
-                    x for k, r in zip(sizes, assignment) for x in (k, r))
-                candidates.append((bound, flat, sizes, ai))
-        candidates.sort()
+        candidates, groups_maps, pruned = enumerate_candidates(
+            self.component, assignments, bounds, check,
+            vectorize=self.vectorize)
+        self._pruned += pruned
 
         finalists: Dict[Tuple[int, ...], Tuple[float, Solution]] = {}
         for pos, (bound, flat, sizes, ai) in enumerate(candidates):
@@ -391,11 +384,22 @@ class RobustOptimizer:
         for index, evaluator in enumerate(self._scenario_evaluators):
             if not alive:
                 break
-            with EvaluationEngine(evaluator, jobs=self.jobs,
-                                  stage="robust") as engine:
-                results = engine.evaluate_many([
-                    (solution.tile_sizes, solution.thread_groups)
-                    for _, _, solution in alive])
+            if self.vectorize and effective_jobs(self.jobs) <= 1:
+                # Scenario-major batch: the whole surviving cohort is
+                # scored as one tensor program per scenario, through
+                # the scenario's own evaluator (bit-identical results
+                # and counter movements to the per-candidate engine).
+                batch = BatchEvaluator(evaluator)
+                results = batch.evaluate_batch(
+                    [solution for _, _, solution in alive])
+                self._batched += batch.scored
+                self._batch_fallbacks += batch.fallbacks
+            else:
+                with EvaluationEngine(evaluator, jobs=self.jobs,
+                                      stage="robust") as engine:
+                    results = engine.evaluate_many([
+                        (solution.tile_sizes, solution.thread_groups)
+                        for _, _, solution in alive])
             self._probes += len(alive)
             survivors = []
             remaining = count - index - 1
@@ -470,6 +474,8 @@ class RobustOptimizer:
             cache_hits=cache_hits,
             pruned=nominal.pruned + self._pruned,
             bound_hits=nominal.bound_hits,
+            batched=nominal.batched + self._batched,
+            batch_fallbacks=nominal.batch_fallbacks + self._batch_fallbacks,
             exec_model=self.exec_model,
             risk=self.risk,
             alpha=self.alpha,

@@ -372,8 +372,15 @@ class SegmentPlanner:
 
     # -- public -----------------------------------------------------------
 
-    def plan(self, solution: Solution,
-             max_segments_per_core: Optional[int] = None) -> ComponentPlan:
+    def preflight(self, solution: Solution,
+                  max_segments_per_core: Optional[int] = None
+                  ) -> Tuple[Dict[str, ArrayPlan], int]:
+        """Feasibility gates of :meth:`plan`, without the core walks.
+
+        Returns ``(array_plans, spm_bytes_needed)`` and raises
+        :class:`PlanError` exactly when :meth:`plan` would — the hook
+        batch evaluators use to separate exact infeasibility from the
+        per-segment schedule construction."""
         if max_segments_per_core is not None and \
                 solution.max_segments_per_core() > max_segments_per_core:
             raise PlanError(
@@ -387,6 +394,12 @@ class SegmentPlanner:
                 f"solution needs {spm_needed} B of SPM "
                 f"(> {self.platform.spm_bytes} B)")
         self._check_write_disjointness(solution, array_plans)
+        return array_plans, spm_needed
+
+    def plan(self, solution: Solution,
+             max_segments_per_core: Optional[int] = None) -> ComponentPlan:
+        array_plans, spm_needed = self.preflight(
+            solution, max_segments_per_core)
 
         # Mask-keyed caches are scoped to one solution (the remainder
         # bitmask encodes widths relative to this solution's tile sizes);

@@ -221,6 +221,24 @@ class MakespanEvaluator:
         The result enters the memo and the persistent cache and counts
         as one evaluation, exactly as if this evaluator had planned it —
         the engine's determinism guarantee for evaluation counts."""
+        return self._adopt(solution, makespan_ns, feasible, reason,
+                           spm_bytes, transferred_bytes)
+
+    def record_local(self, solution: Solution, makespan_ns: float,
+                     feasible: bool, reason: str = "",
+                     spm_bytes: int = 0,
+                     transferred_bytes: int = 0) -> MakespanResult:
+        """Adopt an outcome computed by the in-process batch evaluator.
+
+        Identical accounting to :meth:`record_remote`: the result enters
+        the memo and the persistent cache and counts as one evaluation,
+        so batched and per-candidate scoring report the same counters."""
+        return self._adopt(solution, makespan_ns, feasible, reason,
+                           spm_bytes, transferred_bytes)
+
+    def _adopt(self, solution: Solution, makespan_ns: float,
+               feasible: bool, reason: str,
+               spm_bytes: int, transferred_bytes: int) -> MakespanResult:
         key = solution.key()
         result = MakespanResult(
             component=self.component,

@@ -54,6 +54,29 @@ class ExecModel:
         total += self.work * prefix
         return total
 
+    def estimate_batch(self, widths: Sequence[np.ndarray]) -> np.ndarray:
+        """Vectorized :meth:`estimate` over arrays of band widths.
+
+        *widths* holds one array per level (broadcast-compatible shapes);
+        the returned cycle estimates are bit-identical to calling
+        :meth:`estimate` elementwise — the accumulation replicates the
+        scalar operation order, and IEEE-754 elementwise numpy arithmetic
+        matches Python float arithmetic operation for operation.  This is
+        the array-friendly export the batch makespan evaluator rides on.
+        """
+        if len(widths) != self.depth:
+            raise ValueError(
+                f"expected {self.depth} width arrays, got {len(widths)}")
+        shape = np.broadcast_shapes(*(np.shape(w) for w in widths))
+        total = np.full(shape, self.intercept, dtype=np.float64)
+        prefix = np.ones(shape, dtype=np.float64)
+        for overhead, width in zip(self.overheads, widths):
+            prefix = prefix * width
+            if overhead:
+                total = total + overhead * prefix
+        total = total + self.work * prefix
+        return total
+
     def scaled(self, overheads: float = 1.0, work: float = 1.0
                ) -> "ExecModel":
         """A copy with multiplicative noise on the fitted coefficients.

@@ -97,6 +97,13 @@ class Platform:
         except KeyError as exc:
             raise KeyError(f"unknown PREM API {name!r}") from exc
 
+    def api_costs(self, *names: str) -> tuple:
+        """WCETs of several APIs at once, in call order (ns floats).
+
+        Array-friendly export for batch consumers that hoist the API
+        constants out of their vectorized inner loops."""
+        return tuple(self.api_cost(name) for name in names)
+
     def with_bus(self, bytes_per_s: float) -> "Platform":
         """A copy at a different bus speed (bandwidth sweeps)."""
         return replace(self, bus_bytes_per_s=bytes_per_s)

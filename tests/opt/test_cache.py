@@ -207,6 +207,89 @@ class TestPersistentCache:
         assert stats["bytes"] > 0
 
 
+class TestFingerprintIndex:
+    """The in-memory digest index: parsed once, coherent, O(1) stats."""
+
+    def test_log_parsed_exactly_once(self, tmp_path, monkeypatch):
+        seed = PersistentCache(tmp_path)
+        for index in range(50):
+            seed.put(f"d{index}", makespan_ns=float(index), feasible=True)
+
+        import pathlib
+        reads = {"count": 0}
+        original = pathlib.Path.read_text
+
+        def counting_read_text(self, *args, **kwargs):
+            reads["count"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "read_text", counting_read_text)
+        cache = PersistentCache(tmp_path)
+        for index in range(50):
+            assert cache.get(f"d{index}") is not None
+        cache.get("missing")
+        cache.put("new", makespan_ns=1.0, feasible=True)
+        cache.put_bound("pruned", 2.0)
+        cache.stats()
+        assert reads["count"] == 1
+
+    def test_bound_upgrade_keeps_index_coherent(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.put_bound("x", 10.0)
+        cache.put_bound("y", 20.0)
+        assert cache.stats()["bound_entries"] == 2
+        # Result upgrade of one bound entry: appended, shadows the
+        # bound line, and the tally follows without a recount.
+        cache.put("x", makespan_ns=42.0, feasible=True)
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["bound_entries"] == 1
+        assert cache.get_result("x")["m"] == 42.0
+        # put_bound on an upgraded digest stays a no-op (known digest).
+        assert cache.put_bound("x", 5.0) is False
+        assert cache.stats()["bound_entries"] == 1
+        # A fresh open replays the log and lands on the same tally.
+        fresh = PersistentCache(tmp_path)
+        assert fresh.stats()["bound_entries"] == 1
+        assert fresh.stats()["entries"] == 2
+        assert PersistentCache.makespan_of(fresh.get_result("x")) == 42.0
+
+    def test_index_beats_per_lookup_scan(self, tmp_path):
+        """Micro-bench: N lookups through the index must cost far less
+        than N re-parses of the log (what a per-lookup scan would pay).
+        """
+        import time
+
+        seed = PersistentCache(tmp_path)
+        for index in range(2000):
+            seed.put(f"d{index}", makespan_ns=float(index), feasible=True,
+                     reason="x" * 32)
+
+        cache = PersistentCache(tmp_path)
+        cache.get("d0")                        # pay the one-time load
+        started = time.perf_counter()
+        for index in range(2000):
+            cache.get(f"d{index}")
+            cache.stats()                      # O(1), no recount
+        indexed_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for _ in range(20):                    # 1% of the naive scans
+            fresh = PersistentCache(tmp_path)
+            fresh.get("d1999")
+        scan20_s = time.perf_counter() - started
+        # 2000 indexed lookups + stats vs just 20 full parses: the
+        # index must win with a wide margin (timing-noise tolerant).
+        assert indexed_s < scan20_s
+
+    def test_len_after_mixed_entries(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.put("r", makespan_ns=1.0, feasible=True)
+        cache.put_bound("b", 3.0)
+        assert len(cache) == 2
+        assert len(PersistentCache(tmp_path)) == 2
+
+
 class TestEvaluatorIntegration:
     def test_persist_and_reload(self, tmp_path, lstm_comp, lstm_model):
         platform = Platform()
