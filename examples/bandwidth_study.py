@@ -5,18 +5,51 @@ Sweeps the main-memory bus speed and prints, per kernel, the makespan of
 our optimizer on 1 and 8 cores and of the greedy baseline on 8 cores,
 normalised by the ideal single-core execution — the exact quantities on
 Figure 6.1's y axis.  Also prints where each kernel's schedule flips from
-memory bound to computation bound.
+memory bound to computation bound, and the kernel's Pareto frontier
+(makespan / SPM / DMA bytes / cores) at each bus speed.
+
+The plateau is detected on the RAW makespans (:func:`plateau_index`):
+the normalised columns divide by a per-platform ideal, so a ratio of
+normalised values only equals the ratio of raw values while the
+normaliser happens to be invariant across the sweep — raw makespans
+make the detection correct whatever the normaliser does.
 
 Run:  python examples/bandwidth_study.py [kernels...]   (default: lstm rnn)
 """
 
 import sys
+from typing import Optional, Sequence
 
 from repro import Platform, make_kernel
 from repro.loopir import LoopTree
-from repro.opt import GreedyOptimizer, TreeOptimizer, ideal_makespan_ns
+from repro.opt import (
+    GreedyOptimizer,
+    ParetoOptimizer,
+    TreeOptimizer,
+    ideal_makespan_ns,
+    kernel_front,
+)
+from repro.opt.exhaustive import SearchSpaceTooLarge
 
 SPEEDS_GB = [1 / 16, 1 / 4, 1, 4, 16]
+
+#: A sweep step that improves the makespan by less than this factor
+#: means the bus is no longer the bottleneck.
+PLATEAU_THRESHOLD = 1.1
+
+
+def plateau_index(makespans: Sequence[float],
+                  threshold: float = PLATEAU_THRESHOLD) -> Optional[int]:
+    """First sweep index where the schedule is computation bound.
+
+    *makespans* are RAW makespans in sweep order (slowest bus first);
+    the flip is the first point improving on its predecessor by less
+    than *threshold*.  None when every step is still a >= *threshold*
+    improvement (memory bound across the whole sweep)."""
+    for index in range(1, len(makespans)):
+        if makespans[index - 1] / makespans[index] < threshold:
+            return index
+    return None
 
 
 def greedy_fn(platform, cores):
@@ -26,28 +59,71 @@ def greedy_fn(platform, cores):
     return optimize_fn
 
 
-def study(name: str) -> None:
-    kernel = make_kernel(name, "LARGE")
+def pareto_fn(platform, cores):
+    def optimize_fn(component, exec_model):
+        return ParetoOptimizer(
+            component, platform, exec_model).optimize(cores)
+    return optimize_fn
+
+
+def study(name: str, preset: str = "LARGE",
+          speeds: Sequence[float] = SPEEDS_GB,
+          pareto_preset: str = "SMALL") -> None:
+    kernel = make_kernel(name, preset)
     tree = LoopTree.build(kernel)
     optimizer = TreeOptimizer(tree)
-    print(f"\n=== {name} (LARGE) ===")
-    header = f"{'bus GB/s':>9} {'ours-1c':>9} {'ours-8c':>9} {'greedy-8c':>10}"
-    print(header)
-    previous = None
-    for speed in SPEEDS_GB:
+    print(f"\n=== {name} ({preset}) ===")
+    rows = []
+    raw_makespans = []
+    for speed in speeds:
         platform = Platform().with_bus(speed * 1e9)
         ideal = ideal_makespan_ns(kernel, platform)
-        ours8 = optimizer.optimize(platform).makespan_ns / ideal
+        ours8_ns = optimizer.optimize(platform).makespan_ns
         ours1 = optimizer.optimize(platform, cores=1).makespan_ns / ideal
         greedy = optimizer.optimize(
             platform, optimize_fn=greedy_fn(platform, 8)
         ).makespan_ns / ideal
+        raw_makespans.append(ours8_ns)
+        rows.append((speed, ours1, ours8_ns / ideal, greedy))
+    flip = plateau_index(raw_makespans)
+
+    print(f"{'bus GB/s':>9} {'ours-1c':>9} {'ours-8c':>9} {'greedy-8c':>10}")
+    for index, (speed, ours1, ours8, greedy) in enumerate(rows):
         marker = ""
-        if previous is not None and previous / ours8 < 1.1:
+        if index >= 1 and raw_makespans[index - 1] / \
+                raw_makespans[index] < PLATEAU_THRESHOLD:
             marker = "  <- computation bound (plateau)"
         print(f"{speed:>9.4f} {ours1:>9.3f} {ours8:>9.3f} "
               f"{greedy:>10.3f}{marker}")
-        previous = ours8
+    if flip is None:
+        print("memory bound across the whole sweep")
+    else:
+        print(f"memory -> computation bound at {speeds[flip]:g} GB/s")
+
+    # The same sweep through the multi-objective optimizer: at each bus
+    # speed, the kernel's exact (makespan, SPM, DMA, cores) frontier.
+    # The full sweep is exhaustive, so it runs on the smaller preset.
+    pareto_tree = LoopTree.build(make_kernel(name, pareto_preset))
+    print(f"\npareto frontier per bus speed ({pareto_preset}):")
+    print(f"{'bus GB/s':>9} {'front':>6} {'fastest ns':>12} "
+          f"{'@SPM B':>8} {'leanest B':>10} {'@ns':>12}")
+    for speed in speeds:
+        platform = Platform().with_bus(speed * 1e9)
+        try:
+            result = TreeOptimizer(pareto_tree).optimize(
+                platform, optimize_fn=pareto_fn(platform, None))
+        except SearchSpaceTooLarge as error:
+            print(f"{speed:>9.4f}  pareto sweep skipped: {error}")
+            continue
+        front = kernel_front(result.choices)
+        if not front:
+            print(f"{speed:>9.4f}  (infeasible)")
+            continue
+        fastest = front[0]
+        leanest = min(front, key=lambda p: p.spm_bytes)
+        print(f"{speed:>9.4f} {len(front):>6} {fastest.makespan_ns:>12,.0f} "
+              f"{fastest.spm_bytes:>8,} {leanest.spm_bytes:>10,} "
+              f"{leanest.makespan_ns:>12,.0f}")
 
 
 def main() -> None:

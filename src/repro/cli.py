@@ -8,6 +8,7 @@ Commands
 ``codegen``   emit the PREM-C of every compiled component
 ``gantt``     render the schedule timeline of the first component
 ``sweep``     makespan across bus speeds (mini Figure 6.1 for one kernel)
+``pareto``    exact makespan/SPM/DMA/cores frontier per component
 ``analyze``   static PREM-compliance verification (no VM involved)
 ``faults``    seeded fault-injection campaign; injected vs detected
 ``cache``     persistent makespan-cache statistics / clearing
@@ -23,6 +24,10 @@ Examples
     python -m repro compile lstm --preset MINI --robust-timing \
         --scenarios 32 --risk cvar --alpha 0.9 --seed 0
     python -m repro compile cnn --preset MINI --verify-static
+    python -m repro compile lstm --preset SMALL --pareto
+    python -m repro pareto lstm --preset SMALL --cores 8
+    python -m repro pareto cnn --preset MINI \
+        --weights 0.7,0.1,0.1,0.1 --weights 0.25,0.25,0.25,0.25
     python -m repro tree cnn
     python -m repro sweep rnn --cores 8
     python -m repro analyze cnn --preset MINI
@@ -113,6 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0,
         help="scenario-sampling seed (same seed => identical winner)")
     compile_cmd.add_argument(
+        "--pareto", action="store_true",
+        help="keep every component's exact makespan/SPM/DMA/cores "
+             "frontier and print it next to the chosen schedule")
+    compile_cmd.add_argument(
         "--verify-static", action="store_true",
         help="gate the result on the static PREM-compliance verifier "
              "(exit 1 on any error-severity diagnostic)")
@@ -131,6 +140,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--speeds", default="0.0625,0.25,1,4,16",
         help="comma-separated bus speeds in GB/s")
+
+    pareto = sub.add_parser(
+        "pareto", help="exact multi-objective frontier per component")
+    add_common(pareto)
+    pareto.add_argument(
+        "--weights", action="append", default=None, metavar="M,SPM,DMA,C",
+        help="scalarization weight vector over (makespan, SPM bytes, "
+             "DMA bytes, cores); repeatable, strictly positive; "
+             "default: one emphasis per objective plus the balanced mix")
 
     analyze = sub.add_parser(
         "analyze", help="static PREM-compliance verification")
@@ -203,7 +221,9 @@ def _compile(args, use_cache: bool = True):
             alpha=args.alpha, spread=args.spread)
     compiler = PremCompiler(
         _platform(args), jobs=getattr(args, "jobs", 1), cache=cache)
-    if getattr(args, "pruned", False):
+    if getattr(args, "pareto", False):
+        strategy = "pareto"
+    elif getattr(args, "pruned", False):
         strategy = "pruned"
     elif args.greedy:
         strategy = "greedy"
@@ -257,6 +277,8 @@ def cmd_compile(args) -> int:
             if hasattr(choice.result, "scenario_count"):
                 print(f"{choice.component.label()}: "
                       f"{robust_note(choice.result)}")
+    if getattr(args, "pareto", False):
+        _print_frontiers(result.opt_result)
     if args.verify_static:
         report = result.verify_static()
         merged = report.merged
@@ -334,6 +356,79 @@ def cmd_sweep(args) -> int:
         print(f"{speed:>10.4f}  {result.makespan_ns:>16,.0f}  "
               f"{result.makespan_ns / ideal:>10.4f}")
     return 0
+
+
+def _print_frontiers(opt_result) -> None:
+    """Per-component frontier tables plus the composed kernel front."""
+    from .opt import kernel_front
+    from .reporting import pareto_note, pareto_table
+
+    for choice in opt_result.choices:
+        result = choice.result
+        if not hasattr(result, "front"):
+            continue
+        print(f"\n{choice.component.label()}: {pareto_note(result)}")
+        if result.front:
+            print(pareto_table(result.front))
+        for scalar in result.scalarized:
+            weights = ",".join(f"{w:g}" for w in scalar.weights)
+            print(f"  weights ({weights}) -> "
+                  f"{scalar.point.makespan_ns:,.0f} ns, "
+                  f"{scalar.point.spm_bytes:,} B SPM, "
+                  f"{scalar.point.dma_bytes:,} B DMA, "
+                  f"{scalar.point.cores} cores")
+    composed = kernel_front(opt_result.choices)
+    if composed and len(opt_result.choices) > 1:
+        print()
+        print(pareto_table(
+            composed, title="kernel frontier (composed over components)"))
+
+
+def _parse_weights(tokens):
+    """``--weights`` vectors as float tuples; bad input exits 2."""
+    vectors = []
+    for token in tokens:
+        parts = [part.strip() for part in token.split(",")]
+        try:
+            vector = tuple(float(part) for part in parts)
+        except ValueError:
+            raise KernelConfigError(
+                f"malformed --weights value {token!r}: expected four "
+                f"comma-separated numbers")
+        if len(vector) != 4 or any(w <= 0 for w in vector):
+            raise KernelConfigError(
+                f"--weights {token!r}: need exactly four strictly "
+                f"positive numbers (makespan, SPM, DMA, cores)")
+        vectors.append(vector)
+    return vectors
+
+
+def cmd_pareto(args) -> int:
+    from .opt import DEFAULT_WEIGHTS, ParetoOptimizer, TreeOptimizer
+    from .opt.exhaustive import SearchSpaceTooLarge
+
+    kernel = make_kernel(args.kernel, args.preset)
+    platform = _platform(args)
+    cache = _cache(args)
+    weights = _parse_weights(args.weights) if args.weights \
+        else DEFAULT_WEIGHTS
+    tree = LoopTree.build(kernel)
+
+    def optimize_fn(component, exec_model):
+        optimizer = ParetoOptimizer(
+            component, platform, exec_model,
+            jobs=args.jobs, cache=cache, weights=weights)
+        return optimizer.optimize(args.cores)
+
+    try:
+        result = TreeOptimizer(tree).optimize(
+            platform, cores=args.cores, optimize_fn=optimize_fn)
+    except SearchSpaceTooLarge as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(result.describe())
+    _print_frontiers(result)
+    return 0 if result.feasible else 1
 
 
 def cmd_analyze(args) -> int:
@@ -421,6 +516,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "gantt": cmd_gantt,
     "sweep": cmd_sweep,
+    "pareto": cmd_pareto,
     "analyze": cmd_analyze,
     "faults": cmd_faults,
     "cache": cmd_cache,

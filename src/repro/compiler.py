@@ -31,6 +31,7 @@ from .opt.cache import PersistentCache
 from .opt.exhaustive import ExhaustiveOptimizer
 from .opt.greedy import GreedyOptimizer
 from .opt.ideal import ideal_makespan_ns
+from .opt.pareto import ParetoOptimizer
 from .opt.pruned import DEFAULT_PRUNED_MAX_POINTS, PrunedOptimizer
 from .opt.robust import RobustOptimizer
 from .opt.solution import Solution
@@ -230,9 +231,13 @@ class PremCompiler:
         ``pruned_max_points``), ``robust`` (the pruned scan re-ranked
         by *risk* — ``worst``/``cvar``/``mean`` — over *scenarios*
         seeded Monte-Carlo timing perturbations of half-width *spread*;
-        ``scenarios=0`` degrades to the nominal pruned winner), or
-        ``sequential`` (no PREM transformation at all — the whole
-        kernel on one core).  *deadline*/*budget_s* arm the cooperative
+        ``scenarios=0`` degrades to the nominal pruned winner),
+        ``pareto`` (the pruned scan kept *whole*: every component's
+        exact non-dominated front over makespan / SPM bytes / DMA
+        bytes / cores — ``choice.result.front`` — with the chain
+        assembled from each front's makespan-optimal member, so the
+        compiled schedule matches ``pruned``), or ``sequential`` (no
+        PREM transformation at all — the whole kernel on one core).  *deadline*/*budget_s* arm the cooperative
         per-stage timeout used by :meth:`compile_robust`.  *jobs*/
         *cache* override the compiler-level evaluation-engine settings
         for this call; the deadline stays armed inside worker
@@ -267,6 +272,11 @@ class PremCompiler:
             result = optimizer.optimize(
                 self.platform, cores=cores,
                 optimize_fn=self._pruned_fn(
+                    cores, deadline, budget_s, jobs, cache))
+        elif strategy == "pareto":
+            result = optimizer.optimize(
+                self.platform, cores=cores,
+                optimize_fn=self._pareto_fn(
                     cores, deadline, budget_s, jobs, cache))
         elif strategy == "robust":
             result = optimizer.optimize(
@@ -441,6 +451,21 @@ class PremCompiler:
                 deadline=deadline, budget_s=budget_s,
                 jobs=jobs, cache=cache)
             return pruned.optimize(cores)
+
+        return optimize_fn
+
+    def _pareto_fn(self, cores: Optional[int],
+                   deadline: Optional[float], budget_s: float,
+                   jobs: int = 1,
+                   cache: Optional[PersistentCache] = None):
+        def optimize_fn(component, exec_model):
+            pareto = ParetoOptimizer(
+                component, self.platform, exec_model,
+                segment_cap=self.segment_cap,
+                max_points=self.pruned_max_points,
+                deadline=deadline, budget_s=budget_s,
+                jobs=jobs, cache=cache)
+            return pareto.optimize(cores)
 
         return optimize_fn
 

@@ -11,6 +11,20 @@ from .exhaustive import (
 )
 from .greedy import GreedyOptimizer
 from .ideal import ideal_makespan_ns
+from .pareto import (
+    DEFAULT_WEIGHTS,
+    OBJECTIVES,
+    ComposedPoint,
+    ParetoComponentResult,
+    ParetoOptimizer,
+    ParetoPoint,
+    ScalarizedPoint,
+    compose_fronts,
+    dominates_vector,
+    kernel_front,
+    pareto_front,
+    scalarize,
+)
 from .pruned import DEFAULT_PRUNED_MAX_POINTS, PrunedOptimizer
 from .robust import (
     RISK_OBJECTIVES,
@@ -40,6 +54,10 @@ __all__ = [
     "ExhaustiveOptimizer", "SearchSpaceTooLarge", "search_space_size",
     "GreedyOptimizer",
     "ideal_makespan_ns",
+    "DEFAULT_WEIGHTS", "OBJECTIVES", "ComposedPoint",
+    "ParetoComponentResult", "ParetoOptimizer", "ParetoPoint",
+    "ScalarizedPoint", "compose_fronts", "dominates_vector",
+    "kernel_front", "pareto_front", "scalarize",
     "DEFAULT_PRUNED_MAX_POINTS", "PrunedOptimizer",
     "RISK_OBJECTIVES", "CandidateRisk", "RobustComponentResult",
     "RobustOptimizer", "SensitivityEntry", "cvar_tail_count", "risk_value",

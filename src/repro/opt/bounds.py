@@ -118,6 +118,7 @@ class BoundCalculator:
         self._spm_terms = self._build_spm_terms()
         self._extent_memo: Dict[Tuple, int] = {}
         self._min_xfer: Dict[Tuple, float] = {}
+        self._min_bytes: Dict[Tuple, int] = {}
         #: Per-array direction count: ops the DMA carries per swap event.
         self._dirs = {
             name: (1 if mode in (RO, RW) else 0) +
@@ -575,4 +576,116 @@ class BoundCalculator:
                            for r in relevant):
                         events += rollovers[roll]
                 total += mult * events * dirs * xfer
+        return total
+
+    # -- objective floors (multi-objective search) -------------------------
+
+    def spm_bytes_exact(self, sizes_map: Mapping[str, int]) -> Optional[int]:
+        """The double-buffered SPM requirement for these tile sizes.
+
+        Matches the planner's ``spm_bytes_needed`` (``2 * sum`` of the
+        bounding-box bytes — thread groups never change bounding boxes),
+        so for the multi-objective search the SPM objective is *known*
+        before any plan is paid for.  None when geometry cannot resolve
+        a bounding box (the planner would reject the candidate the same
+        way); callers fall back to :meth:`spm_bytes_floor`."""
+        try:
+            return 2 * sum(
+                self.geometry.bounding_bytes(name, sizes_map)
+                for name in self.component.arrays())
+        except LookupError:
+            return None
+
+    def spm_bytes_floor(self, sizes: Sequence[int]) -> int:
+        """Closed-form admissible floor on the double-buffered SPM
+        requirement: the quick tier's interval-arithmetic hull, doubled
+        the same way the planner doubles for the ping/pong buffers."""
+        return 2 * self._spm_floor(sizes)
+
+    def _min_event_bytes(self, name: str,
+                         sizes_map: Mapping[str, int]) -> int:
+        """Cheapest payload any swap event of *name* can carry, in
+        bytes: the byte twin of :meth:`_min_event_transfer` (minimized
+        independently over the same remainder masks — each floor is
+        admissible on its own axis)."""
+        key_vars = self.geometry.key_vars(name)
+        memo_key = (name, tuple(sizes_map[v] for v in key_vars))
+        cached = self._min_bytes.get(memo_key)
+        if cached is not None:
+            return cached
+        rem_vars = []
+        for var in key_vars:
+            node = self._node_by_var[var]
+            k = sizes_map[var]
+            m = -(-node.N // k)
+            rem_w = node.N - (m - 1) * k
+            if rem_w != k:
+                rem_vars.append((var, rem_w))
+        if len(rem_vars) > _MAX_MASK_LEVELS:
+            self._min_bytes[memo_key] = 0
+            return 0
+        best: Optional[int] = None
+        try:
+            for choice in product((False, True), repeat=len(rem_vars)):
+                widths = dict(sizes_map)
+                for (var, rem_w), take in zip(rem_vars, choice):
+                    if take:
+                        widths[var] = rem_w
+                entry = self.geometry.range_entry(name, sizes_map, widths)
+                if best is None or entry[2] < best:
+                    best = int(entry[2])
+        except LookupError:
+            best = 0
+        best = 0 if best is None else best
+        self._min_bytes[memo_key] = best
+        return best
+
+    def dma_bytes_floor(self, sizes: Sequence[int], groups: Sequence[int],
+                        sizes_map: Mapping[str, int]) -> int:
+        """Admissible floor on ``ComponentPlan.total_transferred_bytes``.
+
+        The exact swap-event counts of :meth:`_dma_path` (the planner's
+        rollover rule), each event charged the cheapest payload any
+        event of its array could possibly carry.  Pure integer
+        arithmetic, so no safety factor is needed — there is no float
+        rounding to absorb."""
+        arrays = {}
+        for name in self.component.arrays():
+            dirs = self._dirs[name]
+            if not dirs:
+                continue
+            nbytes = self._min_event_bytes(name, sizes_map)
+            if nbytes <= 0:
+                continue
+            arrays[name] = (
+                self.geometry.relevant_levels(name, sizes_map),
+                dirs, nbytes)
+        if not arrays:
+            return 0
+        depth = len(sizes)
+        per_level = [
+            self._level_options(j, k, r)
+            for j, (k, r) in enumerate(zip(sizes, groups))
+        ]
+        total = 0
+        for combo in product(*per_level):
+            mult = 1
+            for _opt, group_count in combo:
+                mult *= group_count
+            cnts = [opt[0] for opt, _ in combo]
+            prefix = 1
+            rollovers = []
+            for j in range(depth):
+                nxt = prefix * cnts[j]
+                rollovers.append(nxt - prefix)
+                prefix = nxt
+            if prefix == 0:
+                continue              # empty cores swap nothing
+            for relevant, dirs, nbytes in arrays.values():
+                events = 1            # segment 1 loads every array
+                for roll in range(depth):
+                    if any(r == roll or (r > roll and cnts[r] > 1)
+                           for r in relevant):
+                        events += rollovers[roll]
+                total += mult * events * dirs * nbytes
         return total

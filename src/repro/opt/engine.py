@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -43,6 +44,12 @@ Request = Tuple[Mapping[str, int], Optional[Mapping[str, int]]]
 #: Candidates per worker-side vector batch: big enough to amortize the
 #: tensor setup, small enough that a deadline still fires promptly.
 _WORKER_SUBBATCH = 48
+
+#: Seconds a closing engine waits for workers to drain before falling
+#: back to terminate().  Workers only ever hold short tasks (one chunk),
+#: so the graceful path resolves in milliseconds; the fallback exists
+#: for wedged workers only.
+_CLOSE_GRACE_S = 5.0
 
 # ---------------------------------------------------------------------------
 # worker side
@@ -298,10 +305,25 @@ class EvaluationEngine:
         return self._pool
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Shut the pool down without corrupting the shared cache.
+
+        ``terminate()`` kills workers at an arbitrary bytecode, which
+        can land mid-append to the persistent cache's JSONL log and
+        leave a torn line for every later run to skip over.  Workers
+        are drained gracefully instead — ``close()`` lets in-flight
+        tasks finish their appends, ``join()`` reaps them — with
+        ``terminate()`` kept only as a bounded-wait fallback for a
+        wedged worker."""
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        pool.close()
+        waiter = threading.Thread(target=pool.join, daemon=True)
+        waiter.start()
+        waiter.join(_CLOSE_GRACE_S)
+        if waiter.is_alive():
+            pool.terminate()
+            waiter.join(1.0)
 
     def __enter__(self) -> "EvaluationEngine":
         return self

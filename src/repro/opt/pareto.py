@@ -1,0 +1,511 @@
+"""Multi-objective Pareto-frontier search over the Algorithm-1 space.
+
+Real PREM deployments do not minimize makespan alone: a schedule that is
+2% slower but halves the SPM footprint, the DMA-bandwidth demand, or the
+core count is often the one that ships.  This module emits, per tilable
+component, the *exact* non-dominated front over four simultaneously
+minimized objectives — every quantity the evaluator already computes per
+candidate:
+
+1. ``makespan_ns``       — the pipeline simulation's component makespan;
+2. ``spm_bytes``         — the planner's double-buffered SPM requirement;
+3. ``dma_bytes``         — total bytes moved over the shared DMA engine;
+4. ``cores``             — ``prod(l_j.R)``, the cores the schedule occupies.
+
+The search walks the same candidate space as :class:`~repro.opt.pruned.
+PrunedOptimizer` (non-dominated thread groups × ``select_tile_sizes``),
+but a scalar incumbent cannot prune for a front, so the bound tier is a
+*vector*: each candidate gets an admissible **bound vector** — the
+refined makespan lower bound, the exact SPM requirement, and the
+shared-DMA byte floor (all from :class:`~repro.opt.bounds.
+BoundCalculator`), plus the exact core count.
+
+Dominance-pruning soundness (the full argument is DESIGN.md §12): a
+candidate is skipped only when some *achieved* feasible vector ``a``
+weakly dominates its *bound* vector ``b`` (``a <= b`` componentwise with
+at least one strict coordinate).  The candidate's true vector ``t``
+satisfies ``b <= t`` componentwise because every bound is admissible, so
+``a`` strictly dominates ``t`` — the candidate can never join the front.
+Conversely a candidate whose true vector lies on the front can never be
+pruned: its pruner ``a`` would dominate the front vector too.  The front
+is therefore a pure function of the candidate space — bit-identical
+regardless of *which* dominated candidates happen to be pruned, i.e.
+across ``jobs``, ``vectorize``, and cold/warm persistent-cache runs.
+
+Surviving candidates are scored in doubling windows through the
+:class:`~repro.opt.engine.EvaluationEngine` (worker pool, batch-exact
+vector scoring, or plain serial — all bit-identical), and memo/cache
+hits occupy window slots exactly like the pruned search so a warm run
+walks the identical archive trajectory as the cold one.
+
+The second method, **weighted scalarization**, minimizes a positive
+weighted sum of the front-range-normalised objectives over every scored
+candidate; with strictly positive weights a dominated candidate scores
+strictly worse than its dominator, so every scalarized winner provably
+lies on the sweep front — :func:`scalarize` verifies that membership.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import OptimizerError
+from ..loopir.component import TilableComponent
+from ..schedule.makespan import (
+    DEFAULT_SEGMENT_CAP,
+    MakespanEvaluator,
+    MakespanResult,
+)
+from ..timing.execmodel import ExecModel
+from ..timing.platform import Platform
+from .bounds import BoundCalculator
+from .cache import PersistentCache
+from .component import ComponentOptResult
+from .engine import EngineMetrics, EvaluationEngine
+from .exhaustive import SearchSpaceTooLarge, space_size_of
+from .pruned import (
+    _BATCH_WINDOW,
+    _FIRST_WINDOW,
+    DEFAULT_PRUNED_MAX_POINTS,
+    enumerate_candidates,
+)
+from .solution import Solution
+from .threadgroups import generate_nondominated_thread_groups
+
+#: Objective order of every vector in this module.
+OBJECTIVES: Tuple[str, ...] = (
+    "makespan_ns", "spm_bytes", "dma_bytes", "cores")
+
+#: Default scalarization weight vectors: one leaning on each objective
+#: plus the balanced compromise.  Every weight is strictly positive —
+#: a zero weight would let an off-front candidate tie a front member
+#: and void the winner-on-front guarantee.
+DEFAULT_WEIGHTS: Tuple[Tuple[float, float, float, float], ...] = (
+    (0.85, 0.05, 0.05, 0.05),
+    (0.05, 0.85, 0.05, 0.05),
+    (0.05, 0.05, 0.85, 0.05),
+    (0.05, 0.05, 0.05, 0.85),
+    (0.25, 0.25, 0.25, 0.25),
+)
+
+#: (makespan ns, SPM bytes, DMA bytes, cores) — all minimized.
+ObjectiveVector = Tuple[float, int, int, int]
+
+
+def dominates_vector(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Weak Pareto dominance: ``a <= b`` componentwise, somewhere strict."""
+    return tuple(a) != tuple(b) and all(x <= y for x, y in zip(a, b))
+
+
+@dataclass(frozen=True, eq=False)
+class ParetoPoint:
+    """One achieved (evaluated, feasible) candidate of the sweep."""
+
+    result: MakespanResult
+    flat: Tuple[int, ...]         # flattened solution key (tie-break)
+    makespan_ns: float
+    spm_bytes: int
+    dma_bytes: int
+    cores: int
+
+    @property
+    def objectives(self) -> ObjectiveVector:
+        return (self.makespan_ns, self.spm_bytes,
+                self.dma_bytes, self.cores)
+
+    @property
+    def solution(self) -> Solution:
+        return self.result.solution
+
+    def describe(self) -> str:
+        return self.solution.describe()
+
+
+@dataclass(frozen=True, eq=False)
+class ScalarizedPoint:
+    """One weighted-scalarization winner, verified on the sweep front."""
+
+    weights: Tuple[float, float, float, float]
+    point: ParetoPoint
+    score: float                  # normalised weighted sum at the winner
+
+
+@dataclass(frozen=True, eq=False)
+class ComposedPoint:
+    """One point of a kernel-level front composed across components.
+
+    Components execute one after another on the same platform, so
+    makespans and DMA bytes add (scaled by each component's execution
+    count) while the SPM requirement and the core count are maxima.
+    ``picks`` records the chosen flattened solution key per component,
+    in composition order."""
+
+    makespan_ns: float
+    spm_bytes: int
+    dma_bytes: int
+    cores: int
+    picks: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def objectives(self) -> ObjectiveVector:
+        return (self.makespan_ns, self.spm_bytes,
+                self.dma_bytes, self.cores)
+
+    def describe(self) -> str:
+        return " | ".join(
+            "(" + ",".join(str(x) for x in pick) + ")"
+            for pick in self.picks)
+
+
+def pareto_front(points: Iterable[ParetoPoint]) -> Tuple[ParetoPoint, ...]:
+    """The exact non-dominated subset of *points*, deterministically.
+
+    Duplicate objective vectors keep the representative with the
+    smallest flattened key; the result is sorted by ``(objectives,
+    flat)``.  Sorting makes the filter one-directional: a dominator is
+    componentwise ``<=`` its victim and differs somewhere, so it sorts
+    strictly before it — checking each point against the already
+    accepted prefix suffices."""
+    by_vector: Dict[ObjectiveVector, ParetoPoint] = {}
+    for point in points:
+        kept = by_vector.get(point.objectives)
+        if kept is None or point.flat < kept.flat:
+            by_vector[point.objectives] = point
+    front: List[ParetoPoint] = []
+    for point in sorted(by_vector.values(),
+                        key=lambda p: (p.objectives, p.flat)):
+        if not any(dominates_vector(kept.objectives, point.objectives)
+                   for kept in front):
+            front.append(point)
+    return tuple(front)
+
+
+def scalarize(front: Sequence[ParetoPoint],
+              candidates: Sequence[ParetoPoint],
+              weights: Sequence[float]) -> ScalarizedPoint:
+    """Weighted-sum winner over *candidates*, verified to lie on *front*.
+
+    Objectives are normalised by the front's per-objective range (every
+    per-objective minimum appears on the front, so the ranges — and the
+    winner — are as deterministic as the front itself); a degenerate
+    range falls back to an absolute offset, which preserves strictness.
+    All weights must be strictly positive: that is what makes a
+    dominated candidate score strictly worse than its dominator and
+    pins the winner onto the sweep front."""
+    weights = tuple(float(w) for w in weights)
+    if len(weights) != len(OBJECTIVES):
+        raise ValueError(
+            f"need {len(OBJECTIVES)} weights {OBJECTIVES}, "
+            f"got {len(weights)}")
+    if any(w <= 0.0 for w in weights):
+        raise ValueError(
+            "scalarization weights must be strictly positive "
+            "(a zero weight voids the winner-on-front guarantee)")
+    if not front or not candidates:
+        raise ValueError("cannot scalarize an empty front")
+    los = [min(p.objectives[i] for p in front)
+           for i in range(len(OBJECTIVES))]
+    his = [max(p.objectives[i] for p in front)
+           for i in range(len(OBJECTIVES))]
+    spans = [hi - lo if hi > lo else 1.0 for lo, hi in zip(los, his)]
+
+    def score(point: ParetoPoint) -> float:
+        return math.fsum(
+            w * (obj - lo) / span for w, obj, lo, span
+            in zip(weights, point.objectives, los, spans))
+
+    winner = min(candidates, key=lambda p: (score(p), p.flat))
+    if not any(member.flat == winner.flat for member in front):
+        raise OptimizerError(
+            f"scalarization winner {winner.flat} with objectives "
+            f"{winner.objectives} is not on the sweep front — "
+            f"non-positive weights or an inadmissible bound")
+    return ScalarizedPoint(weights, winner, score(winner))
+
+
+def compose_fronts(parts: Sequence[Tuple[Sequence[ParetoPoint], int]]
+                   ) -> Tuple[ComposedPoint, ...]:
+    """Kernel-level front from per-component ``(front, executions)``.
+
+    The composition operators are monotone in every objective (sums and
+    maxima), so filtering each intermediate product to its non-dominated
+    subset loses no final front member; tied intermediate vectors keep
+    the lexicographically smallest ``picks``, which makes the composed
+    front deterministic.  A component with an empty front (no feasible
+    candidate) makes the whole kernel infeasible: the result is empty."""
+    acc: List[ComposedPoint] = [ComposedPoint(0.0, 0, 0, 0, ())]
+    for front, executions in parts:
+        if not front:
+            return ()
+        merged: Dict[ObjectiveVector, Tuple[Tuple[int, ...], ...]] = {}
+        for prefix in acc:
+            for point in front:
+                vector = (
+                    prefix.makespan_ns + point.makespan_ns * executions,
+                    max(prefix.spm_bytes, point.spm_bytes),
+                    prefix.dma_bytes + point.dma_bytes * executions,
+                    max(prefix.cores, point.cores),
+                )
+                picks = prefix.picks + (point.flat,)
+                kept = merged.get(vector)
+                if kept is None or picks < kept:
+                    merged[vector] = picks
+        survivors: List[Tuple[ObjectiveVector,
+                              Tuple[Tuple[int, ...], ...]]] = []
+        for vector, picks in sorted(merged.items()):
+            if not any(dominates_vector(kept, vector)
+                       for kept, _ in survivors):
+                survivors.append((vector, picks))
+        acc = [ComposedPoint(*vector, picks=picks)
+               for vector, picks in survivors]
+    return tuple(acc)
+
+
+def kernel_front(choices) -> Tuple[ComposedPoint, ...]:
+    """Composed front of a tree-optimizer result's chosen components.
+
+    Every choice must carry a :class:`ParetoComponentResult` (the
+    compiler's ``pareto`` strategy guarantees this)."""
+    parts = []
+    for choice in choices:
+        front = getattr(choice.result, "front", None)
+        if front is None:
+            raise ValueError(
+                f"component {choice.component.label()} was not optimized "
+                f"by the pareto strategy; kernel_front needs per-"
+                f"component fronts")
+        parts.append((front, choice.component.executions))
+    return compose_fronts(parts)
+
+
+@dataclass
+class ParetoComponentResult(ComponentOptResult):
+    """Sweep outcome of one component.
+
+    ``best`` is the front's makespan-optimal member (its makespan equals
+    the nominal single-objective optimum, so
+    :class:`~repro.opt.tree.TreeOptimizer` chain assembly composes the
+    same decisions as the pruned strategy); the full trade-off surface
+    lives in :attr:`front` and the default scalarized winners in
+    :attr:`scalarized`."""
+
+    front: Tuple[ParetoPoint, ...] = ()
+    scalarized: Tuple[ScalarizedPoint, ...] = ()
+    candidates: int = 0           # candidate points in the space
+    scored: int = 0               # candidates screened into scoring windows
+    dominance_pruned: int = 0     # skipped via bound-vector dominance
+
+    @property
+    def front_size(self) -> int:
+        return len(self.front)
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Fraction of the candidate space no evaluation was paid for."""
+        return self.pruned / self.candidates if self.candidates else 0.0
+
+
+class ParetoOptimizer:
+    """Exact multi-objective twin of :class:`~repro.opt.pruned.
+    PrunedOptimizer`.
+
+    Same candidate space, same enumeration order; instead of a scalar
+    incumbent the search keeps an archive of achieved non-dominated
+    objective vectors and prunes candidates whose admissible *bound
+    vector* is weakly dominated by an achieved one (see the module
+    docstring for why the front cannot lose a member to this).  With
+    ``prune=False`` every finite-bound candidate is scored — the
+    reference arm of the front-parity tests."""
+
+    def __init__(self, component: TilableComponent, platform: Platform,
+                 exec_model: ExecModel,
+                 segment_cap: int = DEFAULT_SEGMENT_CAP,
+                 max_points: int = DEFAULT_PRUNED_MAX_POINTS,
+                 deadline: float | None = None, budget_s: float = 0.0,
+                 jobs: int = 1, cache: Optional[PersistentCache] = None,
+                 vectorize: bool = True, prune: bool = True,
+                 weights: Sequence[Sequence[float]] = DEFAULT_WEIGHTS):
+        self.component = component
+        self.platform = platform
+        self.exec_model = exec_model
+        self.max_points = max_points
+        self.jobs = jobs
+        self.vectorize = vectorize
+        self.prune = prune
+        self.weights = tuple(tuple(float(w) for w in ws) for ws in weights)
+        self.evaluator = MakespanEvaluator(
+            component, platform, exec_model, segment_cap, cache=cache)
+        if deadline is not None:
+            self.evaluator.set_deadline(deadline, "pareto", budget_s)
+        self.bounds = BoundCalculator(
+            component, platform, exec_model, segment_cap,
+            modes=self.evaluator.planner.modes,
+            geometry=self.evaluator.geometry)
+        self.metrics: Optional[EngineMetrics] = None
+        self._vars = [node.var for node in component.nodes]
+        self._assignments: List[Tuple[int, ...]] = []
+        self._pruned = 0
+        self._bound_hits = 0
+        self._dominance_pruned = 0
+
+    # -- search ------------------------------------------------------------
+
+    def optimize(self, cores: Optional[int] = None) -> ParetoComponentResult:
+        cores = cores if cores is not None else self.platform.cores
+        started = time.perf_counter()
+        self._pruned = 0
+        self._bound_hits = 0
+        self._dominance_pruned = 0
+        self._assignments = generate_nondominated_thread_groups(
+            cores, self.component)
+        size = space_size_of(self.component, self._assignments)
+        if size > self.max_points:
+            raise SearchSpaceTooLarge(
+                f"{size} candidate points exceed the pareto-search budget "
+                f"of {self.max_points}; use the heuristic (Algorithm 1)")
+        candidates, groups_maps, enum_pruned = enumerate_candidates(
+            self.component, self._assignments, self.bounds,
+            self.evaluator.check_deadline, vectorize=self.vectorize)
+        self._pruned += enum_pruned
+
+        achieved: List[ParetoPoint] = []
+        with EvaluationEngine(self.evaluator, jobs=self.jobs,
+                              stage="pareto",
+                              vectorize=self.vectorize) as engine:
+            engine.note_pruned(enum_pruned)   # enumeration-time drops
+            scored = self._sweep(engine, candidates, groups_maps, achieved)
+            front = pareto_front(achieved)
+            best: Optional[MakespanResult] = None
+            if front:
+                top = min(front, key=lambda p: (p.makespan_ns, p.flat))
+                best = engine.finalize(top.result)
+            self.metrics = engine.metrics()
+        scalarized = tuple(
+            scalarize(front, achieved, weights)
+            for weights in self.weights) if front else ()
+        return ParetoComponentResult(
+            component=self.component,
+            best=best,
+            evaluations=self.evaluator.evaluations,
+            elapsed_s=time.perf_counter() - started,
+            assignments_tried=len(self._assignments),
+            cache_hits=self.evaluator.cache_hits,
+            pruned=self._pruned,
+            bound_hits=self._bound_hits,
+            batched=self.metrics.batched,
+            batch_fallbacks=self.metrics.batch_fallbacks,
+            exec_model=self.exec_model,
+            front=front,
+            scalarized=scalarized,
+            candidates=size,
+            scored=scored,
+            dominance_pruned=self._dominance_pruned,
+        )
+
+    def _sweep(self, engine: EvaluationEngine, candidates,
+               groups_maps: List[Dict[str, int]],
+               achieved: List[ParetoPoint]) -> int:
+        """Windowed archive walk; returns the number of scored candidates.
+
+        The archive advances only at window boundaries and memo/cache
+        hits occupy window slots, so the screen-decision sequence — and
+        with it the scored/pruned split, not just the front — is a pure
+        function of the candidate list: identical across ``jobs``,
+        ``vectorize``, and cold/warm cache runs."""
+        evaluator = self.evaluator
+        archive: List[ObjectiveVector] = []
+        scored = 0
+        pos, total = 0, len(candidates)
+        limit = _FIRST_WINDOW
+        while pos < total:
+            evaluator.check_deadline()
+            #: (flat key, cached result or None, fresh solution or None)
+            window: List[tuple] = []
+            while pos < total and len(window) < limit:
+                bound, flat, sizes, ai = candidates[pos]
+                pos += 1
+                solution = self._solution(sizes, groups_maps[ai])
+                hit = evaluator.peek(solution)
+                if hit is not None:
+                    window.append((flat, hit, None))
+                    continue
+                vector = self._bound_vector(bound, sizes, ai, solution)
+                if vector is None:    # refined bound proves infeasibility
+                    self._prune_one(engine, solution.key(), math.inf)
+                    continue
+                if self.prune and any(
+                        dominates_vector(kept, vector)
+                        for kept in archive):
+                    self._dominance_pruned += 1
+                    self._prune_one(engine, solution.key(), vector[0])
+                    continue
+                window.append((flat, None, solution))
+            limit = min(limit * 2, _BATCH_WINDOW)
+            if not window:
+                continue
+            fresh = [(entry[2].tile_sizes, entry[2].thread_groups)
+                     for entry in window if entry[1] is None]
+            scored += len(window)     # hits included: cold ≡ warm
+            results = iter(engine.evaluate_many(fresh) if fresh else ())
+            for flat, hit, _solution in window:
+                result = hit if hit is not None else next(results)
+                if not result.feasible:
+                    continue
+                point = ParetoPoint(
+                    result=result, flat=flat,
+                    makespan_ns=result.makespan_ns,
+                    spm_bytes=result.spm_bytes_needed,
+                    dma_bytes=result.transferred_bytes,
+                    cores=result.solution.threads)
+                achieved.append(point)
+                self._archive_add(archive, point.objectives)
+        return scored
+
+    # -- helpers -----------------------------------------------------------
+
+    def _solution(self, sizes: Tuple[int, ...],
+                  groups: Dict[str, int]) -> Solution:
+        return Solution(
+            self.component, dict(zip(self._vars, sizes)), groups)
+
+    def _bound_vector(self, quick: float, sizes: Tuple[int, ...], ai: int,
+                      solution: Solution) -> Optional[ObjectiveVector]:
+        """Admissible componentwise floor on the candidate's objectives.
+
+        Makespan is the refined (DMA-path + exact-SPM) bound; SPM is the
+        planner's exact requirement (falling back to the closed-form
+        floor when geometry cannot resolve); DMA bytes is the swap-event
+        byte floor; the core count is exact by construction.  ``None``
+        means the refined bound proved the candidate infeasible."""
+        assignment = self._assignments[ai]
+        refined = self.bounds.refine(quick, sizes, assignment)
+        if math.isinf(refined):
+            return None
+        sizes_map = solution.tile_sizes
+        spm = self.bounds.spm_bytes_exact(sizes_map)
+        if spm is None:
+            spm = self.bounds.spm_bytes_floor(sizes)
+        dma = self.bounds.dma_bytes_floor(sizes, assignment, sizes_map)
+        return (refined, spm, dma, solution.threads)
+
+    def _prune_one(self, engine: EvaluationEngine, key: tuple,
+                   bound: float) -> None:
+        self._pruned += 1
+        engine.note_pruned()
+        if self.evaluator.persist_bound(key, bound):
+            self._bound_hits += 1
+            engine.note_bound_hit()
+
+    @staticmethod
+    def _archive_add(archive: List[ObjectiveVector],
+                     vector: ObjectiveVector) -> None:
+        """Keep the archive the non-dominated subset of achieved vectors."""
+        for kept in archive:
+            if kept == vector or dominates_vector(kept, vector):
+                return
+        archive[:] = [kept for kept in archive
+                      if not dominates_vector(vector, kept)]
+        archive.append(vector)

@@ -187,6 +187,46 @@ def robust_note(result) -> str:
     return ", ".join(parts)
 
 
+def pareto_note(result) -> str:
+    """One-line pareto-sweep summary for one component result.
+
+    Accepts a :class:`~repro.opt.pareto.ParetoComponentResult`; shows
+    the front size, how much of the candidate space the bound tiers
+    eliminated, and the makespan span the front covers — the line
+    printed by ``compile --pareto`` and archived next to frontier
+    bench numbers."""
+    if not result.front:
+        return "pareto: empty front (no feasible candidate)"
+    fastest = result.front[0]
+    leanest = min(result.front, key=lambda p: p.spm_bytes)
+    parts = [f"pareto: {result.front_size} front members from "
+             f"{result.candidates:,} candidates "
+             f"({result.pruned_fraction:.1%} bound-pruned, "
+             f"{result.dominance_pruned:,} by dominance)"]
+    parts.append(
+        f"makespan {fastest.makespan_ns:,.0f} ns at "
+        f"{fastest.spm_bytes:,} B SPM down to "
+        f"{leanest.spm_bytes:,} B SPM at "
+        f"{leanest.makespan_ns:,.0f} ns")
+    return ", ".join(parts)
+
+
+def pareto_table(front, title: str = "") -> str:
+    """Aligned frontier table for a sweep or composed front.
+
+    Accepts any sequence of points exposing the four objectives and
+    ``describe()`` — per-component :class:`~repro.opt.pareto.
+    ParetoPoint` rows and kernel-level :class:`~repro.opt.pareto.
+    ComposedPoint` rows alike."""
+    headers = ["makespan ns", "SPM B", "DMA B", "cores", "solution"]
+    rows = [
+        [point.makespan_ns, point.spm_bytes, point.dma_bytes,
+         point.cores, point.describe()]
+        for point in front
+    ]
+    return format_table(headers, rows, title=title)
+
+
 def full_grid_enabled() -> bool:
     """REPRO_FULL=1 switches benches to the paper's complete sweeps."""
     return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")

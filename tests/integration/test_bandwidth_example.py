@@ -1,0 +1,85 @@
+"""Regression tests for ``examples/bandwidth_study.py``.
+
+The historical bug: the memory->compute plateau was detected by
+comparing makespans *normalised by* ``ideal_makespan_ns`` of each
+sweep platform.  The ratio of normalised values only equals the ratio
+of raw values while the normaliser happens to be bus-invariant; the
+moment the ideal tracks the bus, the flip point moves.  The example
+now detects the plateau on raw makespans via an importable
+``plateau_index``, pinned here.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLE = Path(__file__).resolve().parents[2] / "examples" \
+    / "bandwidth_study.py"
+
+
+@pytest.fixture(scope="module")
+def bandwidth_study():
+    spec = importlib.util.spec_from_file_location(
+        "bandwidth_study", EXAMPLE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestPlateauIndex:
+    def test_memory_bound_everywhere_is_none(self, bandwidth_study):
+        # Every 4x bus step still buys >= 1.1x: no plateau.
+        assert bandwidth_study.plateau_index([800, 400, 200, 100]) is None
+
+    def test_flip_at_first_small_step(self, bandwidth_study):
+        makespans = [100.0, 50.0, 26.0, 25.0, 24.9]
+        assert bandwidth_study.plateau_index(makespans) == 3
+
+    def test_threshold_is_respected(self, bandwidth_study):
+        makespans = [100.0, 80.0, 64.0]      # every step improves 1.25x
+        assert bandwidth_study.plateau_index(makespans, 1.3) == 1
+        assert bandwidth_study.plateau_index(makespans, 1.2) is None
+
+    def test_single_point_sweep_has_no_plateau(self, bandwidth_study):
+        assert bandwidth_study.plateau_index([42.0]) is None
+        assert bandwidth_study.plateau_index([]) is None
+
+    def test_raw_detection_immune_to_bus_varying_normaliser(
+            self, bandwidth_study):
+        # The regression proper: normalising by a per-platform ideal
+        # that grows with the bus moves the flip point; the raw series
+        # must not.
+        raw = [100.0, 50.0, 26.0, 25.0, 24.9]
+        ideal = [1.0, 1.0, 1.0, 1.2, 1.2]      # bus-varying normaliser
+        normalised = [m / i for m, i in zip(raw, ideal)]
+        assert bandwidth_study.plateau_index(raw) == 3
+        # The old scheme (ratios of normalised makespans) misses the
+        # real flip at 3 and reports 4 — exactly the bug under test.
+        assert bandwidth_study.plateau_index(normalised) == 4
+
+    def test_flip_matches_the_raw_makespan_plateau(self, bandwidth_study):
+        # plateau_index is definitionally the first sweep position whose
+        # raw step-ratio drops under the threshold — cross-check against
+        # an independent scan.
+        makespans = [900.0, 300.0, 120.0, 115.0, 60.0]
+        flip = bandwidth_study.plateau_index(makespans)
+        reference = next(
+            (i for i in range(1, len(makespans))
+             if makespans[i - 1] / makespans[i]
+             < bandwidth_study.PLATEAU_THRESHOLD), None)
+        assert flip == reference == 3
+
+
+class TestStudyEndToEnd:
+    def test_study_runs_and_reports_the_frontier(self, bandwidth_study,
+                                                 capsys):
+        bandwidth_study.study("rnn", preset="MINI", speeds=[1 / 4, 16],
+                              pareto_preset="MINI")
+        out = capsys.readouterr().out
+        assert "=== rnn (MINI) ===" in out
+        assert "bus GB/s" in out
+        assert "pareto frontier per bus speed (MINI)" in out
+        # The plateau verdict is always printed, one way or the other.
+        assert ("computation bound at" in out
+                or "memory bound across the whole sweep" in out)

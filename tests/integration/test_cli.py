@@ -9,7 +9,7 @@ class TestParser:
     def test_commands_registered(self):
         parser = build_parser()
         for command in ("tree", "compile", "codegen", "trace", "gantt",
-                        "sweep", "analyze"):
+                        "sweep", "analyze", "pareto"):
             args = parser.parse_args([command, "cnn"])
             assert args.command == command
 
@@ -166,6 +166,39 @@ class TestCommands:
         # Identical makespan; only the robust note differs.
         assert makespan_line(pruned_out) == makespan_line(robust_out)
         assert "0 scenarios (nominal winner kept)" in robust_out
+
+    def test_pareto_command(self, capsys):
+        code = main(["pareto", "rnn", "--preset", "MINI", "--spm", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pareto:" in out                  # per-component note
+        assert "makespan ns" in out              # frontier table header
+        assert "weights (" in out                # scalarized winners
+
+    def test_compile_pareto(self, capsys):
+        code = main(["compile", "cnn", "--preset", "MINI",
+                     "--spm", "8", "--pareto"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out                 # the usual compile report
+        assert "pareto:" in out and "front members" in out
+
+    def test_pareto_custom_weights(self, capsys):
+        code = main(["pareto", "rnn", "--preset", "MINI", "--spm", "8",
+                     "--weights", "0.7,0.1,0.1,0.1",
+                     "--weights", "0.25,0.25,0.25,0.25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "weights (0.7,0.1,0.1,0.1)" in out
+        assert "weights (0.25,0.25,0.25,0.25)" in out
+
+    @pytest.mark.parametrize("bad", ["0,1,1,1", "1,2,3", "a,b,c,d"])
+    def test_pareto_bad_weights_exit_2(self, bad, capsys):
+        code = main(["pareto", "rnn", "--preset", "MINI", "--spm", "8",
+                     "--weights", bad])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--weights" in err or "weights" in err
 
 
 class TestAnalyze:

@@ -210,6 +210,25 @@ class TestParallelEngine:
         assert metrics.dispatched == 0
         assert all(r.from_cache for r in warm)
 
+    def test_close_never_tears_the_cache_log(self, b0, tmp_path):
+        # close() drains workers instead of terminate()ing them, so no
+        # worker can die mid-append to the shared JSONL log.  Cycle the
+        # pool a few times with appends in flight right up to close.
+        comp, model = b0
+        for round_ in range(3):
+            evaluator = MakespanEvaluator(
+                comp, Platform(), model, cache=PersistentCache(tmp_path))
+            requests = [({"b_0": k}, {"b_0": r})
+                        for k in (1, 2, 5, 10, 13, 25)
+                        for r in (1, 2, 4)][round_:]
+            with eight_cpus(), \
+                    EvaluationEngine(evaluator, jobs=4) as engine:
+                engine.evaluate_many(requests)
+        reloaded = PersistentCache(tmp_path)
+        stats = reloaded.stats()
+        assert stats["entries"] > 0
+        assert reloaded.corrupt_lines == 0
+
 
 @needs_fork
 class TestOptimizerParity:
