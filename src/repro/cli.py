@@ -11,7 +11,9 @@ Commands
 ``pareto``    exact makespan/SPM/DMA/cores frontier per component
 ``analyze``   static PREM-compliance verification (no VM involved)
 ``faults``    seeded fault-injection campaign; injected vs detected
-``cache``     persistent makespan-cache statistics / clearing
+``cache``     persistent makespan-cache statistics / clearing / compaction
+``shard``     sharded-compile coordination-log status
+``shard-reduce``  merge shard results from the shared cache (exact winner)
 
 Exit codes: 0 success, 1 expected failure (infeasible schedule,
 error-severity diagnostics, missed faults), 2 bad invocation (unknown
@@ -35,6 +37,10 @@ Examples
     python -m repro analyze cnn --selftest 200 --seed 7
     python -m repro faults lstm --seed 7
     python -m repro cache stats --cache-dir .cache
+    python -m repro cache compact --cache-dir .cache
+    python -m repro compile cnn --preset MINI --shard 1/3 --cache-dir .cache
+    python -m repro shard-reduce cnn --preset MINI --cache-dir .cache
+    python -m repro shard status --cache-dir .cache
 """
 
 from __future__ import annotations
@@ -122,6 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep every component's exact makespan/SPM/DMA/cores "
              "frontier and print it next to the chosen schedule")
     compile_cmd.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="score only shard I of N (1-based) of every component's "
+             "candidate space against a shared --cache-dir; recover the "
+             "exact winner afterwards with 'shard-reduce'")
+    compile_cmd.add_argument(
         "--verify-static", action="store_true",
         help="gate the result on the static PREM-compliance verifier "
              "(exit 1 on any error-severity diagnostic)")
@@ -180,11 +191,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     cache_cmd = sub.add_parser(
         "cache", help="persistent makespan-cache maintenance")
-    cache_cmd.add_argument("action", choices=("stats", "clear"))
+    cache_cmd.add_argument("action", choices=("stats", "clear", "compact"))
     cache_cmd.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help=f"cache directory (default: ${CACHE_ENV} or "
              f"the user cache dir)")
+
+    reduce_cmd = sub.add_parser(
+        "shard-reduce",
+        help="merge shard results: exact winner from the shared cache")
+    add_common(reduce_cmd)
+
+    shard_cmd = sub.add_parser(
+        "shard", help="sharded-compile coordination-log status")
+    shard_cmd.add_argument("action", choices=("status",))
+    shard_cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=f"shared cache directory (also honours ${CACHE_ENV})")
+    shard_cmd.add_argument(
+        "--stale-s", type=float, default=600.0, metavar="S",
+        help="claims older than this without a done record count "
+             "as stale (reclaimable)")
     return parser
 
 
@@ -206,9 +233,44 @@ def _cache(args) -> Optional[PersistentCache]:
     return PersistentCache(directory)
 
 
+def _parse_shard(token: str):
+    """``--shard I/N`` (1-based on the wire) -> zero-based (index, count).
+
+    Malformed values are a bad invocation, so they raise
+    KernelConfigError and exit 2 like an unknown preset does."""
+    try:
+        index_text, count_text = token.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise KernelConfigError(
+            f"malformed --shard value {token!r}: expected I/N, e.g. 2/3")
+    if count < 1 or not 1 <= index <= count:
+        raise KernelConfigError(
+            f"--shard {token!r}: need 1 <= I <= N")
+    return index - 1, count
+
+
+def _shards(args):
+    """Validated ``shards`` tuple for the compiler, or None."""
+    token = getattr(args, "shard", None)
+    if token is None:
+        return None
+    shards = _parse_shard(token)
+    if getattr(args, "greedy", False):
+        raise KernelConfigError(
+            "--shard partitions the exhaustive candidate space; it does "
+            "not compose with --greedy")
+    if _cache(args) is None:
+        raise KernelConfigError(
+            "--shard needs the shared persistent cache: pass --cache-dir "
+            f"or set ${CACHE_ENV}")
+    return shards
+
+
 def _compile(args, use_cache: bool = True):
     kernel = make_kernel(args.kernel, args.preset)
     cache = _cache(args) if use_cache else None
+    shards = _shards(args)
     if getattr(args, "robust_timing", False):
         # The compiler seed doubles as the scenario-sampling seed, so
         # --seed reaches the robust search without a second knob.
@@ -218,7 +280,7 @@ def _compile(args, use_cache: bool = True):
         return compiler.compile(
             kernel, cores=args.cores, strategy="robust",
             scenarios=args.scenarios, risk=args.risk,
-            alpha=args.alpha, spread=args.spread)
+            alpha=args.alpha, spread=args.spread, shards=shards)
     compiler = PremCompiler(
         _platform(args), jobs=getattr(args, "jobs", 1), cache=cache)
     if getattr(args, "pareto", False):
@@ -227,9 +289,14 @@ def _compile(args, use_cache: bool = True):
         strategy = "pruned"
     elif args.greedy:
         strategy = "greedy"
+    elif shards is not None:
+        # A shard worker must walk the same sorted candidate list on
+        # every host; the bound-driven search is that list's owner.
+        strategy = "pruned"
     else:
         strategy = "heuristic"
-    return compiler.compile(kernel, cores=args.cores, strategy=strategy)
+    return compiler.compile(
+        kernel, cores=args.cores, strategy=strategy, shards=shards)
 
 
 def cmd_tree(args) -> int:
@@ -241,6 +308,10 @@ def cmd_tree(args) -> int:
 
 
 def cmd_compile(args) -> int:
+    if args.robust and args.shard:
+        raise KernelConfigError(
+            "--shard does not compose with the staged --robust pipeline "
+            "(shard the --pruned or --robust-timing search instead)")
     if args.robust:
         kernel = make_kernel(args.kernel, args.preset)
         compiler = PremCompiler(
@@ -288,6 +359,14 @@ def cmd_compile(args) -> int:
             print(report.render_text())
         if report.has_errors:
             return 1
+    if args.shard:
+        # A shard slice may hold no feasible candidate at all — that is
+        # expected, not an error; the winner is recovered at reduce time.
+        print(f"shard             : {args.shard} "
+              f"(merge with 'shard-reduce' on the shared cache)")
+        if not result.feasible:
+            print("shard slice infeasible (expected for some shards)")
+        return 0
     return 0 if result.feasible else 1
 
 
@@ -502,10 +581,61 @@ def cmd_cache(args) -> int:
         cache.clear()
         print(f"cleared {removed} entries from {cache.path}")
         return 0
+    if args.action == "compact":
+        report = cache.compact()
+        print(f"cache file : {cache.path}")
+        print(f"lines      : {report['lines_before']:,} -> "
+              f"{report['lines_after']:,} "
+              f"({report['lines_reclaimed']:,} reclaimed)")
+        print(f"bytes      : {report['bytes_before']:,} -> "
+              f"{report['bytes_after']:,} "
+              f"({report['bytes_reclaimed']:,} reclaimed)")
+        return 0
     stats = cache.stats()
     print(f"cache file : {cache.path}")
     print(f"entries    : {len(cache):,}")
     print(f"size       : {stats['bytes']:,} bytes")
+    return 0
+
+
+def cmd_shard_reduce(args) -> int:
+    """Merge shard results: one unsharded --pruned compile on the now
+    warm shared cache.  Every candidate a shard scored is a cache hit
+    (zero fresh segment plans) and the incumbent walk re-runs the exact
+    serial rank, so the reported winner is bit-identical to a
+    single-process compile."""
+    if _cache(args) is None:
+        raise KernelConfigError(
+            "shard-reduce needs the shared cache the shard workers "
+            f"wrote: pass --cache-dir or set ${CACHE_ENV}")
+    args.pruned = True
+    args.greedy = False
+    result = _compile(args)
+    print(result.opt_result.describe())
+    opt = result.opt_result
+    print(f"\nmakespan          : {result.makespan_ns:>16,.0f} ns")
+    print(f"evaluations       : {opt.evaluations:>16,}")
+    if opt.cache_hits:
+        print(f"cache hits        : {opt.cache_hits:>16,} "
+              f"({opt.cache_hit_rate:.1%} of probes)")
+    return 0 if result.feasible else 1
+
+
+def cmd_shard(args) -> int:
+    from .opt.shard import ShardLog, space_statuses
+
+    directory = args.cache_dir or os.environ.get(CACHE_ENV)
+    if not directory:
+        raise KernelConfigError(
+            "shard status needs the shared cache directory: pass "
+            f"--cache-dir or set ${CACHE_ENV}")
+    log = ShardLog(directory)
+    statuses = space_statuses(log, stale_s=args.stale_s)
+    if not statuses:
+        print(f"no shard coordination records in {log.path}")
+        return 0
+    for status in statuses.values():
+        print(status.describe())
     return 0
 
 
@@ -520,6 +650,8 @@ COMMANDS = {
     "analyze": cmd_analyze,
     "faults": cmd_faults,
     "cache": cmd_cache,
+    "shard": cmd_shard,
+    "shard-reduce": cmd_shard_reduce,
 }
 
 

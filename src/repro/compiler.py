@@ -219,7 +219,8 @@ class PremCompiler:
                 scenarios: int = 32,
                 risk: str = "cvar",
                 alpha: float = 0.9,
-                spread: float = 0.2
+                spread: float = 0.2,
+                shards: Optional[Tuple[int, int]] = None
                 ) -> CompilationResult:
         """Analyze, optimize and package one kernel.
 
@@ -243,9 +244,28 @@ class PremCompiler:
         for this call; the deadline stays armed inside worker
         processes, and parallel runs are guaranteed to pick the same
         solutions as serial ones.
+
+        *shards* — ``(index, count)`` — restricts every component's
+        candidate walk to shard *index* of *count* (zero-based) for
+        distributed compilation: each worker process compiles one
+        shard against a *shared* persistent cache directory, and a
+        final unsharded run over the warm cache (``shard-reduce``)
+        recovers the bit-identical single-host winner with zero fresh
+        plans.  Requires an enumerated-space strategy (``pruned``,
+        ``robust`` or ``pareto``); with a cache attached, pruned-shard
+        workers additionally exchange incumbent snapshots through the
+        cache directory's coordination log.  A shard-restricted result
+        may be infeasible on its own — that is expected, the reduce
+        step supplies the winner.
         """
         jobs = self.jobs if jobs is None else jobs
         cache = self.cache if cache is None else cache
+        if shards is not None and strategy not in (
+                "pruned", "robust", "pareto"):
+            raise ValueError(
+                f"strategy {strategy!r} does not support sharding; "
+                f"--shard needs an enumerated candidate space "
+                f"(pruned, robust, or pareto)")
         tree = tree or LoopTree.build(kernel)
         if strategy == "sequential":
             return self._compile_sequential(kernel, tree)
@@ -272,19 +292,21 @@ class PremCompiler:
             result = optimizer.optimize(
                 self.platform, cores=cores,
                 optimize_fn=self._pruned_fn(
-                    cores, deadline, budget_s, jobs, cache))
+                    cores, deadline, budget_s, jobs, cache,
+                    shards=shards))
         elif strategy == "pareto":
             result = optimizer.optimize(
                 self.platform, cores=cores,
                 optimize_fn=self._pareto_fn(
-                    cores, deadline, budget_s, jobs, cache))
+                    cores, deadline, budget_s, jobs, cache,
+                    shards=shards))
         elif strategy == "robust":
             result = optimizer.optimize(
                 self.platform, cores=cores,
                 optimize_fn=self._robust_fn(
                     cores, deadline, budget_s, jobs, cache,
                     scenarios=scenarios, risk=risk, alpha=alpha,
-                    spread=spread))
+                    spread=spread, shards=shards))
         else:
             raise ValueError(f"unknown strategy {strategy!r}")
 
@@ -442,30 +464,48 @@ class PremCompiler:
     def _pruned_fn(self, cores: Optional[int],
                    deadline: Optional[float], budget_s: float,
                    jobs: int = 1,
-                   cache: Optional[PersistentCache] = None):
+                   cache: Optional[PersistentCache] = None,
+                   shards: Optional[Tuple[int, int]] = None):
         def optimize_fn(component, exec_model):
             pruned = PrunedOptimizer(
                 component, self.platform, exec_model,
                 segment_cap=self.segment_cap,
                 max_points=self.pruned_max_points,
                 deadline=deadline, budget_s=budget_s,
-                jobs=jobs, cache=cache)
-            return pruned.optimize(cores)
+                jobs=jobs, cache=cache, shard_of=shards)
+            exchange = self._shard_exchange(
+                pruned.evaluator.context_hash, shards, cache)
+            if exchange is not None:
+                # Seed this shard with the best rank any sibling shard
+                # has already published; can only increase pruning.
+                pruned.incumbent = exchange.seed()
+            result = pruned.optimize(cores)
+            if exchange is not None:
+                exchange.publish(component, result)
+            return result
 
         return optimize_fn
 
     def _pareto_fn(self, cores: Optional[int],
                    deadline: Optional[float], budget_s: float,
                    jobs: int = 1,
-                   cache: Optional[PersistentCache] = None):
+                   cache: Optional[PersistentCache] = None,
+                   shards: Optional[Tuple[int, int]] = None):
         def optimize_fn(component, exec_model):
             pareto = ParetoOptimizer(
                 component, self.platform, exec_model,
                 segment_cap=self.segment_cap,
                 max_points=self.pruned_max_points,
                 deadline=deadline, budget_s=budget_s,
-                jobs=jobs, cache=cache)
-            return pareto.optimize(cores)
+                jobs=jobs, cache=cache, shard_of=shards)
+            result = pareto.optimize(cores)
+            # A dominance archive cannot adopt a scalar incumbent, so
+            # pareto shards publish progress records only.
+            exchange = self._shard_exchange(
+                pareto.evaluator.context_hash, shards, cache)
+            if exchange is not None:
+                exchange.publish(component, result, winner=False)
+            return result
 
         return optimize_fn
 
@@ -474,7 +514,8 @@ class PremCompiler:
                    jobs: int = 1,
                    cache: Optional[PersistentCache] = None,
                    scenarios: int = 32, risk: str = "cvar",
-                   alpha: float = 0.9, spread: float = 0.2):
+                   alpha: float = 0.9, spread: float = 0.2,
+                   shards: Optional[Tuple[int, int]] = None):
         def optimize_fn(component, exec_model):
             robust = RobustOptimizer(
                 component, self.platform, exec_model,
@@ -483,7 +524,28 @@ class PremCompiler:
                 risk=risk, alpha=alpha,
                 max_points=self.pruned_max_points,
                 deadline=deadline, budget_s=budget_s,
-                jobs=jobs, cache=cache)
-            return robust.optimize(cores)
+                jobs=jobs, cache=cache, shard_of=shards)
+            result = robust.optimize(cores)
+            # Risk winners are not nominal-rank comparable across
+            # shards through the makespan log; publish progress only.
+            exchange = self._shard_exchange(
+                robust._nominal_search.evaluator.context_hash,
+                shards, cache)
+            if exchange is not None:
+                exchange.publish(component, result, winner=False)
+            return result
 
         return optimize_fn
+
+    def _shard_exchange(self, context_hash: Optional[str],
+                        shards: Optional[Tuple[int, int]],
+                        cache: Optional[PersistentCache]):
+        """Incumbent/progress exchange for one static shard worker.
+
+        Active only when both a shard restriction and a shared cache
+        directory exist — a shard run without a cache is a plain
+        restricted search with nobody to talk to."""
+        if shards is None or cache is None or context_hash is None:
+            return None
+        from .opt.shard import StaticShardExchange
+        return StaticShardExchange(cache.directory, context_hash, shards)

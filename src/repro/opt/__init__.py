@@ -25,7 +25,7 @@ from .pareto import (
     pareto_front,
     scalarize,
 )
-from .pruned import DEFAULT_PRUNED_MAX_POINTS, PrunedOptimizer
+from .pruned import DEFAULT_PRUNED_MAX_POINTS, PrunedOptimizer, validate_shard
 from .robust import (
     RISK_OBJECTIVES,
     CandidateRisk,
@@ -34,6 +34,17 @@ from .robust import (
     SensitivityEntry,
     cvar_tail_count,
     risk_value,
+)
+from .shard import (
+    ShardCoordinator,
+    ShardIncompleteError,
+    ShardLog,
+    ShardReducer,
+    ShardWorker,
+    SpaceStatus,
+    StaticShardExchange,
+    space_statuses,
+    static_space_id,
 )
 from .solution import LevelParams, Solution
 from .threadgroups import (
@@ -58,7 +69,10 @@ __all__ = [
     "ParetoComponentResult", "ParetoOptimizer", "ParetoPoint",
     "ScalarizedPoint", "compose_fronts", "dominates_vector",
     "kernel_front", "pareto_front", "scalarize",
-    "DEFAULT_PRUNED_MAX_POINTS", "PrunedOptimizer",
+    "DEFAULT_PRUNED_MAX_POINTS", "PrunedOptimizer", "validate_shard",
+    "ShardCoordinator", "ShardIncompleteError", "ShardLog",
+    "ShardReducer", "ShardWorker", "SpaceStatus", "StaticShardExchange",
+    "space_statuses", "static_space_id",
     "RISK_OBJECTIVES", "CandidateRisk", "RobustComponentResult",
     "RobustOptimizer", "SensitivityEntry", "cvar_tail_count", "risk_value",
     "LevelParams", "Solution",

@@ -213,6 +213,15 @@ class PersistentCache:
             self.hits += 1
         return entry
 
+    def peek_entry(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The stored entry without touching the hit/miss counters.
+
+        The shard reducer classifies every candidate on the list (full
+        result, bound-only, missing); those taxonomy probes are not
+        cache *lookups* and must not skew the hit-rate accounting."""
+        self._load()
+        return self._entries.get(digest)
+
     def get_result(self, digest: str) -> Optional[Dict[str, Any]]:
         """Like :meth:`get`, but only full *result* entries count.
 
@@ -328,6 +337,76 @@ class PersistentCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+        }
+
+    def reload(self) -> None:
+        """Drop the in-memory index and re-read the log on next access.
+
+        Concurrent processes append entries this process's index has
+        never seen; the shard reducer calls this before merging so the
+        fold covers every worker's published lines."""
+        self._entries = {}
+        self._bound_count = 0
+        self._loaded = False
+        self.corrupt_lines = 0
+
+    def compact(self) -> Dict[str, int]:
+        """Rewrite the log keeping one line per digest; report savings.
+
+        The append-only file grows without bound across warm runs:
+        every bound-only entry later upgraded to a full result leaves
+        its superseded line behind, and corrupt (torn) lines linger
+        forever.  Compaction re-reads the file *inside* the writer lock
+        — so lines appended since this process last loaded are folded,
+        not lost — rewrites the surviving entry per digest to a
+        temporary sibling, and atomically replaces the log.  Readers
+        mid-``read_text`` see either the old or the new file, never a
+        mix.  Returns ``lines``/``bytes`` before/after and the
+        reclaimed difference."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self._locked():
+            try:
+                text = self.path.read_text()
+            except OSError:
+                text = ""
+            bytes_before = len(text.encode())
+            lines_before = sum(1 for line in text.splitlines()
+                               if line.strip())
+            entries: Dict[str, Dict[str, Any]] = {}
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(entry, dict) or \
+                        entry.get("v") != CACHE_VERSION:
+                    continue
+                digest = entry.get("k")
+                if isinstance(digest, str):
+                    entries[digest] = entry
+            compacted = "".join(
+                json.dumps(entry, sort_keys=True, separators=(",", ":"))
+                + "\n" for entry in entries.values())
+            temp = self.path.with_suffix(".jsonl.compact")
+            temp.write_text(compacted)
+            os.replace(temp, self.path)
+            # Adopt the folded view: it is at least as fresh as the
+            # in-memory index (the lock held off concurrent appends).
+            self._entries = entries
+            self._bound_count = sum(
+                1 for entry in entries.values() if "f" not in entry)
+            self._loaded = True
+            self.corrupt_lines = 0
+        return {
+            "lines_before": lines_before,
+            "lines_after": len(entries),
+            "lines_reclaimed": lines_before - len(entries),
+            "bytes_before": bytes_before,
+            "bytes_after": len(compacted.encode()),
+            "bytes_reclaimed": bytes_before - len(compacted.encode()),
         }
 
     def clear(self) -> int:

@@ -228,6 +228,43 @@ class EngineMetrics:
             return 1.0 if self.busy_s else 0.0
         return min(1.0, self.busy_s / (self.elapsed_s * self.jobs))
 
+    def merge(self, other: "EngineMetrics") -> "EngineMetrics":
+        """Counter-summing combine for the shard/scenario merge paths.
+
+        Every additive counter — evaluations, hits, ``pruned``,
+        ``bound_hits``, ``batched``, ``batch_fallbacks`` — is *summed*,
+        never last-writer-wins, so an aggregate over several engines
+        (one per shard worker, one per timing scenario) reports the
+        work all of them did.  ``jobs`` takes the widest pool; derived
+        rates recompute from the summed raw counters.  Only merge
+        metrics of engines with *distinct* evaluators: two snapshots of
+        one evaluator would double-count its cumulative counters."""
+        return EngineMetrics(
+            jobs=max(self.jobs, other.jobs),
+            evaluations=self.evaluations + other.evaluations,
+            memo_hits=self.memo_hits + other.memo_hits,
+            cache_hits=self.cache_hits + other.cache_hits,
+            invalid=self.invalid + other.invalid,
+            dispatched=self.dispatched + other.dispatched,
+            chunks=self.chunks + other.chunks,
+            elapsed_s=self.elapsed_s + other.elapsed_s,
+            busy_s=self.busy_s + other.busy_s,
+            pruned=self.pruned + other.pruned,
+            bound_hits=self.bound_hits + other.bound_hits,
+            batched=self.batched + other.batched,
+            batch_fallbacks=self.batch_fallbacks + other.batch_fallbacks,
+        )
+
+    def __add__(self, other: "EngineMetrics") -> "EngineMetrics":
+        if not isinstance(other, EngineMetrics):
+            return NotImplemented
+        return self.merge(other)
+
+    def __radd__(self, other) -> "EngineMetrics":
+        if other == 0:          # lets sum(list_of_metrics) start from 0
+            return self
+        return NotImplemented
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "jobs": self.jobs,

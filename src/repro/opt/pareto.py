@@ -71,6 +71,7 @@ from .pruned import (
     _FIRST_WINDOW,
     DEFAULT_PRUNED_MAX_POINTS,
     enumerate_candidates,
+    validate_shard,
 )
 from .solution import Solution
 from .threadgroups import generate_nondominated_thread_groups
@@ -327,7 +328,8 @@ class ParetoOptimizer:
                  deadline: float | None = None, budget_s: float = 0.0,
                  jobs: int = 1, cache: Optional[PersistentCache] = None,
                  vectorize: bool = True, prune: bool = True,
-                 weights: Sequence[Sequence[float]] = DEFAULT_WEIGHTS):
+                 weights: Sequence[Sequence[float]] = DEFAULT_WEIGHTS,
+                 shard_of: Optional[Tuple[int, int]] = None):
         self.component = component
         self.platform = platform
         self.exec_model = exec_model
@@ -335,6 +337,11 @@ class ParetoOptimizer:
         self.jobs = jobs
         self.vectorize = vectorize
         self.prune = prune
+        #: Restrict the sweep to shard *i* of *n* of the sorted list.
+        #: Fronts compose by union + re-dominance (``pareto_front`` over
+        #: the concatenated shard fronts equals the unsharded front),
+        #: so no incumbent exchange is needed or possible here.
+        self.shard_of = validate_shard(shard_of)
         self.weights = tuple(tuple(float(w) for w in ws) for ws in weights)
         self.evaluator = MakespanEvaluator(
             component, platform, exec_model, segment_cap, cache=cache)
@@ -370,6 +377,9 @@ class ParetoOptimizer:
             self.component, self._assignments, self.bounds,
             self.evaluator.check_deadline, vectorize=self.vectorize)
         self._pruned += enum_pruned
+        if self.shard_of is not None:
+            shard_index, shard_count = self.shard_of
+            candidates = candidates[shard_index::shard_count]
 
         achieved: List[ParetoPoint] = []
         with EvaluationEngine(self.evaluator, jobs=self.jobs,

@@ -86,6 +86,23 @@ _FIRST_WINDOW = 16
 _Candidate = Tuple[float, Tuple[int, ...], Tuple[int, ...], int]
 
 
+def validate_shard(shard_of: Optional[Tuple[int, int]]
+                   ) -> Optional[Tuple[int, int]]:
+    """Normalize/validate a ``(index, count)`` shard restriction."""
+    if shard_of is None:
+        return None
+    try:
+        index, count = int(shard_of[0]), int(shard_of[1])
+    except (IndexError, TypeError, ValueError):
+        raise ValueError(
+            f"shard_of must be (index, count); got {shard_of!r}")
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"shard_of must be (index, count) with 0 <= index < count; "
+            f"got {shard_of!r}")
+    return index, count
+
+
 def enumerate_candidates(component: TilableComponent,
                          assignments: Sequence[Tuple[int, ...]],
                          bounds: BoundCalculator,
@@ -159,13 +176,28 @@ class PrunedOptimizer:
                  max_points: int = DEFAULT_PRUNED_MAX_POINTS,
                  deadline: float | None = None, budget_s: float = 0.0,
                  jobs: int = 1, cache: Optional[PersistentCache] = None,
-                 vectorize: bool = True):
+                 vectorize: bool = True,
+                 shard_of: Optional[Tuple[int, int]] = None,
+                 incumbent: Optional[Tuple[float, Tuple[int, ...]]] = None):
         self.component = component
         self.platform = platform
         self.exec_model = exec_model
         self.max_points = max_points
         self.jobs = jobs
         self.vectorize = vectorize
+        #: Restrict the walk to shard *i* of *n*: every n-th candidate
+        #: of the globally sorted list, starting at i.  The union over
+        #: all shards is the whole space, and any true feasible
+        #: incumbent may seed any shard (see ``incumbent``), so the
+        #: minimum rank over the shard winners is the unsharded winner.
+        self.shard_of = validate_shard(shard_of)
+        #: Optional seed ``(makespan, flat key)`` incumbent rank — a
+        #: *true feasible* rank published by another shard.  Seeding
+        #: can only prune candidates that cannot beat that rank, so the
+        #: shard's own winner may come back None; the seed's publisher
+        #: already holds the corresponding full result.
+        self.incumbent = (float(incumbent[0]), tuple(incumbent[1])) \
+            if incumbent is not None else None
         self.evaluator = MakespanEvaluator(
             component, platform, exec_model, segment_cap, cache=cache)
         if deadline is not None:
@@ -208,6 +240,16 @@ class PrunedOptimizer:
                 best = self._search_serial(engine, candidates, groups_maps)
             best = engine.finalize(best)
             self.metrics = engine.metrics()
+        if self.batch is not None:
+            # The serial-batched walk scores through ``self.batch``,
+            # which the engine never sees; fold its counters in so
+            # ``metrics.batched``/``batch_fallbacks`` survive the shard
+            # and scenario merge paths.  Worker-side batch counts are
+            # already in the engine metrics and the two paths never
+            # overlap, so this is a sum, not a double-count.
+            self.metrics.batched += self.batch.scored - batch_scored0
+            self.metrics.batch_fallbacks += \
+                self.batch.fallbacks - batch_fell0
         return ComponentOptResult(
             component=self.component,
             best=best,
@@ -240,6 +282,14 @@ class PrunedOptimizer:
             self.component, self._assignments, self.bounds,
             self.evaluator.check_deadline, vectorize=self.vectorize)
         self._pruned += pruned
+        if self.shard_of is not None:
+            # Round-robin over the *sorted* list: each shard's slice is
+            # itself sorted (tail pruning stays valid) and the best
+            # bounds spread evenly, so every shard lands a competitive
+            # incumbent early.  Dropped candidates belong to other
+            # shards — they are not "pruned" work.
+            index, count = self.shard_of
+            candidates = candidates[index::count]
         return candidates, groups_maps
 
     def _solution(self, sizes: Tuple[int, ...],
@@ -266,7 +316,7 @@ class PrunedOptimizer:
                 engine, candidates, groups_maps)
         evaluator = self.evaluator
         best: Optional[MakespanResult] = None
-        best_rank: Optional[tuple] = None
+        best_rank: Optional[tuple] = self.incumbent
         for pos, (bound, flat, sizes, ai) in enumerate(candidates):
             if pos % _DEADLINE_STRIDE == 0:
                 evaluator.check_deadline()
@@ -314,7 +364,7 @@ class PrunedOptimizer:
         evaluator = self.evaluator
         batch = self.batch
         best: Optional[MakespanResult] = None
-        best_rank: Optional[tuple] = None
+        best_rank: Optional[tuple] = self.incumbent
         pos = 0
         total = len(candidates)
         limit = _FIRST_WINDOW
@@ -375,7 +425,7 @@ class PrunedOptimizer:
         window = engine.jobs * 2
         pending: deque = deque()
         best: Optional[MakespanResult] = None
-        best_rank: Optional[tuple] = None
+        best_rank: Optional[tuple] = self.incumbent
         pos = 0
         total = len(candidates)
         exhausted = False

@@ -62,11 +62,12 @@ from ..timing.platform import Platform
 from .bounds import BoundCalculator, flatten_key
 from .cache import PersistentCache
 from .component import ComponentOptResult
-from .engine import EvaluationEngine, effective_jobs
+from .engine import EngineMetrics, EvaluationEngine, effective_jobs
 from .pruned import (
     DEFAULT_PRUNED_MAX_POINTS,
     PrunedOptimizer,
     enumerate_candidates,
+    validate_shard,
 )
 from .solution import Solution
 from .threadgroups import generate_nondominated_thread_groups
@@ -198,7 +199,8 @@ class RobustOptimizer:
                  max_points: int = DEFAULT_PRUNED_MAX_POINTS,
                  deadline: float | None = None, budget_s: float = 0.0,
                  jobs: int = 1, cache: Optional[PersistentCache] = None,
-                 vectorize: bool = True):
+                 vectorize: bool = True,
+                 shard_of: Optional[Tuple[int, int]] = None):
         if risk not in RISK_OBJECTIVES:
             raise ValueError(
                 f"unknown risk objective {risk!r} "
@@ -218,14 +220,22 @@ class RobustOptimizer:
         self.deadline = deadline
         self.budget_s = budget_s
         self.vectorize = vectorize
+        #: Restrict phases A and B to shard *i* of *n* of the sorted
+        #: candidate list.  Unlike the nominal search, shards exchange
+        #: no incumbents here — each shard robustifies its own slice,
+        #: and the reducer takes the best published risk rank.
+        self.shard_of = validate_shard(shard_of)
         self.scenarios: Tuple[TimingScenario, ...] = \
             sample_scenarios(scenarios, seed, spread) if scenarios else ()
         #: Phase A — the nominal search, shared guard and counters.
         self._nominal_search = PrunedOptimizer(
             component, platform, exec_model, segment_cap=segment_cap,
             max_points=max_points, deadline=deadline, budget_s=budget_s,
-            jobs=jobs, cache=cache, vectorize=vectorize)
+            jobs=jobs, cache=cache, vectorize=vectorize,
+            shard_of=shard_of)
         self._scenario_evaluators: List[MakespanEvaluator] = []
+        self.metrics: Optional[EngineMetrics] = None
+        self._engine_metrics: List[EngineMetrics] = []
         self._pruned = 0
         self._probes = 0
         self._batched = 0
@@ -267,6 +277,7 @@ class RobustOptimizer:
         self._probes = 0
         self._batched = 0
         self._batch_fallbacks = 0
+        self._engine_metrics = []
         self._scenario_evaluators = []
         nominal = self._nominal_search.optimize(cores)
 
@@ -340,6 +351,11 @@ class RobustOptimizer:
             self.component, assignments, bounds, check,
             vectorize=self.vectorize)
         self._pruned += pruned
+        if self.shard_of is not None:
+            # Same round-robin slice as the nominal search: sorted, so
+            # the tail prune below stays valid within the shard.
+            index, count = self.shard_of
+            candidates = candidates[index::count]
 
         finalists: Dict[Tuple[int, ...], Tuple[float, Solution]] = {}
         for pos, (bound, flat, sizes, ai) in enumerate(candidates):
@@ -400,6 +416,7 @@ class RobustOptimizer:
                     results = engine.evaluate_many([
                         (solution.tile_sizes, solution.thread_groups)
                         for _, _, solution in alive])
+                    self._engine_metrics.append(engine.metrics())
             self._probes += len(alive)
             survivors = []
             remaining = count - index - 1
@@ -446,6 +463,41 @@ class RobustOptimizer:
 
     # -- assembly ----------------------------------------------------------
 
+    def _merged_metrics(self) -> Optional[EngineMetrics]:
+        """Counter-summing aggregate over every engine this search ran.
+
+        Phase A's engine metrics, each phase-C scenario engine's
+        dispatch/timing/batch counters, the serial-path batch counts,
+        and the screening prunes are *summed* (never last-writer-wins),
+        so ``reporting.engine_note`` of a robust run reports all the
+        work done.  Scenario-evaluator probe counters are taken from
+        the evaluators themselves — each engine snapshot would
+        otherwise re-count its evaluator's cumulative totals."""
+        metrics = self._nominal_search.metrics
+        if metrics is None:
+            return None
+        extra = EngineMetrics(
+            jobs=metrics.jobs,
+            evaluations=sum(
+                e.evaluations for e in self._scenario_evaluators),
+            memo_hits=sum(
+                e.memo_hits for e in self._scenario_evaluators),
+            cache_hits=sum(
+                e.cache_hits for e in self._scenario_evaluators),
+            pruned=self._pruned,
+            batched=self._batched,
+            batch_fallbacks=self._batch_fallbacks,
+        )
+        for snapshot in self._engine_metrics:
+            extra.jobs = max(extra.jobs, snapshot.jobs)
+            extra.dispatched += snapshot.dispatched
+            extra.chunks += snapshot.chunks
+            extra.elapsed_s += snapshot.elapsed_s
+            extra.busy_s += snapshot.busy_s
+            extra.batched += snapshot.batched
+            extra.batch_fallbacks += snapshot.batch_fallbacks
+        return metrics.merge(extra)
+
     def _wrap(self, nominal: ComponentOptResult, started: float,
               robust: Optional[CandidateRisk],
               nominal_risk: Optional[CandidateRisk],
@@ -465,6 +517,7 @@ class RobustOptimizer:
             e.evaluations for e in self._scenario_evaluators)
         cache_hits = nominal.cache_hits + sum(
             e.cache_hits for e in self._scenario_evaluators)
+        self.metrics = self._merged_metrics()
         return RobustComponentResult(
             component=self.component,
             best=best,

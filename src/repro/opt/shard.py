@@ -1,0 +1,745 @@
+"""Sharded distributed candidate evaluation over the persistent cache.
+
+The vectorized engine made single-host scoring fast; this module makes
+the *host count* the scaling axis.  Several worker processes — possibly
+on different machines — share nothing but a directory: the persistent
+JSONL makespan cache (``makespan-cache.jsonl``) plus one sibling
+coordination log (``shard-coord.jsonl``).  There is no server and no
+wire protocol; every coordination primitive is an fcntl-locked append to
+the log, exactly the discipline :class:`~repro.opt.cache.PersistentCache`
+already uses for result entries.
+
+Protocol (DESIGN.md §13)
+------------------------
+
+partition
+    :class:`ShardCoordinator` enumerates the component's candidate space
+    through :func:`~repro.opt.pruned.enumerate_candidates` — the same
+    quick-bound screen and the same global best-bound-first sort as the
+    single-host pruned search — and cuts the sorted list into contiguous
+    chunks.  The partition is a pure function of the candidate space:
+    every coordinator on every host derives the identical chunk list,
+    and both the space and each chunk carry a content-addressed SHA-256
+    id, so two hosts whose inputs differ in *any* way can never mistake
+    each other's records for their own.
+
+claim
+    A worker claims a chunk by appending ``{"t": "claim", ...}`` inside
+    one exclusive-lock critical section that re-reads the log first —
+    read-decide-append is atomic, so exactly one claimer wins a chunk
+    and the loser simply scans on to the next unclaimed one.  A claim
+    older than ``stale_s`` with no matching ``done`` record is presumed
+    crashed and is reclaimable (crash recovery by age).
+
+publish
+    Workers score their chunks through the existing evaluation stack
+    (:class:`~repro.opt.engine.EvaluationEngine` /
+    :class:`~repro.opt.vectorized.BatchEvaluator`) against the shared
+    :class:`PersistentCache`, publishing full result entries for
+    evaluated candidates and bound-only entries for pruned ones —
+    byte-for-byte what the single-host pruned search publishes.
+    Feasible local winners are additionally published as ``winner``
+    records; other workers adopt the best published rank as their seed
+    incumbent, which only ever *increases* pruning.
+
+reduce
+    :class:`ShardReducer` re-reads the cache and takes the minimum
+    ``(makespan, flat key)`` rank over the full feasible entries of the
+    candidate list.  Soundness: every published makespan is exact, and a
+    candidate is only ever pruned against the rank of some *true
+    feasible* incumbent — if the global winner ``w`` were pruned, then
+    ``(bound_w, flat_w) >= (m_i, flat_i)`` for a feasible ``i``; but
+    ``bound_w <= m_w`` gives ``(bound_w, flat_w) <= (m_w, flat_w) <=
+    (m_i, flat_i)``, with equality throughout only when ``i`` *is* ``w``
+    — already evaluated and published.  So the winner always has a full
+    entry and the reduce is bit-identical to the serial
+    :class:`~repro.opt.pruned.PrunedOptimizer` winner, cold or warm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import OptimizerError
+from ..loopir.component import TilableComponent
+from ..schedule.makespan import (
+    DEFAULT_SEGMENT_CAP,
+    MakespanEvaluator,
+    MakespanResult,
+)
+from ..timing.execmodel import ExecModel
+from ..timing.platform import Platform
+from .bounds import BoundCalculator, flatten_key
+from .cache import PersistentCache, solution_digest
+from .engine import EngineMetrics, EvaluationEngine
+from .exhaustive import SearchSpaceTooLarge, space_size_of
+from .pruned import DEFAULT_PRUNED_MAX_POINTS, enumerate_candidates
+from .solution import Solution
+from .threadgroups import generate_nondominated_thread_groups
+
+try:
+    import fcntl
+except ImportError:                          # pragma: no cover - non-POSIX
+    fcntl = None
+
+#: Coordination log (claims, completions, winners) inside the cache dir.
+SHARD_LOG_FILENAME = "shard-coord.jsonl"
+
+#: Sibling lockfile serialising read-decide-append claim transactions.
+SHARD_LOCK_FILENAME = "shard-coord.lock"
+
+#: Candidates per claimable chunk.  Small enough that a late-joining
+#: worker still finds work, large enough to amortize one claim append.
+DEFAULT_CHUNK_SIZE = 64
+
+#: A claim this old with no matching done record is presumed crashed
+#: and may be re-claimed by any worker.
+DEFAULT_STALE_S = 600.0
+
+#: A feasible ``(makespan, flat key)`` rank.
+Rank = Tuple[float, Tuple[int, ...]]
+
+
+def _rank_of(record: Dict[str, Any]) -> Optional[Rank]:
+    makespan = record.get("m")
+    flat = record.get("key")
+    if makespan is None or not isinstance(flat, list):
+        return None
+    return float(makespan), tuple(int(x) for x in flat)
+
+
+def merge_ranks(*ranks: Optional[Rank]) -> Optional[Rank]:
+    """The best (minimum) of several optional incumbent ranks."""
+    best: Optional[Rank] = None
+    for rank in ranks:
+        if rank is not None and (best is None or rank < best):
+            best = rank
+    return best
+
+
+def static_space_id(context_hash: str, count: int) -> str:
+    """Space id of a static ``shard_of=(i, n)`` compile (no chunk log).
+
+    Static workers do not enumerate through a coordinator, so their
+    space identity is the evaluator's context fingerprint plus the shard
+    count — enough that incumbents are only ever exchanged between
+    workers splitting the *same* component the *same* way."""
+    return f"static:{context_hash}:{count}"
+
+
+class ShardLog:
+    """Append-only JSONL coordination log with an fcntl transaction lock.
+
+    The log is the only shared mutable state of the shard protocol; all
+    reads used for *decisions* (claiming, winner publication) happen
+    inside :meth:`transact`, so read-decide-append is one atomic step
+    per writer.  Plain :meth:`records` reads (status display, reduce
+    completeness checks) take the lock only for the read."""
+
+    def __init__(self, directory: os.PathLike):
+        self.directory = Path(directory)
+        self.path = self.directory / SHARD_LOG_FILENAME
+        self.lock_path = self.directory / SHARD_LOCK_FILENAME
+
+    @contextmanager
+    def transact(self):
+        """Exclusive read-decide-append critical section."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if fcntl is None:                    # pragma: no cover - non-POSIX
+            yield self._read()
+            return
+        with open(self.lock_path, "a") as lock:
+            fcntl.flock(lock, fcntl.LOCK_EX)
+            try:
+                yield self._read()
+            finally:
+                fcntl.flock(lock, fcntl.LOCK_UN)
+
+    def _read(self) -> List[Dict[str, Any]]:
+        if not self.path.exists():
+            return []
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return []
+        records = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue      # torn line: skip, like the cache does
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    def records(self, space: Optional[str] = None) -> List[Dict[str, Any]]:
+        """A consistent snapshot of the log (optionally one space's)."""
+        with self.transact() as records:
+            pass
+        if space is None:
+            return records
+        return [r for r in records if r.get("s") == space]
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one record; callers needing atomic read-decide-append
+        must write from inside :meth:`transact` instead."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(
+                record, sort_keys=True, separators=(",", ":")) + "\n")
+
+    # -- winner records (shared incumbent snapshots) -----------------------
+
+    def best_winner(self, space: str) -> Optional[Rank]:
+        """The best published ``(makespan, flat key)`` rank, or None."""
+        best: Optional[Rank] = None
+        for record in self.records(space):
+            if record.get("t") != "winner":
+                continue
+            best = merge_ranks(best, _rank_of(record))
+        return best
+
+    def publish_winner(self, space: str, worker: str,
+                       makespan_ns: float, flat: Sequence[int]) -> bool:
+        """Publish a feasible rank if it beats every published one.
+
+        The compare-and-append runs inside one transaction, so two
+        workers racing with different ranks converge on the minimum and
+        equal-rank duplicates are suppressed."""
+        rank: Rank = (float(makespan_ns), tuple(int(x) for x in flat))
+        with self.transact() as records:
+            for record in records:
+                if record.get("t") != "winner" or record.get("s") != space:
+                    continue
+                seen = _rank_of(record)
+                if seen is not None and seen <= rank:
+                    return False
+            self.append({
+                "t": "winner", "s": space, "w": worker,
+                "m": rank[0], "key": list(rank[1]), "ts": time.time(),
+            })
+        return True
+
+
+@dataclass(frozen=True)
+class ShardChunk:
+    """One claimable contiguous slice of the sorted candidate list."""
+
+    index: int
+    chunk_id: str             # sha256 over (space id, index, flat keys)
+    start: int                # position in the sorted candidate list
+    count: int
+
+
+@dataclass
+class SpaceStatus:
+    """Claim/progress snapshot of one candidate space."""
+
+    space: str
+    component: str = ""
+    chunks: int = 0
+    candidates: int = 0
+    done: int = 0
+    claimed: int = 0          # live claims (not done, not stale)
+    stale: int = 0            # reclaimable claims
+    claims: int = 0           # claim records appended in total
+    workers: Tuple[str, ...] = ()
+    winner: Optional[Rank] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.chunks > 0 and self.done >= self.chunks
+
+    def describe(self) -> str:
+        parts = [f"{self.done}/{self.chunks} chunks done"]
+        if self.claimed:
+            parts.append(f"{self.claimed} in flight")
+        if self.stale:
+            parts.append(f"{self.stale} stale")
+        if self.winner is not None:
+            parts.append(f"best {self.winner[0]:,.0f} ns")
+        return ", ".join(parts)
+
+
+@dataclass
+class ShardWorkerResult:
+    """One worker's run: chunks drained, counters, best feasible rank."""
+
+    worker: str
+    chunks_done: int = 0
+    candidates: int = 0       # candidates in the drained chunks
+    scored: int = 0           # fresh evaluations + adopted hits
+    pruned: int = 0
+    bound_hits: int = 0
+    contention: int = 0       # chunks skipped because another worker held them
+    elapsed_s: float = 0.0
+    best: Optional[Rank] = None
+    metrics: Optional[EngineMetrics] = None
+
+
+@dataclass
+class ShardReduceResult:
+    """The merged outcome over every shard's published entries."""
+
+    best: Optional[MakespanResult]
+    rank: Optional[Rank]
+    results: int = 0          # full entries found on the candidate list
+    bounds: int = 0           # bound-only entries (pruned candidates)
+    missing: int = 0          # candidates with no published entry
+    elapsed_s: float = 0.0
+    status: Optional[SpaceStatus] = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.best is not None and self.best.feasible
+
+
+class ShardIncompleteError(OptimizerError):
+    """Raised when reducing a space whose chunks are not all done."""
+
+
+class ShardCoordinator:
+    """Deterministic partition of one component's candidate space.
+
+    Every participating process builds its own coordinator from the same
+    component/platform/model/cache-directory inputs and derives the
+    identical chunk list; the shared state lives entirely in the cache
+    directory.  The coordinator is also the query surface: claim a chunk
+    for a worker, publish/fetch incumbent snapshots, inspect progress.
+    """
+
+    def __init__(self, component: TilableComponent, platform: Platform,
+                 exec_model: ExecModel, cache: PersistentCache,
+                 segment_cap: int = DEFAULT_SEGMENT_CAP,
+                 cores: Optional[int] = None,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 stale_s: float = DEFAULT_STALE_S,
+                 max_points: int = DEFAULT_PRUNED_MAX_POINTS,
+                 vectorize: bool = True):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.component = component
+        self.platform = platform
+        self.exec_model = exec_model
+        self.cache = cache
+        self.cores = cores if cores is not None else platform.cores
+        self.chunk_size = chunk_size
+        self.stale_s = stale_s
+        self.vectorize = vectorize
+        self.evaluator = MakespanEvaluator(
+            component, platform, exec_model, segment_cap, cache=cache)
+        self.bounds = BoundCalculator(
+            component, platform, exec_model, segment_cap,
+            modes=self.evaluator.planner.modes,
+            geometry=self.evaluator.geometry)
+        self.log = ShardLog(cache.directory)
+        self._vars = [node.var for node in component.nodes]
+        self.assignments = generate_nondominated_thread_groups(
+            self.cores, component)
+        size = space_size_of(component, self.assignments)
+        if size > max_points:
+            raise SearchSpaceTooLarge(
+                f"{size} candidate points exceed the shard-search budget "
+                f"of {max_points}; use the heuristic (Algorithm 1)")
+        self.candidates, self.groups_maps, self.enum_pruned = \
+            enumerate_candidates(
+                component, self.assignments, self.bounds,
+                self.evaluator.check_deadline, vectorize=vectorize)
+        self.space_id = self._space_digest()
+        self.chunks = self._partition()
+
+    # -- content addressing ------------------------------------------------
+
+    def _space_digest(self) -> str:
+        digest = hashlib.sha256()
+        digest.update(str(self.evaluator.context_hash).encode())
+        digest.update(json.dumps(
+            [self.cores, self.chunk_size, len(self.candidates)]).encode())
+        for _bound, flat, _sizes, _ai in self.candidates:
+            digest.update(json.dumps(list(flat)).encode())
+        return digest.hexdigest()
+
+    def _partition(self) -> List[ShardChunk]:
+        chunks = []
+        for index, start in enumerate(
+                range(0, len(self.candidates), self.chunk_size)):
+            count = min(self.chunk_size, len(self.candidates) - start)
+            digest = hashlib.sha256()
+            digest.update(self.space_id.encode())
+            digest.update(str(index).encode())
+            for _bound, flat, _sizes, _ai in \
+                    self.candidates[start:start + count]:
+                digest.update(json.dumps(list(flat)).encode())
+            chunks.append(ShardChunk(
+                index=index, chunk_id=digest.hexdigest(),
+                start=start, count=count))
+        return chunks
+
+    def solution_at(self, position: int) -> Solution:
+        _bound, _flat, sizes, ai = self.candidates[position]
+        return Solution(self.component, dict(zip(self._vars, sizes)),
+                        self.groups_maps[ai])
+
+    # -- claim / complete --------------------------------------------------
+
+    def announce(self, worker: str) -> None:
+        """Record the space's shape once, for progress inspection."""
+        with self.log.transact() as records:
+            for record in records:
+                if record.get("t") == "space" and \
+                        record.get("s") == self.space_id:
+                    return
+            self.log.append({
+                "t": "space", "s": self.space_id, "w": worker,
+                "chunks": len(self.chunks),
+                "candidates": len(self.candidates),
+                "component": self.component.label(),
+                "ts": time.time(),
+            })
+
+    def claim(self, worker: str) -> Tuple[Optional[ShardChunk], int]:
+        """Atomically claim the first available chunk.
+
+        Returns ``(chunk, contention)`` where *contention* counts chunks
+        skipped because another worker's live claim held them; ``(None,
+        contention)`` means the space is drained (or fully in flight).
+        A stale claim — older than ``stale_s`` with no done record — is
+        overwritten by a fresh claim record, so a crashed worker's chunk
+        is re-scored instead of lost."""
+        contention = 0
+        with self.log.transact() as records:
+            done = set()
+            latest_claim: Dict[str, Tuple[float, str]] = {}
+            for record in records:
+                if record.get("s") != self.space_id:
+                    continue
+                if record.get("t") == "done":
+                    done.add(record.get("c"))
+                elif record.get("t") == "claim":
+                    latest_claim[record.get("c")] = (
+                        float(record.get("ts", 0.0)),
+                        str(record.get("w", "")))
+            now = time.time()
+            for chunk in self.chunks:
+                if chunk.chunk_id in done:
+                    continue
+                claim = latest_claim.get(chunk.chunk_id)
+                if claim is not None:
+                    age = now - claim[0]
+                    if age < self.stale_s:
+                        contention += 1
+                        continue
+                self.log.append({
+                    "t": "claim", "s": self.space_id, "c": chunk.chunk_id,
+                    "i": chunk.index, "w": worker, "ts": now,
+                })
+                return chunk, contention
+        return None, contention
+
+    def complete(self, chunk: ShardChunk, worker: str, scored: int,
+                 pruned: int, elapsed_s: float) -> None:
+        self.log.append({
+            "t": "done", "s": self.space_id, "c": chunk.chunk_id,
+            "i": chunk.index, "w": worker, "scored": scored,
+            "pruned": pruned, "elapsed_s": round(elapsed_s, 6),
+            "ts": time.time(),
+        })
+
+    # -- incumbents --------------------------------------------------------
+
+    def best_published(self) -> Optional[Rank]:
+        return self.log.best_winner(self.space_id)
+
+    def publish_winner(self, worker: str, rank: Rank) -> bool:
+        return self.log.publish_winner(
+            self.space_id, worker, rank[0], rank[1])
+
+    # -- inspection --------------------------------------------------------
+
+    def status(self) -> SpaceStatus:
+        return space_statuses(
+            self.log, stale_s=self.stale_s).get(
+                self.space_id,
+                SpaceStatus(space=self.space_id,
+                            component=self.component.label(),
+                            chunks=len(self.chunks),
+                            candidates=len(self.candidates)))
+
+
+def space_statuses(log: ShardLog,
+                   stale_s: float = DEFAULT_STALE_S
+                   ) -> Dict[str, SpaceStatus]:
+    """Per-space claim/progress summary of one coordination log."""
+    statuses: Dict[str, SpaceStatus] = {}
+    claims: Dict[str, Dict[str, float]] = {}
+    done: Dict[str, set] = {}
+    workers: Dict[str, set] = {}
+
+    def entry(space: str) -> SpaceStatus:
+        if space not in statuses:
+            statuses[space] = SpaceStatus(space=space)
+            claims[space] = {}
+            done[space] = set()
+            workers[space] = set()
+        return statuses[space]
+
+    for record in log.records():
+        space = record.get("s")
+        if not isinstance(space, str):
+            continue
+        status = entry(space)
+        kind = record.get("t")
+        worker = record.get("w")
+        if isinstance(worker, str) and worker:
+            workers[space].add(worker)
+        if kind == "space":
+            status.chunks = int(record.get("chunks", status.chunks))
+            status.candidates = int(
+                record.get("candidates", status.candidates))
+            status.component = str(
+                record.get("component", status.component))
+        elif kind == "claim":
+            status.claims += 1
+            claims[space][record.get("c")] = float(record.get("ts", 0.0))
+        elif kind == "done":
+            done[space].add(record.get("c"))
+        elif kind == "winner":
+            status.winner = merge_ranks(status.winner, _rank_of(record))
+    now = time.time()
+    for space, status in statuses.items():
+        status.done = len(done[space])
+        live = stale = 0
+        for chunk_id, ts in claims[space].items():
+            if chunk_id in done[space]:
+                continue
+            if now - ts < stale_s:
+                live += 1
+            else:
+                stale += 1
+        status.claimed = live
+        status.stale = stale
+        status.workers = tuple(sorted(workers[space]))
+    return statuses
+
+
+class StaticShardExchange:
+    """Coordination-log adapter for static ``shard_of`` compile workers.
+
+    A ``compile --shard I/N`` worker partitions by slicing the sorted
+    candidate list (no chunk claims), but it still shares the log:
+    :meth:`seed` reads the best incumbent any sibling shard of the same
+    component (and the same shard count) has published, and
+    :meth:`publish` appends the shard's claim/done progress records —
+    so ``shard status`` sees static compiles too — plus a winner
+    record when this shard found a feasible best."""
+
+    def __init__(self, directory: os.PathLike, context_hash: str,
+                 shards: Tuple[int, int]):
+        self.log = ShardLog(directory)
+        self.index, self.count = int(shards[0]), int(shards[1])
+        self.space = static_space_id(context_hash, self.count)
+        self.worker = f"shard{self.index + 1}of{self.count}-{os.getpid()}"
+
+    def seed(self) -> Optional[Rank]:
+        return self.log.best_winner(self.space)
+
+    def publish(self, component: TilableComponent, result,
+                winner: bool = True) -> None:
+        chunk_id = f"{self.space}:{self.index}"
+        with self.log.transact() as records:
+            if not any(r.get("t") == "space" and r.get("s") == self.space
+                       for r in records):
+                self.log.append({
+                    "t": "space", "s": self.space, "w": self.worker,
+                    "chunks": self.count, "candidates": 0,
+                    "component": component.label(), "ts": time.time(),
+                })
+            now = time.time()
+            self.log.append({
+                "t": "claim", "s": self.space, "c": chunk_id,
+                "i": self.index, "w": self.worker, "ts": now,
+            })
+            self.log.append({
+                "t": "done", "s": self.space, "c": chunk_id,
+                "i": self.index, "w": self.worker,
+                "scored": result.evaluations, "pruned": result.pruned,
+                "elapsed_s": round(result.elapsed_s, 6), "ts": now,
+            })
+        if winner and result.best is not None and result.best.feasible:
+            self.log.publish_winner(
+                self.space, self.worker, result.best.makespan_ns,
+                flatten_key(result.best.solution.key()))
+
+
+class ShardWorker:
+    """Claim-score-publish loop over one coordinator's chunks.
+
+    Scores exactly like the single-host pruned search: peek the shared
+    cache first, refine the quick bound against the freshest incumbent
+    (published snapshots merged with the local best), persist bound-only
+    entries for pruned candidates, and batch the survivors through one
+    :class:`EvaluationEngine` (vectorized or pooled per *jobs*).  Every
+    entry it publishes is exact, so any subset of workers — in any
+    interleaving, crashing and resuming included — leaves the cache in a
+    state the reducer folds to the serial winner."""
+
+    def __init__(self, coordinator: ShardCoordinator,
+                 worker_id: Optional[str] = None, jobs: int = 1):
+        self.coordinator = coordinator
+        self.worker = worker_id or f"w{os.getpid()}"
+        self.jobs = jobs
+        self._bound_hits = 0
+
+    def run(self, max_chunks: Optional[int] = None) -> ShardWorkerResult:
+        coordinator = self.coordinator
+        started = time.perf_counter()
+        out = ShardWorkerResult(worker=self.worker)
+        coordinator.announce(self.worker)
+        best: Optional[Rank] = coordinator.best_published()
+        with EvaluationEngine(coordinator.evaluator, jobs=self.jobs,
+                              stage="shard",
+                              vectorize=coordinator.vectorize) as engine:
+            while max_chunks is None or out.chunks_done < max_chunks:
+                chunk, contention = coordinator.claim(self.worker)
+                out.contention += contention
+                if chunk is None:
+                    break
+                best = merge_ranks(best, coordinator.best_published())
+                chunk_started = time.perf_counter()
+                scored, pruned, best = self._score_chunk(
+                    engine, chunk, best)
+                out.scored += scored
+                out.pruned += pruned
+                out.candidates += chunk.count
+                coordinator.complete(
+                    chunk, self.worker, scored, pruned,
+                    time.perf_counter() - chunk_started)
+                if best is not None:
+                    coordinator.publish_winner(self.worker, best)
+                out.chunks_done += 1
+            out.metrics = engine.metrics()
+        out.bound_hits = self._bound_hits
+        out.best = best
+        out.elapsed_s = time.perf_counter() - started
+        return out
+
+    def _score_chunk(self, engine: EvaluationEngine, chunk: ShardChunk,
+                     best: Optional[Rank]
+                     ) -> Tuple[int, int, Optional[Rank]]:
+        """Score one chunk; returns (scored, pruned, best rank)."""
+        coordinator = self.coordinator
+        evaluator = coordinator.evaluator
+        bounds = coordinator.bounds
+        scored = pruned = 0
+        fresh: List[Tuple[Solution, Tuple[int, ...]]] = []
+        for position in range(chunk.start, chunk.start + chunk.count):
+            bound, flat, sizes, ai = coordinator.candidates[position]
+            if best is not None and (bound, flat) >= best:
+                # The chunk is a contiguous slice of the globally
+                # sorted list: the rest of it is at or past the
+                # incumbent's rank too.
+                remaining = chunk.start + chunk.count - position
+                pruned += remaining
+                engine.note_pruned(remaining)
+                break
+            solution = coordinator.solution_at(position)
+            hit = evaluator.peek(solution)
+            if hit is not None:
+                scored += 1
+                if hit.feasible:
+                    best = merge_ranks(best, (hit.makespan_ns, flat))
+                continue
+            refined = bounds.refine(
+                bound, sizes, coordinator.assignments[ai])
+            if math.isinf(refined) or (
+                    best is not None and (refined, flat) >= best):
+                pruned += 1
+                engine.note_pruned()
+                if evaluator.persist_bound(solution.key(), refined):
+                    self._bound_hits += 1
+                    engine.note_bound_hit()
+                continue
+            fresh.append((solution, flat))
+        if fresh:
+            results = engine.evaluate_many([
+                (solution.tile_sizes, solution.thread_groups)
+                for solution, _flat in fresh])
+            for (solution, flat), result in zip(fresh, results):
+                scored += 1
+                if result.feasible:
+                    best = merge_ranks(best, (result.makespan_ns, flat))
+        return scored, pruned, best
+
+
+class ShardReducer:
+    """Pure ``(makespan, flat key)`` merge over the published entries.
+
+    Performs zero fresh plans: the winner comes back as a plan-less
+    cache hit, exactly like any warm-cache winner (callers needing the
+    segment schedule re-plan that single solution)."""
+
+    def __init__(self, coordinator: ShardCoordinator):
+        self.coordinator = coordinator
+
+    def reduce(self, require_complete: bool = True) -> ShardReduceResult:
+        coordinator = self.coordinator
+        started = time.perf_counter()
+        status = coordinator.status()
+        if require_complete and not status.complete:
+            raise ShardIncompleteError(
+                f"shard space {coordinator.space_id[:12]} is not fully "
+                f"scored ({status.describe()}); run more workers or "
+                f"reduce with require_complete=False")
+        # Other processes appended entries after this process first read
+        # the log; fold the file again so the merge sees all of them.
+        coordinator.cache.reload()
+        context_hash = coordinator.evaluator.context_hash
+        assert context_hash is not None
+        results = bounds = missing = 0
+        best_rank: Optional[Rank] = None
+        best_position: Optional[int] = None
+        for position, (_bound, flat, sizes, ai) in enumerate(
+                coordinator.candidates):
+            key = tuple(
+                (var, k, r) for var, k, r in zip(
+                    coordinator._vars, sizes,
+                    coordinator.assignments[ai]))
+            entry = coordinator.cache.peek_entry(
+                solution_digest(context_hash, key))
+            if entry is None:
+                missing += 1
+                continue
+            if "f" not in entry:
+                bounds += 1
+                continue
+            results += 1
+            if not entry.get("f"):
+                continue
+            rank: Rank = (PersistentCache.makespan_of(entry), flat)
+            if best_rank is None or rank < best_rank:
+                best_rank, best_position = rank, position
+        best: Optional[MakespanResult] = None
+        if best_position is not None:
+            # A pure cache read — from_cache=True, no plan constructed.
+            best = coordinator.evaluator.peek(
+                coordinator.solution_at(best_position))
+        return ShardReduceResult(
+            best=best,
+            rank=best_rank,
+            results=results,
+            bounds=bounds,
+            missing=missing,
+            elapsed_s=time.perf_counter() - started,
+            status=status,
+        )

@@ -150,9 +150,34 @@ def engine_note(metrics) -> str:
         parts.append(f"{metrics.pruned:,} pruned")
     if getattr(metrics, "bound_hits", 0):
         parts.append(f"{metrics.bound_hits:,} bound hits")
+    if getattr(metrics, "batched", 0):
+        parts.append(f"{metrics.batched:,} batched")
+    if getattr(metrics, "batch_fallbacks", 0):
+        parts.append(f"{metrics.batch_fallbacks:,} batch fallbacks")
     if metrics.jobs > 1:
         parts.append(
             f"worker utilization {metrics.worker_utilization:.1%}")
+    return ", ".join(parts)
+
+
+def shard_note(result) -> str:
+    """One-line :class:`~repro.opt.shard.ShardWorkerResult` summary.
+
+    Shows how one worker's claim loop went — chunks drained, the
+    scored/pruned split, claim contention, and the best feasible rank
+    it saw — the line printed per shard worker and archived next to
+    the shard-scaling bench numbers."""
+    parts = [f"shard worker {result.worker}: "
+             f"{result.chunks_done} chunk(s), "
+             f"{result.candidates:,} candidates "
+             f"({result.scored:,} scored, {result.pruned:,} pruned)"]
+    if result.bound_hits:
+        parts.append(f"{result.bound_hits:,} bound hits")
+    if result.contention:
+        parts.append(f"{result.contention:,} claim collisions")
+    if result.best is not None:
+        parts.append(f"best {result.best[0]:,.0f} ns")
+    parts.append(f"{result.elapsed_s:.3f} s")
     return ", ".join(parts)
 
 

@@ -107,6 +107,12 @@ class MakespanEvaluator:
         else:
             self._context_hash = None
 
+    @property
+    def context_hash(self) -> Optional[str]:
+        """The persistent-cache context fingerprint (None when no cache
+        is attached) — the shard protocol's component/space identity."""
+        return self._context_hash
+
     def _digest(self, key: tuple) -> str:
         assert self._context_hash is not None
         return solution_digest(self._context_hash, key)

@@ -201,6 +201,110 @@ class TestCommands:
         assert "--weights" in err or "weights" in err
 
 
+class TestShardCli:
+    BASE = ["cnn", "--preset", "MINI", "--spm", "8"]
+
+    def test_shard_compile_status_reduce_roundtrip(self, tmp_path,
+                                                   capsys):
+        # Reference: one unsharded --pruned compile on its own cache.
+        ref_dir = tmp_path / "ref"
+        assert main(["compile"] + self.BASE +
+                    ["--pruned", "--cache-dir", str(ref_dir)]) == 0
+        reference = capsys.readouterr().out
+
+        shared = tmp_path / "shared"
+        for shard in ("1/3", "2/3", "3/3"):
+            assert main(["compile"] + self.BASE +
+                        ["--shard", shard,
+                         "--cache-dir", str(shared)]) == 0
+            out = capsys.readouterr().out
+            assert f"shard             : {shard}" in out
+
+        assert main(["shard", "status", "--cache-dir", str(shared)]) == 0
+        status = capsys.readouterr().out
+        assert "3/3 chunks done" in status
+
+        assert main(["shard-reduce"] + self.BASE +
+                    ["--cache-dir", str(shared)]) == 0
+        merged = capsys.readouterr().out
+        assert "0" in merged and "cache hits" in merged
+
+        def line(text, prefix):
+            return next(l for l in text.splitlines()
+                        if l.startswith(prefix))
+
+        # The merged winner is bit-identical to the unsharded compile.
+        assert line(merged, "makespan") == line(reference, "makespan")
+        assert line(merged, "kernel cnn") == line(reference, "kernel cnn")
+        # ... and recovered entirely from the cache: no fresh plans.
+        assert "evaluations       :                0" in merged
+
+    def test_shard_infeasible_slice_still_exits_zero(self, tmp_path,
+                                                     capsys):
+        shared = tmp_path / "shared"
+        # Score the winning shard first so its published incumbent
+        # prunes the later shard to an empty (infeasible) slice.
+        for shard in ("1/2", "2/2"):
+            assert main(["compile"] + self.BASE +
+                        ["--shard", shard,
+                         "--cache-dir", str(shared)]) == 0
+            capsys.readouterr()
+
+    def test_malformed_shard_exits_2(self, tmp_path, capsys):
+        for bad in ("3", "0/2", "3/2", "a/b", "1/0"):
+            code = main(["compile"] + self.BASE +
+                        ["--shard", bad, "--cache-dir", str(tmp_path)])
+            assert code == 2, bad
+            assert "--shard" in capsys.readouterr().err
+
+    def test_shard_without_cache_dir_exits_2(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["compile"] + self.BASE + ["--shard", "1/2"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_shard_rejects_greedy_and_robust(self, tmp_path, capsys):
+        assert main(["compile"] + self.BASE +
+                    ["--shard", "1/2", "--greedy",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "--greedy" in capsys.readouterr().err
+        assert main(["compile"] + self.BASE +
+                    ["--shard", "1/2", "--robust",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "--robust" in capsys.readouterr().err
+
+    def test_shard_status_empty_log(self, tmp_path, capsys):
+        assert main(["shard", "status", "--cache-dir",
+                     str(tmp_path)]) == 0
+        assert "no shard coordination records" in capsys.readouterr().out
+
+    def test_shard_reduce_without_cache_dir_exits_2(self, capsys,
+                                                    monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["shard-reduce"] + self.BASE) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_cache_compact_cli(self, tmp_path, capsys):
+        assert main(["compile"] + self.BASE +
+                    ["--pruned", "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "compact", "--cache-dir",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "reclaimed" in out
+        # The compacted cache still yields a 100%-warm compile.
+        assert main(["compile"] + self.BASE +
+                    ["--pruned", "--cache-dir", str(tmp_path)]) == 0
+        assert "100.0% of probes" in capsys.readouterr().out
+
+    def test_robust_timing_accepts_shard(self, tmp_path, capsys):
+        for shard in ("1/2", "2/2"):
+            assert main(["compile"] + self.BASE +
+                        ["--robust-timing", "--scenarios", "2",
+                         "--shard", shard,
+                         "--cache-dir", str(tmp_path)]) == 0
+            capsys.readouterr()
+
+
 class TestAnalyze:
     def test_analyze_clean_kernel(self, capsys):
         assert main(["analyze", "cnn", "--preset", "MINI"]) == 0

@@ -207,6 +207,84 @@ class TestPersistentCache:
         assert stats["bytes"] > 0
 
 
+class TestCompact:
+    def test_superseded_bound_lines_reclaimed(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.put_bound("x", 10.0)
+        cache.put_bound("y", 20.0)
+        cache.put("x", makespan_ns=42.0, feasible=True)  # upgrade appends
+        assert len(cache.path.read_text().splitlines()) == 3
+        report = cache.compact()
+        assert report["lines_before"] == 3
+        assert report["lines_after"] == 2
+        assert report["lines_reclaimed"] == 1
+        assert report["bytes_reclaimed"] > 0
+        # The surviving view is unchanged: x is the full result, y is
+        # still a bound-only entry.
+        assert PersistentCache.makespan_of(cache.get_result("x")) == 42.0
+        assert cache.stats()["bound_entries"] == 1
+        fresh = PersistentCache(tmp_path)
+        assert PersistentCache.makespan_of(fresh.get_result("x")) == 42.0
+        assert fresh.stats()["bound_entries"] == 1
+
+    def test_compact_is_idempotent(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.put_bound("x", 10.0)
+        cache.put("x", makespan_ns=1.0, feasible=True)
+        cache.compact()
+        again = cache.compact()
+        assert again["lines_reclaimed"] == 0
+        assert again["bytes_reclaimed"] == 0
+
+    def test_compact_drops_torn_lines(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.put("good", makespan_ns=5.0, feasible=True)
+        with open(cache.path, "a") as handle:
+            handle.write("{torn json\n")
+        report = cache.compact()
+        assert report["lines_before"] == 2
+        assert report["lines_after"] == 1
+        fresh = PersistentCache(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert fresh.get("good") is not None
+        assert fresh.corrupt_lines == 0
+
+    def test_compact_empty_cache(self, tmp_path):
+        report = PersistentCache(tmp_path).compact()
+        assert report["lines_before"] == 0
+        assert report["lines_reclaimed"] == 0
+
+    def test_compact_folds_lines_from_other_processes(self, tmp_path):
+        # An entry appended by a second process after this process
+        # loaded its index must survive compaction, not be dropped.
+        mine = PersistentCache(tmp_path)
+        mine.put("a", makespan_ns=1.0, feasible=True)
+        assert mine.get("a") is not None          # index loaded
+        other = PersistentCache(tmp_path)
+        other.put("b", makespan_ns=2.0, feasible=True)
+        mine.compact()
+        assert mine.get("b") is not None
+        assert PersistentCache(tmp_path).get("b") is not None
+
+    def test_reload_sees_foreign_appends(self, tmp_path):
+        mine = PersistentCache(tmp_path)
+        mine.put("a", makespan_ns=1.0, feasible=True)
+        assert mine.get("missing-yet") is None    # index loaded
+        other = PersistentCache(tmp_path)
+        other.put("late", makespan_ns=3.0, feasible=True)
+        assert mine.get("late") is None           # stale index
+        mine.reload()
+        assert mine.get("late") is not None
+
+    def test_peek_entry_does_not_count_stats(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.put("a", makespan_ns=1.0, feasible=True)
+        assert cache.peek_entry("a") is not None
+        assert cache.peek_entry("nope") is None
+        assert cache.hits == 0 and cache.misses == 0
+
+
 class TestFingerprintIndex:
     """The in-memory digest index: parsed once, coherent, O(1) stats."""
 
