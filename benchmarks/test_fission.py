@@ -1,0 +1,186 @@
+"""Loop-fission pre-pass bench: components, candidate space, makespan.
+
+Every corpus kernel is compiled twice — fission off and fission auto —
+and the bench archives what the pre-pass bought: component counts,
+Algorithm 1 candidate-space sizes over the extracted chains, makespans,
+and the semantic evidence (VM array-state equality, zero static
+diagnostics on the fissioned artifacts).  Hard-asserted acceptance bar:
+
+- perfect nests (cnn, maxpool, sumpool) are honestly untouched;
+- the imperfect nests (convrelu, lstm, rnn) are distributed, and
+  convrelu gains strictly more compiled components;
+- fissioned programs are bit-identical to the originals on the VM and
+  verify to zero diagnostics;
+- at least one kernel's makespan strictly improves under fission
+  (convrelu at SMALL on a 1 KiB SPM, 1 GB/s platform — the regime where
+  splitting the fused nest shrinks the per-segment footprint enough to
+  beat the extra nest overhead).
+
+Everything merges into the top-level ``BENCH_fission.json`` so CI
+archives the numbers next to the other bench artifacts.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.compiler import PremCompiler
+from repro.kernels import make_kernel
+from repro.loopir import LoopTree
+from repro.loopir.component import component_at
+from repro.loopir.validity import is_chain_extendable
+from repro.opt import search_space_size
+from repro.prem.runtime import SequentialInterpreter, init_arrays
+from repro.reporting import ExperimentReport, fission_note
+from repro.timing import Platform
+
+#: Where the machine-readable bench summary lands (repo top level).
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_fission.json"
+
+KERNELS = ("cnn", "convrelu", "lstm", "maxpool", "sumpool", "rnn")
+NOOP_KERNELS = ("cnn", "maxpool", "sumpool")
+SPLIT_KERNELS = ("convrelu", "lstm", "rnn")
+
+#: The tight-memory platform where fission pays off on convrelu: the
+#: fused nest's per-segment footprint barely fits, the split nests' do.
+TIGHT_PLATFORM_SPM_KIB = 1
+TIGHT_PLATFORM_BUS_GBS = 1.0
+
+
+def _merge_bench_json(section, records):
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[section] = records
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _leaf_chains(tree):
+    """Maximal perfectly-nested chains, as Algorithm 2 extracts them."""
+    chains = []
+
+    def walk(node, chain):
+        chain = chain + [node]
+        if not node.children:
+            chains.append(tuple(n.var for n in chain))
+            return
+        if is_chain_extendable(node.loop) and len(node.children) == 1:
+            walk(node.children[0], chain)
+            return
+        for child in node.children:
+            walk(child, [])
+
+    for root in tree.roots:
+        walk(root, [])
+    return chains
+
+
+def _chain_space(kernel, cores):
+    """Total Algorithm 1 candidate points over every extractable chain."""
+    tree = LoopTree.build(kernel)
+    return sum(
+        search_space_size(component_at(tree, list(vars_)), cores)
+        for vars_ in _leaf_chains(tree))
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    platform = Platform()
+    compiler = PremCompiler(platform)
+    out = {}
+    for name in KERNELS:
+        kernel = make_kernel(name, "MINI")
+        off = compiler.compile(kernel, fission="off")
+        on = compiler.compile(kernel, fission="auto")
+        out[name] = (kernel, off, on, platform)
+    return out
+
+
+def test_fission_sweep(sweep):
+    report = ExperimentReport(
+        "fission_sweep",
+        "Loop fission: components, candidate space, makespan (MINI)",
+        ["kernel", "splits", "components", "components+f",
+         "space", "space+f", "makespan (ns)", "makespan+f (ns)"])
+    records = {}
+    for name, (kernel, off, on, platform) in sweep.items():
+        fission = on.fission
+        space_off = _chain_space(kernel, platform.cores)
+        space_on = _chain_space(on.kernel, platform.cores)
+        report.add_row(
+            name, len(fission.splits), len(off.components),
+            len(on.components), space_off, space_on,
+            off.makespan_ns, on.makespan_ns)
+        report.add_note(f"{name}: {fission_note(fission)}")
+        records[name] = {
+            "splits": [s.describe() for s in fission.splits],
+            "components": len(off.components),
+            "components_fissioned": len(on.components),
+            "space": space_off,
+            "space_fissioned": space_on,
+            "makespan_ns": off.makespan_ns,
+            "makespan_fissioned_ns": on.makespan_ns,
+        }
+
+        if name in NOOP_KERNELS:
+            assert not fission.changed, (
+                f"{name}: fission must refuse perfect nests")
+            assert on.makespan_ns == off.makespan_ns
+        else:
+            assert fission.changed, (
+                f"{name}: the imperfect nest must distribute")
+    assert records["convrelu"]["components_fissioned"] > \
+        records["convrelu"]["components"]
+    report.emit()
+    _merge_bench_json("sweep", records)
+
+
+def test_fissioned_semantics_and_verification(sweep):
+    records = {}
+    for name, (kernel, _off, on, _platform) in sweep.items():
+        reference = init_arrays(kernel, seed=7)
+        SequentialInterpreter().run(kernel, reference)
+        prem = on.run_functional(seed=7)
+        equal = all(
+            np.array_equal(reference[a], prem[a]) for a in reference)
+        verify = on.verify_static()
+        records[name] = {
+            "vm_state_identical": equal,
+            "static_errors": len(verify.merged.errors),
+            "static_warnings": len(verify.merged.warnings),
+        }
+        assert equal, f"{name}: fissioned PREM run diverged from source"
+        assert not verify.merged, (
+            f"{name}: fissioned artifacts must verify clean:\n"
+            f"{verify.render_text()}")
+    _merge_bench_json("semantics", records)
+
+
+def test_fission_improves_a_makespan():
+    """The headline number: fission strictly wins somewhere real."""
+    platform = Platform(
+        spm_bytes=TIGHT_PLATFORM_SPM_KIB * 1024).with_bus(
+            TIGHT_PLATFORM_BUS_GBS * 1e9)
+    compiler = PremCompiler(platform)
+    kernel = make_kernel("convrelu", "SMALL")
+    off = compiler.compile(kernel, fission="off")
+    on = compiler.compile(kernel, fission="auto")
+    assert off.feasible and on.feasible
+    assert on.makespan_ns < off.makespan_ns, (
+        f"fission must strictly improve convrelu/SMALL on the "
+        f"{TIGHT_PLATFORM_SPM_KIB} KiB SPM platform: "
+        f"{on.makespan_ns:,.0f} !< {off.makespan_ns:,.0f}")
+    _merge_bench_json("improvement", {
+        "kernel": "convrelu",
+        "preset": "SMALL",
+        "spm_kib": TIGHT_PLATFORM_SPM_KIB,
+        "bus_gbs": TIGHT_PLATFORM_BUS_GBS,
+        "makespan_ns": off.makespan_ns,
+        "makespan_fissioned_ns": on.makespan_ns,
+        "speedup": off.makespan_ns / on.makespan_ns,
+    })

@@ -38,6 +38,14 @@ from .registry import (
     PassRegistry,
     default_registry,
 )
+from .source import (
+    SOURCE_REGISTRY,
+    SourceContext,
+    SourceReport,
+    analyze_source,
+    build_source_context,
+    source_registry,
+)
 from .verifier import AnalysisReport, ComponentReport, StaticVerifier
 from .wellformed import check_wellformed
 
@@ -50,6 +58,7 @@ __all__ = [
     "NAME_TO_CODE",
     "RACE_HAZARD_CODES",
     "SEMANTIC_PASSES",
+    "SOURCE_REGISTRY",
     "UNLOAD",
     "WARNING",
     "AnalysisContext",
@@ -63,13 +72,18 @@ __all__ = [
     "EventModel",
     "Footprint",
     "PassRegistry",
+    "SourceContext",
+    "SourceReport",
     "StaticVerifier",
     "Transfer",
+    "analyze_source",
     "build_context",
+    "build_source_context",
     "check_capacity",
     "check_hazards",
     "check_races",
     "check_wellformed",
     "code_info",
     "default_registry",
+    "source_registry",
 ]

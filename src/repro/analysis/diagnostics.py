@@ -13,6 +13,8 @@ group them:
 - ``PREM2xx`` — double-buffer / streaming hazards on the SPM
 - ``PREM3xx`` — SPM capacity and buffer lifetime
 - ``PREM4xx`` — dynamic findings (VM-trace and timing replay diffs)
+- ``PREM5xx`` — source-level loop-IR findings (structure, legality,
+  fission) from ``repro.analysis.source``
 
 :class:`DiagnosticBag` collects findings across passes and renders them
 as aligned text or JSON for the ``analyze`` CLI command.
@@ -131,6 +133,28 @@ CODE_TABLE: Dict[str, CodeInfo] = {
         CodeInfo("PREM413", "exec-overrun", ERROR,
                  "a faulted execution phase overran a dependent "
                  "operation's static start"),
+        # -- PREM5xx: source-level loop-IR findings --------------------
+        CodeInfo("PREM501", "guard-scope", ERROR,
+                 "a guard references a variable that is not an ancestor "
+                 "loop iterator"),
+        CodeInfo("PREM502", "chain-structure", ERROR,
+                 "a loop-carried dependence names a loop outside the "
+                 "statements' shared nest (inconsistent chain structure)"),
+        CodeInfo("PREM503", "empty-domain", WARNING,
+                 "a statement's guarded iteration domain is empty (the "
+                 "statement never executes)"),
+        CodeInfo("PREM511", "illegal-tiling", ERROR,
+                 "a loop level claimed tilable carries a backward "
+                 "dependence below its chain head"),
+        CodeInfo("PREM512", "illegal-parallel", ERROR,
+                 "a loop level claimed parallelizable carries a "
+                 "dependence"),
+        CodeInfo("PREM513", "guard-approx", WARNING,
+                 "a guarded execution count fell back to a conservative "
+                 "upper bound (domain too large to enumerate)"),
+        CodeInfo("PREM521", "illegal-fission", ERROR,
+                 "a requested loop distribution separates statements "
+                 "joined by a backward dependence"),
     )
 }
 

@@ -11,16 +11,19 @@ diagnostic with its pass name.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from .capacity import check_capacity
 from .diagnostics import CODE_TABLE, Diagnostic, DiagnosticBag
 from .hazards import check_hazards
-from .model import AnalysisContext
 from .races import check_races
 from .wellformed import check_wellformed
 
-PassFn = Callable[[AnalysisContext], List[Diagnostic]]
+#: Passes take whatever context their registry's caller built — the
+#: artifact verifier's :class:`AnalysisContext` for the default
+#: registry, a :class:`repro.analysis.source.SourceContext` for the
+#: source registry — and return diagnostics.
+PassFn = Callable[[Any], List[Diagnostic]]
 
 
 @dataclass(frozen=True)
@@ -66,7 +69,7 @@ class PassRegistry:
                 f"unknown analysis pass {name!r}; registered: "
                 f"{', '.join(self._passes)}") from exc
 
-    def run(self, ctx: AnalysisContext,
+    def run(self, ctx: Any,
             names: Optional[Iterable[str]] = None) -> DiagnosticBag:
         selected = [self.get(n) for n in names] if names is not None \
             else self.passes()

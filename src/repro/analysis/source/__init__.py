@@ -1,0 +1,42 @@
+"""Source-level polyhedral dataflow analysis over the loop IR (PREM5xx).
+
+Four passes share the artifact verifier's registry/diagnostics
+machinery but read the *loop IR* instead of compiled schedules:
+
+- ``structure`` — guard scoping, loop-tree buildability, empty guarded
+  domains, conservative execution-count fallbacks (PREM501/502/503/513)
+- ``deps`` — consistency of the exact affine dependence set (PREM502)
+- ``legality`` — per-level tilability/parallelizability claims
+  cross-checked against the dependences (PREM511/512)
+- ``fission`` — legality of loop-distribution plans (PREM521)
+
+The loop-fission pre-pass (:mod:`repro.loopir.fission`) is the first
+transform gated on these verdicts.
+"""
+
+from .context import SourceContext, build_source_context
+from .passes import (
+    check_source_deps,
+    check_source_fission,
+    check_source_legality,
+    check_source_structure,
+    verify_fission_groups,
+    verify_fission_plan,
+)
+from .registry import SOURCE_REGISTRY, source_registry
+from .report import SourceReport, analyze_source
+
+__all__ = [
+    "SOURCE_REGISTRY",
+    "SourceContext",
+    "SourceReport",
+    "analyze_source",
+    "build_source_context",
+    "check_source_deps",
+    "check_source_fission",
+    "check_source_legality",
+    "check_source_structure",
+    "source_registry",
+    "verify_fission_groups",
+    "verify_fission_plan",
+]

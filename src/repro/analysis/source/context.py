@@ -1,0 +1,86 @@
+"""Shared input of every source-level analysis pass.
+
+A :class:`SourceContext` is built once per kernel and handed to every
+registered pass: the kernel itself, its chain-head map, the per-loop
+guarded execution counts (with exactness flags), the exact dependence
+set, the folded loop tree, and the maximal legal fission plan.  The
+build is *total*: malformed kernels do not raise out of
+:func:`build_source_context` — typed
+:class:`repro.errors.SourceAnalysisError` failures are captured on the
+context (``guard_errors`` / ``build_error``) so the ``structure`` pass
+can report them as PREM5xx diagnostics instead of a traceback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import GuardScopeError, SourceAnalysisError
+from ...loopir.ast import Kernel
+from ...loopir.fission import FissionSplit, fission_kernel
+from ...loopir.looptree import LoopTree, analyze_dependences
+from ...loopir.validity import chain_heads, \
+    count_guarded_executions_detailed
+from ...poly.dependence import Dependence
+
+
+@dataclass
+class SourceContext:
+    """Everything the source-level passes read."""
+
+    kernel: Kernel
+    heads: Dict[str, str] = field(default_factory=dict)
+    #: loop var -> (guarded execution count, count is exact)
+    loop_counts: Dict[str, Tuple[int, bool]] = field(default_factory=dict)
+    #: (owner name, offending guard variable) pairs, discovery order
+    guard_errors: List[Tuple[str, str]] = field(default_factory=list)
+    dependences: Tuple[Dependence, ...] = ()
+    tree: Optional[LoopTree] = None
+    build_error: Optional[SourceAnalysisError] = None
+    splits: Tuple[FissionSplit, ...] = ()
+
+    @property
+    def well_formed(self) -> bool:
+        return not self.guard_errors and self.build_error is None
+
+
+def build_source_context(kernel: Kernel) -> SourceContext:
+    """Analyze *kernel* into a :class:`SourceContext` (never raises)."""
+    ctx = SourceContext(kernel=kernel, heads=chain_heads(kernel))
+
+    # Structural scan first: guard scoping must hold before the domains
+    # handed to the dependence tester are even constructible.
+    for loop, ancestors in kernel.walk_loops():
+        scope = {a.var for a in ancestors}
+        bad = False
+        for guard in loop.guards:
+            for var in sorted(guard.variables() - scope):
+                ctx.guard_errors.append((loop.var, var))
+                bad = True
+        if bad:
+            continue
+        try:
+            ctx.loop_counts[loop.var] = \
+                count_guarded_executions_detailed(loop, ancestors)
+        except GuardScopeError as exc:
+            ctx.guard_errors.append((exc.loop_var, exc.guard_var))
+    iterators_of = {
+        stmt.name: {loop.var for loop in loops}
+        for stmt, loops in kernel.walk_stmts()
+    }
+    for stmt, loops in kernel.walk_stmts():
+        scope = iterators_of[stmt.name]
+        for guard in stmt.guards:
+            for var in sorted(guard.variables() - scope):
+                ctx.guard_errors.append((stmt.name, var))
+    if ctx.guard_errors:
+        return ctx
+
+    ctx.dependences = tuple(analyze_dependences(kernel))
+    try:
+        ctx.tree = LoopTree.build(kernel, ctx.dependences)
+        ctx.splits = fission_kernel(kernel, ctx.dependences).splits
+    except SourceAnalysisError as exc:
+        ctx.build_error = exc
+    return ctx

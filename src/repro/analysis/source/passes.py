@@ -1,0 +1,194 @@
+"""The source-level analysis passes (PREM5xx).
+
+Each pass is a pure function ``SourceContext -> List[Diagnostic]``
+registered in :mod:`repro.analysis.source.registry`.  On a well-formed
+kernel whose loop tree was built by this toolchain every pass returns
+the empty list — the corpus gate in CI asserts exactly that — so any
+PREM5xx finding flags either a malformed kernel (``structure``), a
+legality claim the dependence set contradicts (``legality``), or a
+requested distribution the dependences cannot prove safe (``fission``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ...errors import ChainConsistencyError
+from ...loopir.fission import FissionSplit
+from ...loopir.validity import parallel_blockers, tiling_blockers
+from ...poly.constraint import ConstraintSystem
+from ...poly.dependence import Dependence, carried_level
+from ...poly.fm import is_feasible
+from ..diagnostics import Diagnostic
+from .context import SourceContext
+
+
+def check_source_structure(ctx: SourceContext) -> List[Diagnostic]:
+    """PREM501/502/503/513 — guard scoping, buildability, empty domains."""
+    out: List[Diagnostic] = []
+    for owner, var in ctx.guard_errors:
+        out.append(Diagnostic(
+            code="PREM501",
+            message=f"guard on {owner} references {var!r}, which is not "
+                    f"an ancestor loop iterator",
+            component=owner, array=None,
+            hint="guards may only constrain enclosing iterators"))
+    if ctx.build_error is not None:
+        out.append(Diagnostic(
+            code=ctx.build_error.code,
+            message=f"loop-tree construction failed: {ctx.build_error}",
+            component=ctx.kernel.name))
+    for var, (count, exact) in sorted(ctx.loop_counts.items()):
+        if count == 0:
+            out.append(Diagnostic(
+                code="PREM503",
+                message=f"loop {var} has an empty guarded domain and "
+                        f"never executes",
+                component=var))
+        elif not exact:
+            out.append(Diagnostic(
+                code="PREM513",
+                message=f"execution count of loop {var} is a "
+                        f"conservative upper bound ({count}); the "
+                        f"multi-iterator guard domain is too large to "
+                        f"enumerate",
+                component=var,
+                hint="makespan estimates treat the bound as safe"))
+    if ctx.well_formed:
+        for stmt, _ in ctx.kernel.walk_stmts():
+            domain = ctx.kernel.stmt_domain(stmt.name)
+            system = ConstraintSystem()
+            system.extend(domain.constraints())
+            if not is_feasible(system):
+                out.append(Diagnostic(
+                    code="PREM503",
+                    message=f"statement {stmt.name} has an empty guarded "
+                            f"domain and never executes",
+                    component=stmt.name))
+    return out
+
+
+def check_source_deps(ctx: SourceContext) -> List[Diagnostic]:
+    """PREM502 — the dependence set must be chain-consistent.
+
+    Every direction vector's first non-'=' component must be '<' (the
+    analyzer's enumeration invariant), and every loop level must find
+    its chain head among each touching dependence's shared loops.  Both
+    hold by construction for analyzer-produced sets; violations mean a
+    hand-built or corrupted ``Dep`` set.
+    """
+    out: List[Diagnostic] = []
+    for dep in ctx.dependences:
+        for direction in sorted(dep.directions):
+            level = carried_level(direction)
+            if level is not None and direction[level] != "<":
+                out.append(Diagnostic(
+                    code="PREM502",
+                    message=f"dependence {dep.src_stmt}->{dep.dst_stmt} "
+                            f"on {dep.array} has inadmissible direction "
+                            f"({', '.join(direction)}): first non-'=' "
+                            f"component must be '<'",
+                    array=dep.array))
+    for var in sorted(ctx.heads):
+        try:
+            tiling_blockers(var, ctx.dependences, ctx.heads)
+            parallel_blockers(var, ctx.dependences, ctx.heads)
+        except ChainConsistencyError as exc:
+            out.append(Diagnostic(
+                code="PREM502",
+                message=str(exc),
+                component=var))
+    return out
+
+
+def check_source_legality(ctx: SourceContext) -> List[Diagnostic]:
+    """PREM511/512 — tree claims must match the dependence verdicts.
+
+    The folded tree's per-node ``tilable``/``parallel`` flags are
+    re-derived from the dependence set; only *optimistic* claims (the
+    tree says legal, the dependences say otherwise) are errors — a
+    pessimistic tree merely wastes optimization opportunity.
+    """
+    if ctx.tree is None:
+        return []
+    out: List[Diagnostic] = []
+    for root in ctx.tree.roots:
+        for node in root.walk():
+            try:
+                tiling = tiling_blockers(
+                    node.var, ctx.dependences, ctx.heads)
+                parallel = parallel_blockers(
+                    node.var, ctx.dependences, ctx.heads)
+            except ChainConsistencyError:
+                continue   # reported by the deps pass
+            if node.tilable and tiling:
+                out.append(Diagnostic(
+                    code="PREM511",
+                    message=f"level {node.var} is claimed tilable but "
+                            f"{tiling[0].describe()} blocks tiling",
+                    component=node.var,
+                    array=tiling[0].dependence.array))
+            if node.parallel and parallel:
+                out.append(Diagnostic(
+                    code="PREM512",
+                    message=f"level {node.var} is claimed parallel but "
+                            f"{parallel[0].describe()} is carried",
+                    component=node.var,
+                    array=parallel[0].dependence.array))
+    return out
+
+
+def verify_fission_groups(var: str,
+                          groups: Sequence[Sequence[str]],
+                          dependences: Sequence[Dependence]
+                          ) -> List[Diagnostic]:
+    """PREM521 findings for one requested distribution of loop *var*.
+
+    *groups* lists the statement names of each resulting loop in textual
+    order.  The distribution is legal iff no dependence that is not
+    confined strictly above *var* flows from a later group to an earlier
+    one (such an edge would invert under order-preserving fission).
+    """
+    group_of: Dict[str, int] = {}
+    for index, names in enumerate(groups):
+        for name in names:
+            group_of[name] = index
+    out: List[Diagnostic] = []
+    for dep in dependences:
+        src = group_of.get(dep.src_stmt)
+        dst = group_of.get(dep.dst_stmt)
+        if src is None or dst is None or src <= dst:
+            continue
+        if dep.confined_above(var):
+            continue
+        out.append(Diagnostic(
+            code="PREM521",
+            message=f"distributing {var} separates {dep.src_stmt} "
+                    f"(group {src}) from {dep.dst_stmt} (group {dst}) "
+                    f"across a backward {dep.kind} dependence on "
+                    f"{dep.array}",
+            component=var,
+            array=dep.array,
+            hint="merge the two groups or keep the loop fused"))
+    return out
+
+
+def verify_fission_plan(splits: Sequence[FissionSplit],
+                        dependences: Sequence[Dependence]
+                        ) -> List[Diagnostic]:
+    """PREM521 findings for a whole requested fission plan."""
+    out: List[Diagnostic] = []
+    for split in splits:
+        out.extend(
+            verify_fission_groups(split.var, split.groups, dependences))
+    return out
+
+
+def check_source_fission(ctx: SourceContext) -> List[Diagnostic]:
+    """PREM521 — the computed maximal plan must itself verify.
+
+    The planner only emits splits its blocker analysis proved safe, so
+    this is a self-check; it exists so externally supplied plans (tests,
+    future ``--fission-plan`` inputs) share one verification path.
+    """
+    return verify_fission_plan(ctx.splits, ctx.dependences)

@@ -1,0 +1,42 @@
+"""Registry of the source-level (PREM5xx) analysis passes.
+
+Reuses the artifact verifier's :class:`~repro.analysis.registry.
+PassRegistry` machinery — declared-code validation at registration,
+undeclared-emission rejection at run time — over
+:class:`~repro.analysis.source.context.SourceContext` inputs.
+"""
+
+from __future__ import annotations
+
+from ..registry import PassRegistry
+from .passes import (
+    check_source_deps,
+    check_source_fission,
+    check_source_legality,
+    check_source_structure,
+)
+
+
+def source_registry() -> PassRegistry:
+    registry = PassRegistry()
+    registry.register(
+        "structure", "loop-IR structural well-formedness",
+        ("PREM501", "PREM502", "PREM503", "PREM513"),
+        check_source_structure)
+    registry.register(
+        "deps", "dependence-set consistency",
+        ("PREM502",),
+        check_source_deps)
+    registry.register(
+        "legality", "tiling/parallelization legality claims",
+        ("PREM511", "PREM512"),
+        check_source_legality)
+    registry.register(
+        "fission", "loop-distribution legality",
+        ("PREM521",),
+        check_source_fission)
+    return registry
+
+
+#: The registry ``analyze --source`` runs.
+SOURCE_REGISTRY = source_registry()

@@ -26,6 +26,7 @@ Examples
     python -m repro compile lstm --preset MINI --robust-timing \
         --scenarios 32 --risk cvar --alpha 0.9 --seed 0
     python -m repro compile cnn --preset MINI --verify-static
+    python -m repro compile lstm --preset MINI --fission auto
     python -m repro compile lstm --preset SMALL --pareto
     python -m repro pareto lstm --preset SMALL --cores 8
     python -m repro pareto cnn --preset MINI \
@@ -33,6 +34,7 @@ Examples
     python -m repro tree cnn
     python -m repro sweep rnn --cores 8
     python -m repro analyze cnn --preset MINI
+    python -m repro analyze lstm --preset MINI --source
     python -m repro analyze cnn --preset SMALL --cores 1 --spm 8 --json
     python -m repro analyze cnn --selftest 200 --seed 7
     python -m repro faults lstm --seed 7
@@ -136,6 +138,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify-static", action="store_true",
         help="gate the result on the static PREM-compliance verifier "
              "(exit 1 on any error-severity diagnostic)")
+    compile_cmd.add_argument(
+        "--fission", choices=("off", "auto"), default="off",
+        help="run the dependence-verified loop-fission pre-pass before "
+             "component extraction (auto = maximal legal distribution)")
     add_common(sub.add_parser("codegen", help="emit PREM-C"))
     add_common(sub.add_parser("trace", help="PREM API schedule trace"))
     add_common(sub.add_parser("gantt", help="schedule timeline"))
@@ -167,6 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--json", action="store_true",
         help="emit the diagnostics report as JSON")
+    analyze.add_argument(
+        "--source", action="store_true",
+        help="analyze the loop IR itself (PREM5xx: structure, "
+             "dependences, legality, fission) instead of compiling "
+             "and verifying artifacts")
     analyze.add_argument(
         "--passes", default=None, metavar="NAMES",
         help="comma-separated analysis passes to run (default: all)")
@@ -271,6 +282,7 @@ def _compile(args, use_cache: bool = True):
     kernel = make_kernel(args.kernel, args.preset)
     cache = _cache(args) if use_cache else None
     shards = _shards(args)
+    fission = getattr(args, "fission", "off")
     if getattr(args, "robust_timing", False):
         # The compiler seed doubles as the scenario-sampling seed, so
         # --seed reaches the robust search without a second knob.
@@ -280,7 +292,8 @@ def _compile(args, use_cache: bool = True):
         return compiler.compile(
             kernel, cores=args.cores, strategy="robust",
             scenarios=args.scenarios, risk=args.risk,
-            alpha=args.alpha, spread=args.spread, shards=shards)
+            alpha=args.alpha, spread=args.spread, shards=shards,
+            fission=fission)
     compiler = PremCompiler(
         _platform(args), jobs=getattr(args, "jobs", 1), cache=cache)
     if getattr(args, "pareto", False):
@@ -296,7 +309,8 @@ def _compile(args, use_cache: bool = True):
     else:
         strategy = "heuristic"
     return compiler.compile(
-        kernel, cores=args.cores, strategy=strategy, shards=shards)
+        kernel, cores=args.cores, strategy=strategy, shards=shards,
+        fission=fission)
 
 
 def cmd_tree(args) -> int:
@@ -317,9 +331,14 @@ def cmd_compile(args) -> int:
         compiler = PremCompiler(
             _platform(args), jobs=args.jobs, cache=_cache(args))
         result = compiler.compile_robust(
-            kernel, cores=args.cores, stage_budget_s=args.stage_budget)
+            kernel, cores=args.cores, stage_budget_s=args.stage_budget,
+            fission=args.fission)
     else:
         result = _compile(args)
+    if result.fission is not None:
+        from .reporting import fission_note
+
+        print(fission_note(result.fission))
     print(result.opt_result.describe())
     print(f"\nideal single-core : {result.ideal_ns:>16,.0f} ns")
     print(f"makespan          : {result.makespan_ns:>16,.0f} ns")
@@ -510,12 +529,39 @@ def cmd_pareto(args) -> int:
     return 0 if result.feasible else 1
 
 
+def _analyze_source(args, passes) -> int:
+    """``analyze --source``: PREM5xx loop-IR analysis, no compilation."""
+    from .analysis import SOURCE_REGISTRY, analyze_source
+
+    if passes:
+        unknown = sorted(set(passes) - set(SOURCE_REGISTRY.names()))
+        if unknown:
+            print(f"unknown source passes: {', '.join(unknown)} "
+                  f"(known: {', '.join(SOURCE_REGISTRY.names())})",
+                  file=sys.stderr)
+            return 2
+    kernel = make_kernel(args.kernel, args.preset)
+    report = analyze_source(kernel, passes=passes)
+    if args.json:
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def cmd_analyze(args) -> int:
     from .analysis import DEFAULT_REGISTRY
 
     passes = None
     if args.passes:
         passes = tuple(token.strip() for token in args.passes.split(","))
+    if args.source:
+        if args.selftest:
+            raise KernelConfigError(
+                "--selftest corrupts compiled artifacts; it does not "
+                "compose with the source-level --source analysis")
+        return _analyze_source(args, passes)
+    if passes:
         unknown = sorted(set(passes) - set(DEFAULT_REGISTRY.names()))
         if unknown:
             print(f"unknown analysis passes: {', '.join(unknown)} "

@@ -26,6 +26,7 @@ from .errors import (
 )
 from .loopir.ast import Kernel
 from .loopir.component import TilableComponent
+from .loopir.fission import FissionResult, fission_kernel
 from .loopir.looptree import LoopTree
 from .opt.cache import PersistentCache
 from .opt.exhaustive import ExhaustiveOptimizer
@@ -90,6 +91,10 @@ class CompilationResult:
     strategy: str = "heuristic"
     attempts: List[StageAttempt] = field(default_factory=list)
     segment_cap: int = DEFAULT_SEGMENT_CAP
+    #: Set when the dependence-verified fission pre-pass ran; its
+    #: ``original`` field keeps the unfissioned kernel (``self.kernel``
+    #: is the distributed one the components were extracted from).
+    fission: Optional[FissionResult] = None
 
     @property
     def degraded(self) -> bool:
@@ -220,7 +225,8 @@ class PremCompiler:
                 risk: str = "cvar",
                 alpha: float = 0.9,
                 spread: float = 0.2,
-                shards: Optional[Tuple[int, int]] = None
+                shards: Optional[Tuple[int, int]] = None,
+                fission: str = "off"
                 ) -> CompilationResult:
         """Analyze, optimize and package one kernel.
 
@@ -257,6 +263,15 @@ class PremCompiler:
         cache directory's coordination log.  A shard-restricted result
         may be infeasible on its own — that is expected, the reduce
         step supplies the winner.
+
+        *fission* — ``"off"`` (default) compiles the kernel as given;
+        ``"auto"`` first runs the dependence-verified loop-fission
+        pre-pass (:func:`repro.loopir.fission.fission_kernel`),
+        compiling the distributed kernel instead.  The result's
+        :attr:`CompilationResult.fission` records the transform and
+        keeps the original kernel for reference runs.  ``"auto"`` is
+        incompatible with an explicitly supplied *tree* (the pre-pass
+        changes the kernel the tree must be built from).
         """
         jobs = self.jobs if jobs is None else jobs
         cache = self.cache if cache is None else cache
@@ -266,9 +281,21 @@ class PremCompiler:
                 f"strategy {strategy!r} does not support sharding; "
                 f"--shard needs an enumerated candidate space "
                 f"(pruned, robust, or pareto)")
+        if fission not in ("off", "auto"):
+            raise ValueError(
+                f"unknown fission mode {fission!r}; use 'off' or 'auto'")
+        fission_result: Optional[FissionResult] = None
+        if fission == "auto":
+            if tree is not None:
+                raise ValueError(
+                    "fission='auto' transforms the kernel and rebuilds "
+                    "the loop tree; an explicit tree cannot be combined "
+                    "with it")
+            fission_result = fission_kernel(kernel)
+            kernel = fission_result.kernel
         tree = tree or LoopTree.build(kernel)
         if strategy == "sequential":
-            return self._compile_sequential(kernel, tree)
+            return self._compile_sequential(kernel, tree, fission_result)
         optimizer = optimizer or TreeOptimizer(
             tree, machine=self.machine, max_iter=self.max_iter,
             seed=self.seed, segment_cap=self.segment_cap)
@@ -331,6 +358,7 @@ class PremCompiler:
             opt_result=result,
             strategy=strategy,
             segment_cap=self.segment_cap,
+            fission=fission_result,
         )
 
     def compile_robust(self, kernel: Kernel, cores: Optional[int] = None,
@@ -338,7 +366,8 @@ class PremCompiler:
                        stage_budget_s: Optional[float] = 10.0,
                        tree: Optional[LoopTree] = None,
                        jobs: Optional[int] = None,
-                       cache: Optional[PersistentCache] = None
+                       cache: Optional[PersistentCache] = None,
+                       fission: str = "off"
                        ) -> CompilationResult:
         """Compile with graceful degradation.
 
@@ -351,8 +380,22 @@ class PremCompiler:
         :attr:`CompilationResult.attempts`.  *jobs*/*cache* are forwarded
         to every stage's :meth:`compile` call; a shared cache lets a
         later stage reuse makespans an earlier, timed-out stage already
-        paid for.
+        paid for.  *fission* as in :meth:`compile`: with ``"auto"`` the
+        pre-pass runs once up front and every stage compiles the
+        distributed kernel.
         """
+        fission_result: Optional[FissionResult] = None
+        if fission == "auto":
+            if tree is not None:
+                raise ValueError(
+                    "fission='auto' transforms the kernel and rebuilds "
+                    "the loop tree; an explicit tree cannot be combined "
+                    "with it")
+            fission_result = fission_kernel(kernel)
+            kernel = fission_result.kernel
+        elif fission != "off":
+            raise ValueError(
+                f"unknown fission mode {fission!r}; use 'off' or 'auto'")
         tree = tree or LoopTree.build(kernel)
         attempts: List[StageAttempt] = []
         for strategy in strategies:
@@ -382,6 +425,7 @@ class PremCompiler:
             attempts.append(StageAttempt(
                 strategy, "ok", time.perf_counter() - started))
             result.attempts = attempts
+            result.fission = fission_result
             return result
         raise CompilationError(
             f"all strategies failed for kernel {kernel.name}: "
@@ -389,8 +433,10 @@ class PremCompiler:
 
     # -- stage builders ---------------------------------------------------
 
-    def _compile_sequential(self, kernel: Kernel,
-                            tree: LoopTree) -> CompilationResult:
+    def _compile_sequential(
+            self, kernel: Kernel, tree: LoopTree,
+            fission_result: Optional[FissionResult] = None
+    ) -> CompilationResult:
         """No-PREM fallback: the untransformed kernel on one core."""
         started = time.perf_counter()
         makespan = self.machine.kernel_cost(kernel) * \
@@ -412,6 +458,7 @@ class PremCompiler:
             opt_result=result,
             strategy="sequential",
             segment_cap=self.segment_cap,
+            fission=fission_result,
         )
 
     def _heuristic_fn(self, cores: Optional[int],

@@ -120,6 +120,59 @@ class MissingComputeError(PremVmError, ValueError):
 
 
 # ---------------------------------------------------------------------------
+# source-level loop-IR analysis errors
+
+
+class SourceAnalysisError(ReproError):
+    """A loop-IR construct the source analyzer cannot reason about.
+
+    Each subclass carries the stable ``PREM5xx`` diagnostic code the
+    ``analyze --source`` command reports instead of a traceback.
+    """
+
+    code = "PREM502"
+
+
+class GuardScopeError(SourceAnalysisError, ValueError):
+    """A guard references a variable outside its ancestor iterators."""
+
+    code = "PREM501"
+
+    def __init__(self, loop_var: str, guard_var: str):
+        super().__init__(
+            f"guard on {loop_var} references non-ancestor {guard_var!r}")
+        self.loop_var = loop_var
+        self.guard_var = guard_var
+
+
+class ChainConsistencyError(SourceAnalysisError, AssertionError):
+    """A dependence names a loop outside the statements' shared nest."""
+
+    code = "PREM502"
+
+    def __init__(self, head: str, detail: str = ""):
+        super().__init__(
+            f"dependence chain head {head!r} is not a shared loop"
+            + (f": {detail}" if detail else ""))
+        self.head = head
+
+
+class LatticeRangeError(SourceAnalysisError, ValueError):
+    """A loop range with a non-positive stride reached interval math."""
+
+    code = "PREM503"
+
+    def __init__(self, detail: str):
+        super().__init__(detail)
+
+
+class FissionLegalityError(SourceAnalysisError, ValueError):
+    """A requested loop distribution breaks a backward dependence."""
+
+    code = "PREM521"
+
+
+# ---------------------------------------------------------------------------
 # structured PREM-invariant diagnostics
 
 

@@ -12,6 +12,7 @@ from .polybench import (
     PRESET_NAMES,
     PRESETS,
     cnn,
+    convrelu,
     lstm,
     make_kernel,
     maxpool,
@@ -23,6 +24,6 @@ from .polybench import (
 __all__ = [
     "GOOGLENET_3X3_LAYERS", "STUDY_LAYER", "bounds_label", "googlenet_cnn",
     "layer_sizes",
-    "KERNELS", "PRESET_NAMES", "PRESETS", "cnn", "lstm", "make_kernel",
-    "maxpool", "preset_sizes", "rnn", "sumpool",
+    "KERNELS", "PRESET_NAMES", "PRESETS", "cnn", "convrelu", "lstm",
+    "make_kernel", "maxpool", "preset_sizes", "rnn", "sumpool",
 ]

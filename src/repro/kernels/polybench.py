@@ -62,6 +62,11 @@ PRESETS: Dict[str, Dict[str, Dict[str, int]]] = {
         "SMALL": dict(NT=4, NS=32, NP=40),
         "LARGE": dict(NT=10, NS=800, NP=900),
     },
+    "convrelu": {
+        "MINI": dict(NN=1, NK=4, NP=4, NQ=4, NC=3, NR=2, NS=2),
+        "SMALL": dict(NN=1, NK=8, NP=8, NQ=8, NC=4, NR=3, NS=3),
+        "LARGE": dict(NN=1, NK=128, NP=28, NQ=28, NC=96, NR=3, NS=3),
+    },
 }
 
 
@@ -121,6 +126,81 @@ def cnn(sizes: SizeMap | None = None, etype: str = "float") -> Kernel:
     loops = for_("n", NN, for_("k", NK, for_("p", NP, for_("q", NQ, for_(
         "c", NC, for_("r", NR, for_("s", NS, mac)))))))
     return Kernel("cnn", list(arrays.values()), [loops], sz)
+
+
+# ---------------------------------------------------------------------------
+# ConvReLU — bias-initialized convolution with a fused leaky activation
+
+
+def convrelu(sizes: SizeMap | None = None, etype: str = "float") -> Kernel:
+    """Bias + convolution + leaky ReLU as one imperfect nest.
+
+    The classic fused conv layer: each output cell is *initialized* from
+    the bias vector, *accumulated* over the reduction nest, then pushed
+    through a leaky activation — three statements sharing the ``(n, k,
+    p, q)`` iteration space but sitting at different nest depths.  Every
+    cross-statement dependence is loop-independent (the out cell of one
+    ``(n, k, p, q)`` point never reaches another), so the fission
+    pre-pass can distribute the whole nest into three perfect sibling
+    nests — the canonical imperfect-to-perfect distribution example.
+    """
+    sz = dict(sizes or preset_sizes("convrelu"))
+    NN, NK, NP, NQ = sz["NN"], sz["NK"], sz["NP"], sz["NQ"]
+    NC, NR, NS = sz["NC"], sz["NR"], sz["NS"]
+
+    out_f = Array("out_F", (NN, NK, NP, NQ), etype)
+    weights = Array("W", (NK, NC, NR, NS), etype)
+    inp_f = Array("inp_F", (NN, NC, NP + NR - 1, NQ + NS - 1), etype)
+    bias = Array("bias", (NK,), etype)
+    arrays = {a.name: a for a in (out_f, weights, inp_f, bias)}
+    leak = np.float32(0.01) if etype == "float" else 0.01
+
+    def init_compute(a, pt):
+        n, k, p, q = pt["n"], pt["k"], pt["p"], pt["q"]
+        a["out_F"][n, k, p, q] = a["bias"][(k,)]
+
+    def mac_compute(a, pt):
+        n, k, p, q = pt["n"], pt["k"], pt["p"], pt["q"]
+        c, r, s = pt["c"], pt["r"], pt["s"]
+        a["out_F"][n, k, p, q] += (
+            a["W"][k, c, r, s]
+            * a["inp_F"][n, c, p + NR - r - 1, q + NS - s - 1])
+
+    def relu_compute(a, pt):
+        n, k, p, q = pt["n"], pt["k"], pt["p"], pt["q"]
+        value = a["out_F"][n, k, p, q]
+        if value < 0:
+            a["out_F"][n, k, p, q] = leak * value
+
+    init = stmt_(
+        "convrelu_init", arrays,
+        writes={"out_F": ("n", "k", "p", "q")},
+        reads={"bias": ("k",)},
+        compute=init_compute, flops=0,
+    )
+    mac = stmt_(
+        "convrelu_mac", arrays,
+        writes={"out_F": ("n", "k", "p", "q")},
+        reads={
+            "out_F": ("n", "k", "p", "q"),
+            "W": ("k", "c", "r", "s"),
+            "inp_F": ("n", "c", f"p + {NR - 1} - r", f"q + {NS - 1} - s"),
+        },
+        compute=mac_compute, flops=2,
+    )
+    relu = stmt_(
+        "convrelu_act", arrays,
+        writes={"out_F": ("n", "k", "p", "q")},
+        reads={"out_F": ("n", "k", "p", "q")},
+        compute=relu_compute, flops=1,
+    )
+    loops = for_("n", NN, for_("k", NK, for_("p", NP, for_(
+        "q", NQ,
+        init,
+        for_("c", NC, for_("r", NR, for_("s", NS, mac))),
+        relu,
+    ))))
+    return Kernel("convrelu", list(arrays.values()), [loops], sz)
 
 
 # ---------------------------------------------------------------------------
@@ -338,6 +418,7 @@ def rnn(sizes: SizeMap | None = None, etype: str = "float") -> Kernel:
 #: Factory registry used by the benchmark harness.
 KERNELS: Dict[str, Callable[..., Kernel]] = {
     "cnn": cnn,
+    "convrelu": convrelu,
     "lstm": lstm,
     "maxpool": maxpool,
     "sumpool": sumpool,

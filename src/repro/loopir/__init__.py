@@ -2,19 +2,34 @@
 
 from .ast import Kernel, Loop, Stmt
 from .builder import accesses_for, for_, kernel_, stmt_
-from .looptree import LoopTree, LoopTreeNode
+from .fission import (
+    FissionResult,
+    FissionSplit,
+    fission_kernel,
+    fission_plan,
+)
+from .looptree import LoopTree, LoopTreeNode, analyze_dependences, \
+    statement_infos
 from .validity import (
+    LegalityBlocker,
     chain_heads,
     count_guarded_executions,
+    count_guarded_executions_detailed,
     is_chain_extendable,
     level_parallel,
     level_tilable,
+    parallel_blockers,
+    tiling_blockers,
 )
 
 __all__ = [
     "Kernel", "Loop", "Stmt",
     "accesses_for", "for_", "kernel_", "stmt_",
-    "LoopTree", "LoopTreeNode",
-    "chain_heads", "count_guarded_executions", "is_chain_extendable",
+    "FissionResult", "FissionSplit", "fission_kernel", "fission_plan",
+    "LoopTree", "LoopTreeNode", "analyze_dependences", "statement_infos",
+    "LegalityBlocker",
+    "chain_heads", "count_guarded_executions",
+    "count_guarded_executions_detailed", "is_chain_extendable",
     "level_parallel", "level_tilable",
+    "parallel_blockers", "tiling_blockers",
 ]

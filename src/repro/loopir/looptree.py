@@ -33,6 +33,25 @@ from .validity import (
 )
 
 
+def statement_infos(kernel: Kernel) -> List[StatementInfo]:
+    """The per-statement domain/schedule/access records the polyhedral
+    dependence tester consumes, in textual order."""
+    return [
+        StatementInfo(
+            name=stmt.name,
+            domain=kernel.stmt_domain(stmt.name),
+            schedule=kernel.stmt_schedule(stmt.name),
+            accesses=stmt.accesses,
+        )
+        for stmt, _ in kernel.walk_stmts()
+    ]
+
+
+def analyze_dependences(kernel: Kernel) -> List[Dependence]:
+    """The kernel's full ``Dep`` set (every ordered statement pair)."""
+    return DependenceAnalyzer(statement_infos(kernel)).analyze()
+
+
 @dataclass
 class LoopTreeNode:
     """One loop level of the application model."""
@@ -86,16 +105,7 @@ class LoopTree:
               dependences: Sequence[Dependence] | None = None) -> "LoopTree":
         """Analyze dependences (unless given) and build the folded tree."""
         if dependences is None:
-            infos = [
-                StatementInfo(
-                    name=stmt.name,
-                    domain=kernel.stmt_domain(stmt.name),
-                    schedule=kernel.stmt_schedule(stmt.name),
-                    accesses=stmt.accesses,
-                )
-                for stmt, _ in kernel.walk_stmts()
-            ]
-            dependences = DependenceAnalyzer(infos).analyze()
+            dependences = analyze_dependences(kernel)
 
         heads = chain_heads(kernel)
         roots = [

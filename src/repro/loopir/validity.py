@@ -15,16 +15,28 @@ Section 5.2.2:
   chain head has component ``=`` (distance 0) at ``l`` — the paper's
   "check its corresponding index in related dependence distances, if all
   of them are 0" rule.
+
+Verdicts come in two forms: the boolean :func:`level_tilable` /
+:func:`level_parallel` used by the tree builder, and the reasoned
+:func:`tiling_blockers` / :func:`parallel_blockers` used by the
+source-level analyzer (``repro.analysis.source``) to attach the exact
+dependence and direction vector to each PREM51x diagnostic.  Malformed
+inputs raise the typed :class:`repro.errors.SourceAnalysisError`
+subclasses instead of bare ``AssertionError``/``ValueError`` so
+``analyze --source`` reports a code-table entry, not a traceback.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
+from ..errors import ChainConsistencyError, GuardScopeError, \
+    LatticeRangeError
 from ..poly.constraint import Constraint, EQ
-from ..poly.dependence import Dependence
+from ..poly.dependence import Dependence, carried_level
 from .ast import Kernel, Loop
 
 
@@ -64,52 +76,84 @@ def chain_heads(kernel: Kernel) -> Dict[str, str]:
 
 def _carried_level(direction: Tuple[str, ...]):
     """Index of the first non-'=' component, or None if loop independent."""
-    for index, sign in enumerate(direction):
-        if sign != "=":
-            return index
-    return None
+    return carried_level(direction)
+
+
+@dataclass(frozen=True)
+class LegalityBlocker:
+    """One dependence direction vector vetoing a legality claim."""
+
+    var: str                      # the loop level being judged
+    dependence: Dependence
+    direction: Tuple[str, ...]
+
+    def describe(self) -> str:
+        dep = self.dependence
+        return (f"{dep.kind} {dep.src_stmt}->{dep.dst_stmt} on "
+                f"{dep.array} direction ({', '.join(self.direction)}) "
+                f"over {dep.shared_loops}")
+
+
+def _head_level(var: str, head: str, dep: Dependence) -> int:
+    """Index of the chain head within a dependence's shared loops."""
+    if head not in dep.shared_loops:
+        # The chain head is always an ancestor of var, hence shared.
+        raise ChainConsistencyError(
+            head,
+            f"head of {var} missing from shared loops "
+            f"{dep.shared_loops} of {dep.src_stmt}->{dep.dst_stmt}")
+    return dep.shared_loops.index(head)
+
+
+def tiling_blockers(var: str, dependences: Sequence[Dependence],
+                    heads: Mapping[str, str]) -> List[LegalityBlocker]:
+    """Direction vectors that forbid tiling loop *var* with its chain."""
+    head = heads[var]
+    blockers: List[LegalityBlocker] = []
+    for dep in dependences:
+        if var not in dep.shared_loops:
+            continue
+        level = dep.shared_loops.index(var)
+        head_level = _head_level(var, head, dep)
+        for direction in sorted(dep.directions):
+            if direction[level] != ">":
+                continue
+            carried = _carried_level(direction)
+            if carried is not None and carried >= head_level:
+                blockers.append(LegalityBlocker(var, dep, direction))
+    return blockers
+
+
+def parallel_blockers(var: str, dependences: Sequence[Dependence],
+                      heads: Mapping[str, str]) -> List[LegalityBlocker]:
+    """Direction vectors that forbid running *var*'s tiles in parallel."""
+    head = heads[var]
+    blockers: List[LegalityBlocker] = []
+    for dep in dependences:
+        if var not in dep.shared_loops:
+            continue
+        level = dep.shared_loops.index(var)
+        head_level = _head_level(var, head, dep)
+        for direction in sorted(dep.directions):
+            carried = _carried_level(direction)
+            if carried is not None and carried < head_level:
+                continue   # ordered by an enclosing sequential loop
+            if direction[level] != "=":
+                blockers.append(LegalityBlocker(var, dep, direction))
+    return blockers
 
 
 def level_tilable(var: str, dependences: Sequence[Dependence],
                   heads: Mapping[str, str]) -> bool:
     """Whether loop *var* may participate in a tiled band with its chain."""
-    head = heads[var]
-    for dep in dependences:
-        if var not in dep.shared_loops:
-            continue
-        level = dep.shared_loops.index(var)
-        if head not in dep.shared_loops:
-            # The chain head is always an ancestor of var, hence shared.
-            raise AssertionError(
-                f"chain head {head} of {var} missing from shared loops "
-                f"{dep.shared_loops} of {dep}")
-        head_level = dep.shared_loops.index(head)
-        for direction in dep.directions:
-            if direction[level] != ">":
-                continue
-            carried = _carried_level(direction)
-            if carried is not None and carried >= head_level:
-                return False
-    return True
+    return not tiling_blockers(var, dependences, heads)
 
 
 def level_parallel(var: str, dependences: Sequence[Dependence],
                    heads: Mapping[str, str]) -> bool:
     """Whether tiles over different ranges of *var* may run on different
     threads (Section 3.3's ``l.parallel``)."""
-    head = heads[var]
-    for dep in dependences:
-        if var not in dep.shared_loops:
-            continue
-        level = dep.shared_loops.index(var)
-        head_level = dep.shared_loops.index(head)
-        for direction in dep.directions:
-            carried = _carried_level(direction)
-            if carried is not None and carried < head_level:
-                continue   # ordered by an enclosing sequential loop
-            if direction[level] != "=":
-                return False
-    return True
+    return not parallel_blockers(var, dependences, heads)
 
 
 # ---------------------------------------------------------------------------
@@ -125,8 +169,19 @@ def count_guarded_executions(loop: Loop, ancestors: Tuple[Loop, ...]) -> int:
     to enumeration; oversized ones are counted conservatively (the guard is
     ignored, overestimating ``I``), which is safe for makespan bounds.
     """
+    return count_guarded_executions_detailed(loop, ancestors)[0]
+
+
+def count_guarded_executions_detailed(
+        loop: Loop, ancestors: Tuple[Loop, ...]) -> Tuple[int, bool]:
+    """Like :func:`count_guarded_executions` plus an exactness flag.
+
+    The flag is False only on the conservative fallback path (multi-
+    iterator guards over a domain too large to enumerate) — the source
+    analyzer turns that into a PREM513 warning.
+    """
     if not ancestors:
-        return 1
+        return 1, True
 
     constraints = []
     for ancestor in ancestors:
@@ -134,7 +189,9 @@ def count_guarded_executions(loop: Loop, ancestors: Tuple[Loop, ...]) -> int:
     constraints.extend(loop.guards)
 
     bounds: Dict[str, Tuple[int, int]] = {
-        a.var: (a.begin, a.loop_range.last) for a in ancestors
+        a.var: (min(a.begin, a.loop_range.last),
+                max(a.begin, a.loop_range.last))
+        for a in ancestors
     }
     strides: Dict[str, int] = {a.var: a.stride for a in ancestors}
     begins: Dict[str, int] = {a.var: a.begin for a in ancestors}
@@ -144,16 +201,15 @@ def count_guarded_executions(loop: Loop, ancestors: Tuple[Loop, ...]) -> int:
         variables = sorted(constraint.variables())
         if len(variables) == 0:
             if not constraint.satisfied({}):
-                return 0
+                return 0, True
             continue
         if len(variables) == 1:
             var = variables[0]
             if var not in bounds:
-                raise ValueError(
-                    f"guard on {loop.var} references non-ancestor {var!r}")
+                raise GuardScopeError(loop.var, var)
             new = _narrow(bounds[var], constraint, var)
             if new is None:
-                return 0
+                return 0, True
             bounds[var] = new
         else:
             multi.append(constraint)
@@ -162,22 +218,28 @@ def count_guarded_executions(loop: Loop, ancestors: Tuple[Loop, ...]) -> int:
     for var, (lo, hi) in bounds.items():
         counts[var] = _lattice_count(lo, hi, begins[var], strides[var])
         if counts[var] == 0:
-            return 0
+            return 0, True
 
     total = 1
     for value in counts.values():
         total *= value
 
     if not multi:
-        return total
+        return total, True
     if total <= 200_000:
-        return _enumerate_count(bounds, begins, strides, multi)
-    return total   # conservative overestimate; documented above
+        return _enumerate_count(bounds, begins, strides, multi), True
+    return total, False   # conservative overestimate; documented above
 
 
 def _narrow(interval: Tuple[int, int], constraint: Constraint, var: str):
-    """Intersect an interval with a single-variable affine constraint."""
+    """Intersect an interval with a single-variable affine constraint.
+
+    Returns the narrowed ``(lo, hi)`` interval, or None when empty.  An
+    already-empty input interval stays empty.
+    """
     lo, hi = interval
+    if lo > hi:
+        return None
     coeff = constraint.expr.coeff(var)
     const = constraint.expr.constant
     if constraint.kind == EQ:
@@ -198,16 +260,29 @@ def _narrow(interval: Tuple[int, int], constraint: Constraint, var: str):
     return (lo, hi)
 
 
-def _lattice_count(lo: int, hi: int, begin: int, stride: int) -> int:
-    """Points of the arithmetic progression begin, begin+stride, ... in [lo, hi]."""
+def _lattice_range(lo: int, hi: int, begin: int, stride: int) -> range:
+    """The progression ``begin, begin+stride, ...`` clipped to ``[lo, hi]``.
+
+    Only forward iterations (``begin + k*stride`` with ``k >= 0``) count:
+    a loop never visits points before its start.  Negative strides walk
+    downward from *begin*; a zero stride never terminates and raises
+    :class:`repro.errors.LatticeRangeError`.
+    """
+    if stride == 0:
+        raise LatticeRangeError(
+            f"zero stride in progression starting at {begin}")
     if lo > hi:
-        return 0
-    first = lo + (begin - lo) % stride
-    if first < lo:
-        first += stride
-    if first > hi:
-        return 0
-    return (hi - first) // stride + 1
+        return range(0)
+    if stride > 0:
+        k_lo = max(0, math.ceil(Fraction(lo - begin, stride)))
+        return range(begin + k_lo * stride, hi + 1, stride)
+    k_lo = max(0, math.ceil(Fraction(hi - begin, stride)))
+    return range(begin + k_lo * stride, lo - 1, stride)
+
+
+def _lattice_count(lo: int, hi: int, begin: int, stride: int) -> int:
+    """Points of the progression begin, begin+stride, ... within [lo, hi]."""
+    return len(_lattice_range(lo, hi, begin, stride))
 
 
 def _enumerate_count(bounds, begins, strides, constraints) -> int:
@@ -223,8 +298,7 @@ def _enumerate_count(bounds, begins, strides, constraints) -> int:
             return
         var = names[index]
         lo, hi = bounds[var]
-        first = lo + (begins[var] - lo) % strides[var]
-        for value in range(first, hi + 1, strides[var]):
+        for value in _lattice_range(lo, hi, begins[var], strides[var]):
             point[var] = value
             recurse(index + 1, point)
 

@@ -46,6 +46,19 @@ _SRC = "s$"
 _DST = "t$"
 
 
+def carried_level(direction: Tuple[str, ...]):
+    """Index of the first non-'=' component, or None if loop independent.
+
+    Every admissible vector's first non-'=' component is '<' (the
+    enumeration in :class:`DependenceAnalyzer` only emits such vectors),
+    so this is the level whose sequential loop orders the two instances.
+    """
+    for index, sign in enumerate(direction):
+        if sign != EQ_DIR:
+            return index
+    return None
+
+
 @dataclass(frozen=True)
 class Dependence:
     """One dependence edge of the ``Dep`` set (Eq. 2.1), summarised.
@@ -98,6 +111,26 @@ class Dependence:
         """Paper's parallelization criterion: any non-'=' component at loop."""
         signs = self.component_signs(loop)
         return bool(signs - {EQ_DIR})
+
+    def confined_above(self, loop: str) -> bool:
+        """True when every instance pair lies in one iteration of *loop*'s
+        ancestors — i.e. the dependence is carried strictly above *loop*.
+
+        Such a dependence never relates instances from different
+        iterations of any loop at or below *loop*, so a transform that
+        only reorders statements within one iteration of the enclosing
+        nest (loop fission at *loop*) cannot violate it.
+        """
+        if loop not in self.shared_loops:
+            return False
+        if self.loop_independent:
+            return False
+        level = self.shared_loops.index(loop)
+        for direction in self.directions:
+            carried = carried_level(direction)
+            if carried is None or carried >= level:
+                return False
+        return True
 
     def __repr__(self) -> str:
         dirs = ",".join("".join(d) for d in sorted(self.directions)) or "-"
@@ -279,6 +312,20 @@ def concrete_pairs(src: StatementInfo, dst: StatementInfo,
                 if len(pairs) >= limit:
                     return pairs
     return pairs
+
+
+def dependence_graph(dependences: Sequence[Dependence]
+                     ) -> Dict[Tuple[str, str], List[Dependence]]:
+    """Group a ``Dep`` set into a statement graph keyed by (src, dst).
+
+    The source analyzer's fission pass walks this as the edge set of the
+    statement dependence graph; edges keep the analyzer's emission order
+    so verdicts derived from them are deterministic.
+    """
+    graph: Dict[Tuple[str, str], List[Dependence]] = {}
+    for dep in dependences:
+        graph.setdefault((dep.src_stmt, dep.dst_stmt), []).append(dep)
+    return graph
 
 
 def _find_access(info: StatementInfo, dependence: Dependence,

@@ -135,6 +135,22 @@ def diagnostics_note(bag) -> str:
             f"{len(bag.warnings)} warning(s) ({counts})")
 
 
+def fission_note(result) -> str:
+    """One-line :class:`~repro.loopir.fission.FissionResult` summary.
+
+    Printed by ``compile --fission auto`` and archived next to the
+    fission bench numbers, so every run records which loops were
+    distributed (or that the pre-pass proved nothing splittable)."""
+    if not result.changed:
+        return ("fission: no legal distribution "
+                "(kernel unchanged)")
+    splits = "; ".join(
+        f"{split.var} -> {'|'.join(split.new_vars)}"
+        for split in result.splits)
+    return (f"fission: {len(result.splits)} loop(s) distributed "
+            f"({splits})")
+
+
 def engine_note(metrics) -> str:
     """One-line :class:`~repro.opt.engine.EngineMetrics` summary.
 

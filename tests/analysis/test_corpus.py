@@ -11,7 +11,7 @@ import pytest
 from repro.compiler import PremCompiler
 from repro.kernels import make_kernel
 
-KERNELS = ("cnn", "lstm", "maxpool", "sumpool", "rnn")
+KERNELS = ("cnn", "convrelu", "lstm", "maxpool", "sumpool", "rnn")
 STRATEGIES = ("heuristic", "greedy", "exhaustive", "pruned")
 
 
@@ -24,3 +24,16 @@ def test_clean_compile_means_zero_diagnostics(kernel_name, strategy):
     assert not report.merged, (
         f"{kernel_name}/{strategy}: the verifier disagrees with the "
         f"compiler:\n{report.render_text()}")
+
+
+@pytest.mark.parametrize("strategy", ("heuristic", "greedy"))
+@pytest.mark.parametrize("kernel_name", KERNELS)
+def test_fissioned_compile_is_equally_clean(kernel_name, strategy):
+    """The loop-fission pre-pass never produces objectionable artifacts."""
+    result = PremCompiler().compile(
+        make_kernel(kernel_name, "MINI"), strategy=strategy,
+        fission="auto")
+    report = result.verify_static()
+    assert not report.merged, (
+        f"{kernel_name}/{strategy}+fission: the verifier disagrees with "
+        f"the compiler:\n{report.render_text()}")

@@ -1,0 +1,223 @@
+"""Tests for the source-level polyhedral analyzer (PREM5xx)."""
+
+import pytest
+
+from repro.analysis import (
+    SOURCE_REGISTRY,
+    analyze_source,
+    build_source_context,
+    source_registry,
+)
+from repro.analysis.diagnostics import CODE_TABLE, Diagnostic
+from repro.analysis.source import verify_fission_groups
+from repro.cli import main
+from repro.kernels import make_kernel
+from repro.loopir.ast import Kernel
+from repro.loopir.builder import for_, stmt_
+from repro.poly.access import Array
+from repro.poly.constraint import Constraint
+from repro.poly.dependence import Dependence
+
+CORPUS = ("cnn", "convrelu", "lstm", "maxpool", "sumpool", "rnn")
+
+
+def make_dep(src, dst, shared, directions, kind="RAW"):
+    return Dependence(
+        src_stmt=src, dst_stmt=dst, array="a", kind=kind,
+        shared_loops=tuple(shared),
+        directions=frozenset(tuple(d) for d in directions),
+        loop_independent=False,
+    )
+
+
+def _guard_scope_kernel():
+    """A statement guard naming an iterator outside its nest."""
+    a = Array("a", (4,))
+    s = stmt_("s", {"a": a}, writes={"a": ("i",)},
+              guards=[Constraint.ge("z", 1)])
+    return Kernel("broken", [a], [for_("i", 4, s)])
+
+
+def _empty_domain_kernel():
+    a = Array("a", (4,))
+    s = stmt_("s", {"a": a}, writes={"a": ("i",)},
+              guards=[Constraint.ge("i", 99)])
+    return Kernel("hollow", [a], [for_("i", 4, s)])
+
+
+class TestRegistry:
+    def test_all_prem5xx_codes_are_declared(self):
+        declared = set()
+        for entry in SOURCE_REGISTRY.passes():
+            declared |= set(entry.codes)
+        assert declared == {c for c in CODE_TABLE if c.startswith("PREM5")}
+
+    def test_pass_names(self):
+        assert SOURCE_REGISTRY.names() == [
+            "structure", "deps", "legality", "fission"]
+
+    def test_undeclared_emission_is_rejected(self):
+        registry = source_registry()
+
+        def rogue(ctx):
+            return [Diagnostic(code="PREM101", message="not mine")]
+
+        registry.register("rogue", "rogue pass", ("PREM503",), rogue)
+        ctx = build_source_context(make_kernel("cnn", "MINI"))
+        with pytest.raises(ValueError, match="PREM101"):
+            registry.run(ctx, names=("rogue",))
+
+
+class TestCorpus:
+    @pytest.mark.parametrize("name", CORPUS)
+    def test_zero_diagnostics(self, name):
+        report = analyze_source(make_kernel(name, "MINI"))
+        assert report.ok
+        assert not report.diagnostics, report.render_text()
+
+    @pytest.mark.parametrize("name", ("lstm", "convrelu"))
+    def test_report_is_deterministic(self, name):
+        kernel = make_kernel(name, "MINI")
+        first = analyze_source(kernel)
+        second = analyze_source(make_kernel(name, "MINI"))
+        assert first.render_json() == second.render_json()
+        assert first.render_text() == second.render_text()
+
+    def test_lstm_level_verdicts(self):
+        report = analyze_source(make_kernel("lstm", "MINI"))
+        rows = {row["var"]: row for row in report.level_verdicts()}
+        assert rows["t"]["tilable"] and not rows["t"]["parallel"]
+        assert rows["s1_0"]["parallel"]
+        assert rows["p"]["tilable"] and not rows["p"]["parallel"]
+
+
+class TestStructurePass:
+    def test_guard_scope_yields_prem501(self):
+        report = analyze_source(_guard_scope_kernel())
+        codes = [d.code for d in report.diagnostics]
+        assert "PREM501" in codes
+        assert not report.ok
+
+    def test_empty_domain_yields_prem503_warning(self):
+        report = analyze_source(_empty_domain_kernel())
+        codes = [d.code for d in report.diagnostics]
+        assert codes.count("PREM503") >= 1
+        # A warning, not an error: the kernel still compiles.
+        assert report.ok
+
+    def test_no_traceback_on_broken_kernel(self):
+        # The context builder is a total function; malformed input
+        # becomes diagnostics, never an exception.
+        ctx = build_source_context(_guard_scope_kernel())
+        assert not ctx.well_formed
+        assert ctx.guard_errors
+
+
+class TestDepsPass:
+    def test_inadmissible_direction_yields_prem502(self):
+        from repro.analysis.source import check_source_deps
+
+        ctx = build_source_context(make_kernel("cnn", "MINI"))
+        ctx.dependences = (
+            *ctx.dependences,
+            make_dep("cnn_mac", "cnn_mac", ("n", "k"), [(">", "=")]),
+        )
+        codes = [d.code for d in check_source_deps(ctx)]
+        assert codes == ["PREM502"]
+
+
+class TestLegalityPass:
+    def test_contradicted_claims_yield_prem511_and_512(self):
+        from repro.analysis.source import check_source_legality
+
+        ctx = build_source_context(make_kernel("cnn", "MINI"))
+        assert check_source_legality(ctx) == []
+        # A '>' at k carried at n contradicts the tree's claim that the
+        # (n, k, p, q) band is tilable and k-parallel.
+        vars_ = ("n", "k", "p", "q", "c", "r", "s")
+        ctx.dependences = (
+            *ctx.dependences,
+            make_dep("cnn_mac", "cnn_mac", vars_,
+                     [("<", ">", "=", "=", "=", "=", "=")]),
+        )
+        diagnostics = check_source_legality(ctx)
+        codes = {d.code for d in diagnostics}
+        assert codes == {"PREM511", "PREM512"}
+        assert {d.component for d in diagnostics
+                if d.code == "PREM511"} == {"k"}
+
+
+class TestFissionVerification:
+    def test_backward_split_yields_prem521(self):
+        deps = [make_dep("late", "early", ("i",), [("<",)])]
+        diagnostics = verify_fission_groups(
+            "i", [("early",), ("late",)], deps)
+        assert [d.code for d in diagnostics] == ["PREM521"]
+
+    def test_forward_split_is_clean(self):
+        deps = [make_dep("early", "late", ("i",), [("<",)])]
+        assert verify_fission_groups(
+            "i", [("early",), ("late",)], deps) == []
+
+    def test_confined_above_is_ignored(self):
+        deps = [make_dep("late", "early", ("t", "i"), [("<", "=")])]
+        assert verify_fission_groups(
+            "i", [("early",), ("late",)], deps) == []
+
+    @pytest.mark.parametrize("name", CORPUS)
+    def test_computed_plans_self_verify(self, name):
+        ctx = build_source_context(make_kernel(name, "MINI"))
+        from repro.analysis.source import check_source_fission
+        assert check_source_fission(ctx) == []
+
+
+class TestCli:
+    def test_source_analysis_exits_zero_on_clean_kernel(self, capsys):
+        assert main(["analyze", "lstm", "--preset", "MINI",
+                     "--source"]) == 0
+        out = capsys.readouterr().out
+        assert "source analysis: lstm" in out
+        assert "no diagnostics" in out
+
+    def test_source_analysis_json(self, capsys):
+        import json
+
+        assert main(["analyze", "convrelu", "--preset", "MINI",
+                     "--source", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernel"] == "convrelu"
+        assert payload["diagnostics"]["diagnostics"] == []
+        assert [s["var"] for s in payload["fission"]] == \
+            ["q", "p", "k", "n"]
+
+    def test_unknown_source_pass_exits_two(self, capsys):
+        assert main(["analyze", "lstm", "--preset", "MINI",
+                     "--source", "--passes", "nosuch"]) == 2
+        assert "nosuch" in capsys.readouterr().err
+
+    def test_selftest_does_not_compose_with_source(self, capsys):
+        assert main(["analyze", "lstm", "--preset", "MINI",
+                     "--source", "--selftest", "5"]) == 2
+
+    def test_broken_kernel_exits_one_without_traceback(
+            self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli, "make_kernel", lambda *a, **k: _guard_scope_kernel())
+        assert main(["analyze", "lstm", "--preset", "MINI",
+                     "--source"]) == 1
+        out = capsys.readouterr().out
+        assert "PREM501" in out
+
+    def test_compile_fission_prints_the_plan(self, capsys):
+        assert main(["compile", "lstm", "--preset", "MINI",
+                     "--fission", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "fission: 2 loop(s) distributed" in out
+
+    def test_compile_fission_with_static_gate(self, capsys):
+        assert main(["compile", "convrelu", "--preset", "MINI",
+                     "--fission", "auto", "--verify-static"]) == 0
+        out = capsys.readouterr().out
+        assert "static analysis   : 0 error(s)" in out

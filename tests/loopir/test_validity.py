@@ -6,7 +6,11 @@ from hypothesis import given, strategies as st
 from repro.kernels import lstm, preset_sizes
 from repro.loopir.ast import Kernel, Loop
 from repro.loopir.builder import for_, stmt_
+from repro.errors import LatticeRangeError
 from repro.loopir.validity import (
+    _lattice_count,
+    _lattice_range,
+    _narrow,
     chain_heads,
     count_guarded_executions,
     is_chain_extendable,
@@ -138,3 +142,71 @@ def test_threshold_guard_counting(n, threshold):
     loop = Loop("inner", 2, [], guards=[Constraint.ge("t", threshold)])
     expected = len([t for t in range(n) if t >= threshold])
     assert count_guarded_executions(loop, anc) == expected
+
+
+class TestLatticeRange:
+    """Direct tests for the clipped-progression helpers."""
+
+    def brute(self, lo, hi, begin, stride, steps=200):
+        return [begin + k * stride for k in range(steps)
+                if lo <= begin + k * stride <= hi]
+
+    def test_forward_progression(self):
+        assert list(_lattice_range(0, 9, 0, 3)) == [0, 3, 6, 9]
+        assert _lattice_count(0, 9, 0, 3) == 4
+
+    def test_begin_inside_interval_skips_earlier_points(self):
+        # Points of the lattice below `begin` are never visited, even
+        # when the interval would admit them.
+        assert list(_lattice_range(0, 9, 4, 2)) == [4, 6, 8]
+        assert _lattice_count(0, 9, 4, 2) == 3
+
+    def test_begin_above_interval_is_empty(self):
+        assert _lattice_count(0, 3, 10, 2) == 0
+
+    def test_empty_interval(self):
+        assert _lattice_count(5, 4, 0, 1) == 0
+        assert list(_lattice_range(5, 4, 0, 1)) == []
+
+    def test_negative_stride_walks_downward(self):
+        assert list(_lattice_range(0, 9, 9, -3)) == [9, 6, 3, 0]
+        assert list(_lattice_range(2, 9, 9, -3)) == [9, 6, 3]
+        assert _lattice_count(0, 9, 9, -3) == 4
+
+    def test_negative_stride_begin_below_interval_is_empty(self):
+        assert _lattice_count(5, 9, 3, -2) == 0
+
+    def test_zero_stride_raises_typed_error(self):
+        with pytest.raises(LatticeRangeError):
+            _lattice_range(0, 9, 0, 0)
+        with pytest.raises(ValueError):   # LatticeRangeError subclasses it
+            _lattice_count(0, 9, 0, 0)
+
+    @given(st.integers(-10, 10), st.integers(-10, 10),
+           st.integers(-10, 10),
+           st.integers(-5, 5).filter(lambda s: s != 0))
+    def test_matches_bruteforce(self, lo, hi, begin, stride):
+        assert list(_lattice_range(lo, hi, begin, stride)) == \
+            self.brute(lo, hi, begin, stride)
+
+
+class TestNarrow:
+    def test_ge_tightens_lower_bound(self):
+        got = _narrow((0, 9), Constraint.ge("t", 4), "t")
+        assert got == (4, 9)
+
+    def test_le_tightens_upper_bound(self):
+        got = _narrow((0, 9), Constraint.le("t", 6), "t")
+        assert got == (0, 6)
+
+    def test_eq_pins_the_value(self):
+        assert _narrow((0, 9), Constraint.eq("t", 3), "t") == (3, 3)
+
+    def test_eq_outside_interval_is_empty(self):
+        assert _narrow((0, 9), Constraint.eq("t", 12), "t") is None
+
+    def test_contradiction_is_empty(self):
+        assert _narrow((0, 4), Constraint.ge("t", 99), "t") is None
+
+    def test_already_empty_interval_stays_empty(self):
+        assert _narrow((7, 3), Constraint.ge("t", 0), "t") is None

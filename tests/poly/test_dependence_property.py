@@ -1,0 +1,139 @@
+"""Property test: analyzed dependences cover the executed ones.
+
+Random two-statement perfect nests (up to 4 dims, bounds up to 6,
+unit-coefficient subscripts with small offsets, optional single-iterator
+guards) are both run through the FM-based dependence analyzer and
+brute-forced by enumerating every instance in execution order.  Every
+dependence the execution actually exhibits — same cell, at least one
+write, program order — must appear in the analyzed set with a matching
+direction vector (or the loop-independent flag for same-iteration
+pairs).  This is the soundness half of the analyzer's contract; the
+legality and fission passes inherit it.
+"""
+
+import itertools
+import math
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.loopir import analyze_dependences
+from repro.loopir.ast import Kernel
+from repro.loopir.builder import for_, stmt_
+from repro.poly.access import Array
+from repro.poly.constraint import Constraint
+
+DIMS = ("i0", "i1", "i2", "i3")
+MAX_POINTS = 150
+
+
+@st.composite
+def nest_specs(draw):
+    depth = draw(st.integers(min_value=1, max_value=4))
+    bounds = tuple(
+        draw(st.integers(min_value=1, max_value=6))
+        for _ in range(depth))
+    assume(math.prod(bounds) <= MAX_POINTS)
+
+    def access():
+        var = draw(st.sampled_from(DIMS[:depth]))
+        offset = draw(st.integers(min_value=0, max_value=2))
+        return var, offset
+
+    # Each statement: one write and one read of the shared array.
+    stmts = []
+    for name in ("S", "T"):
+        guard = None
+        if draw(st.booleans()):
+            gvar = draw(st.sampled_from(DIMS[:depth]))
+            gval = draw(st.integers(min_value=0, max_value=2))
+            guard = (gvar, gval)          # gvar >= gval
+        stmts.append((name, access(), access(), guard))
+    return depth, bounds, stmts
+
+
+def build_kernel(depth, bounds, stmts):
+    size = max(bounds) + 3
+    array = Array("a", (size,))
+    arrays = {"a": array}
+    body = []
+    for name, (wv, wo), (rv, ro), guard in stmts:
+        guards = [] if guard is None else \
+            [Constraint.ge(guard[0], guard[1])]
+        body.append(stmt_(
+            name, arrays,
+            writes={"a": (f"{wv} + {wo}",)},
+            reads={"a": (f"{rv} + {ro}",)},
+            guards=guards))
+    nest = body
+    for level in reversed(range(depth)):
+        nest = [for_(DIMS[level], bounds[level], *nest)]
+    return Kernel("prop", [array], nest)
+
+
+def observed_dependences(depth, bounds, stmts):
+    """Brute force: every (src, dst, kind, direction) the run exhibits."""
+    history = {}          # cell -> [(point, stmt_name, kind)]
+    observed = set()
+    for point in itertools.product(*(range(b) for b in bounds)):
+        env = dict(zip(DIMS[:depth], point))
+        for name, (wv, wo), (rv, ro), guard in stmts:
+            if guard is not None and env[guard[0]] < guard[1]:
+                continue
+            # Reads happen before the write of the same instance.
+            for kind, cell in (("read", env[rv] + ro),
+                               ("write", env[wv] + wo)):
+                for prev_point, prev_name, prev_kind in \
+                        history.get(cell, ()):
+                    if prev_kind == "read" and kind == "read":
+                        continue
+                    if prev_name == name and prev_point == point:
+                        # One atomic statement instance: its read
+                        # feeding its own write is not a dependence.
+                        continue
+                    direction = tuple(
+                        "<" if a < b else ("=" if a == b else ">")
+                        for a, b in zip(prev_point, point))
+                    dep_kind = {
+                        ("write", "read"): "RAW",
+                        ("read", "write"): "WAR",
+                        ("write", "write"): "WAW",
+                    }[(prev_kind, kind)]
+                    observed.add((prev_name, name, dep_kind, direction))
+                history.setdefault(cell, []).append((point, name, kind))
+    return observed
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=nest_specs())
+def test_every_executed_dependence_is_analyzed(spec):
+    depth, bounds, stmts = spec
+    kernel = build_kernel(depth, bounds, stmts)
+    analyzed = analyze_dependences(kernel)
+    index = {}
+    for dep in analyzed:
+        index.setdefault(
+            (dep.src_stmt, dep.dst_stmt, dep.kind), []).append(dep)
+    for src, dst, kind, direction in \
+            observed_dependences(depth, bounds, stmts):
+        candidates = index.get((src, dst, kind), [])
+        if all(c == "=" for c in direction):
+            assert any(dep.loop_independent for dep in candidates), (
+                f"loop-independent {kind} {src}->{dst} executed but "
+                f"not analyzed")
+        else:
+            assert any(direction in dep.directions
+                       for dep in candidates), (
+                f"{kind} {src}->{dst} with direction {direction} "
+                f"executed but not analyzed")
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=nest_specs())
+def test_analyzed_directions_are_admissible(spec):
+    """Analyzer invariant: the first non-'=' component is always '<'."""
+    depth, bounds, stmts = spec
+    kernel = build_kernel(depth, bounds, stmts)
+    for dep in analyze_dependences(kernel):
+        for direction in dep.directions:
+            first = next((c for c in direction if c != "="), None)
+            assert first in (None, "<"), (dep, direction)
